@@ -1,0 +1,65 @@
+//! Ablation: where does the BNFF benefit appear as feature maps grow past
+//! the last-level cache?
+//!
+//! The paper's premise (Section 3.1) is that mini-batch feature maps are far
+//! larger than on-chip buffers. This bench sweeps the spatial size of a
+//! DenseNet-style fragment from CIFAR scale to ImageNet scale and measures
+//! the analytical BNFF improvement at each point; the improvement should be
+//! small while maps are cache-resident and large once they are not.
+
+use bnff_core::{BnffOptimizer, FusionLevel};
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_graph::Graph;
+use bnff_memsim::MachineProfile;
+use bnff_tensor::Shape;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fragment(batch: usize, spatial: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("fragment-{spatial}"));
+    let x = b.input("in", Shape::nchw(batch, 64, spatial, spatial)).unwrap();
+    let c1 = b.bn_relu_conv(x, Conv2dAttrs::pointwise(128), "cpl/a").unwrap();
+    let c2 = b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(32), "cpl/b").unwrap();
+    b.concat(vec![x, c2], "concat").unwrap();
+    b.finish()
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let machine = MachineProfile::skylake_xeon_2s();
+    let optimizer = BnffOptimizer::new(FusionLevel::Bnff);
+    let mut group = c.benchmark_group("cache_crossover");
+    for spatial in [8usize, 16, 28, 56] {
+        let graph = fragment(32, spatial);
+        let restructured = optimizer.apply(&graph).unwrap();
+        // Print the analytical improvement once so the crossover is visible
+        // in the bench log, then benchmark the evaluation itself.
+        let report = optimizer.compare(&graph, &restructured, &machine).unwrap();
+        println!(
+            "cache_crossover: spatial {spatial}x{spatial} -> BNFF improvement {:.1}%",
+            report.improvement() * 100.0
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(spatial), &spatial, |b, _| {
+            b.iter(|| {
+                let restructured = optimizer.apply(black_box(&graph)).unwrap();
+                black_box(optimizer.compare(&graph, &restructured, &machine).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_crossover
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! One Criterion bench per table / figure of the paper: each bench runs the
+//! corresponding experiment driver end to end (model construction,
+//! restructuring passes and the analytical machine model), so `cargo bench`
+//! regenerates every number the paper reports and tracks the cost of doing
+//! so.
+
+use bnff_core::experiments as exp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: usize = 120;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_machines", |b| b.iter(|| black_box(exp::table1())));
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_breakdown", |b| b.iter(|| black_box(exp::figure1(BATCH).unwrap())));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_timeline", |b| {
+        b.iter(|| black_box(exp::figure3(BATCH, 64).unwrap()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_infinite_bw", |b| b.iter(|| black_box(exp::figure4(BATCH).unwrap())));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_architectures", |b| b.iter(|| black_box(exp::figure6(1.0).unwrap())));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_scenarios", |b| b.iter(|| black_box(exp::figure7(BATCH).unwrap())));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_bandwidth", |b| b.iter(|| black_box(exp::figure8(BATCH).unwrap())));
+}
+
+fn bench_gpu(c: &mut Criterion) {
+    c.bench_function("gpu_cutlass_scenarios", |b| {
+        b.iter(|| black_box(exp::gpu_cutlass(28).unwrap()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1, bench_fig1, bench_fig3, bench_fig4, bench_fig6, bench_fig7, bench_fig8, bench_gpu
+}
+criterion_main!(benches);

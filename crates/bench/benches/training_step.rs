@@ -1,0 +1,57 @@
+//! End-to-end training-step bench: one forward + backward pass of a
+//! CIFAR-scale DenseNet, executed numerically with the baseline graph and
+//! with its BNFF-restructured twin.
+//!
+//! This measures the real arithmetic on the host CPU (the analytical model
+//! handles the paper-scale projection); it demonstrates that the fused
+//! executor path is functional and not slower than the baseline at equal
+//! arithmetic.
+
+use bnff_core::{BnffOptimizer, FusionLevel};
+use bnff_models::densenet_cifar;
+use bnff_tensor::init::Initializer;
+use bnff_tensor::Shape;
+use bnff_train::Executor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_training_step(c: &mut Criterion) {
+    let batch = 8;
+    let baseline_graph = densenet_cifar(batch, 8, 2, 10).unwrap();
+    let bnff_graph = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline_graph).unwrap();
+    let baseline = Executor::new(baseline_graph, 3).unwrap();
+    let restructured = Executor::new(bnff_graph, 3).unwrap();
+    let mut init = Initializer::seeded(5);
+    let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+
+    let mut group = c.benchmark_group("training_step_densenet_cifar");
+    group.bench_function("baseline_graph", |b| {
+        b.iter(|| {
+            let fwd = baseline.forward(black_box(&data), &labels).unwrap();
+            black_box(baseline.backward(&fwd).unwrap())
+        })
+    });
+    group.bench_function("bnff_graph", |b| {
+        b.iter(|| {
+            let fwd = restructured.forward(black_box(&data), &labels).unwrap();
+            black_box(restructured.backward(&fwd).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Runs every experiment driver in sequence — the one-shot reproduction of
+//! the paper's evaluation section. Results are printed as tables and dumped
+//! as JSON to `experiment_results.json` in the working directory.
+
+use bnff_bench::{ms, pct, print_table};
+use bnff_core::experiments as exp;
+use serde_json::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(exp::PAPER_CPU_BATCH);
+
+    let table1 = exp::table1();
+    print_table(
+        "Table 1",
+        &["architecture", "TFLOPS", "BW (GB/s)"],
+        &table1
+            .iter()
+            .map(|r| vec![r.machine.clone(), format!("{:.2}", r.tflops), format!("{:.1}", r.bandwidth_gbs)])
+            .collect::<Vec<_>>(),
+    );
+
+    let fig1 = exp::figure1(batch)?;
+    print_table(
+        "Figure 1",
+        &["model", "CONV/FC", "non-CONV"],
+        &fig1
+            .iter()
+            .map(|r| vec![r.model.clone(), pct(r.conv_fc_fraction), pct(r.non_conv_fraction)])
+            .collect::<Vec<_>>(),
+    );
+
+    let fig3 = exp::figure3(batch, 64)?;
+    println!(
+        "\n== Figure 3 == non-CONV avg utilization {} vs CONV {} over {} layer executions",
+        pct(fig3.non_conv_avg_utilization),
+        pct(fig3.conv_avg_utilization),
+        fig3.events
+    );
+
+    let fig4 = exp::figure4(batch)?;
+    print_table(
+        "Figure 4",
+        &["layer", "finite", "infinite", "speedup"],
+        &fig4
+            .iter()
+            .map(|r| {
+                vec![
+                    r.layer.clone(),
+                    ms(r.finite_seconds),
+                    ms(r.infinite_seconds),
+                    format!("{:.1}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let fig6 = exp::figure6(1.0)?;
+    print_table(
+        "Figure 6",
+        &["architecture", "batch", "CONV/FC", "non-CONV", "per image"],
+        &fig6
+            .iter()
+            .map(|r| {
+                vec![
+                    r.machine.clone(),
+                    r.batch.to_string(),
+                    ms(r.conv_seconds),
+                    ms(r.non_conv_seconds),
+                    ms(r.per_image_seconds),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let fig7 = exp::figure7(batch)?;
+    print_table(
+        "Figure 7",
+        &["model", "scenario", "total", "improv", "fwd", "bwd", "traffic -"],
+        &fig7
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.scenario.clone(),
+                    ms(r.total_seconds),
+                    pct(r.improvement),
+                    pct(r.fwd_improvement),
+                    pct(r.bwd_improvement),
+                    pct(r.traffic_reduction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let fig8 = exp::figure8(batch)?;
+    print_table(
+        "Figure 8",
+        &["BW (GB/s)", "scenario", "iteration", "BNFF gain"],
+        &fig8
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.bandwidth_gbs),
+                    r.scenario.clone(),
+                    ms(r.total_seconds),
+                    pct(r.bnff_improvement),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let gpu = exp::gpu_cutlass(28)?;
+    print_table(
+        "Section 5 (GPU)",
+        &["model", "scenario", "improvement"],
+        &gpu.iter()
+            .map(|r| vec![r.model.clone(), r.scenario.clone(), pct(r.improvement)])
+            .collect::<Vec<_>>(),
+    );
+
+    let dump = json!({
+        "batch": batch,
+        "table1": table1,
+        "figure1": fig1,
+        "figure3": fig3,
+        "figure4": fig4,
+        "figure6": fig6,
+        "figure7": fig7,
+        "figure8": fig8,
+        "gpu": gpu,
+    });
+    std::fs::write("experiment_results.json", serde_json::to_string_pretty(&dump)?)?;
+    println!("\nwrote experiment_results.json");
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 1: execution-time breakdown (CONV/FC vs non-CONV) of
+//! AlexNet, VGG-16, ResNet-50 and DenseNet-121 during training.
+
+use bnff_bench::{ms, pct, print_table};
+use bnff_core::experiments::{figure1, PAPER_CPU_BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_CPU_BATCH);
+    let rows = figure1(batch)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                pct(r.conv_fc_fraction),
+                pct(r.non_conv_fraction),
+                ms(r.total_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 1 — execution-time breakdown (batch {batch})"),
+        &["model", "CONV/FC", "non-CONV", "iteration"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 3: memory-bandwidth utilization of DenseNet-121
+//! layers over one training iteration.
+
+use bnff_core::experiments::{figure3, PAPER_CPU_BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_CPU_BATCH);
+    let series = figure3(batch, 96)?;
+    println!("== Figure 3 — bandwidth utilization over time (batch {batch}) ==");
+    println!(
+        "peak bandwidth: {:.1} GB/s, layer executions: {}",
+        series.peak_bandwidth_gbs, series.events
+    );
+    println!(
+        "average forward utilization: non-CONV {:.1}% vs CONV {:.1}%",
+        series.non_conv_avg_utilization * 100.0,
+        series.conv_avg_utilization * 100.0
+    );
+    println!("\ntime-bucketed utilization (one row per bucket, 60 cols = 100%):");
+    for (i, u) in series.utilization.iter().enumerate() {
+        let bars = (u * 60.0).round() as usize;
+        println!("{:3} | {}{}", i, "#".repeat(bars), " ".repeat(60usize.saturating_sub(bars)));
+    }
+    println!("\n{}", serde_json::to_string_pretty(&series)?);
+    Ok(())
+}

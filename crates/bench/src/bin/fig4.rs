@@ -1,0 +1,31 @@
+//! Regenerates Figure 4: BN and ReLU execution time with finite vs infinite
+//! (hypothetical) memory bandwidth on DenseNet-121.
+
+use bnff_bench::{ms, print_table};
+use bnff_core::experiments::{figure4, PAPER_CPU_BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_CPU_BATCH);
+    let rows = figure4(batch)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.layer.clone(),
+                ms(r.finite_seconds),
+                ms(r.infinite_seconds),
+                format!("{:.1}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 4 — finite vs infinite memory bandwidth (batch {batch})"),
+        &["layer", "finite BW", "infinite BW", "speedup"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

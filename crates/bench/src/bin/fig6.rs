@@ -1,0 +1,30 @@
+//! Regenerates Figure 6: CONV/FC vs non-CONV execution time of DenseNet-121
+//! on the GPU, KNL and Skylake profiles (per iteration and per image).
+
+use bnff_bench::{ms, print_table};
+use bnff_core::experiments::figure6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let rows = figure6(scale)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.clone(),
+                r.batch.to_string(),
+                ms(r.conv_seconds),
+                ms(r.non_conv_seconds),
+                ms(r.total_seconds),
+                ms(r.per_image_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6 — DenseNet-121 across architectures",
+        &["architecture", "batch", "CONV/FC", "non-CONV", "iteration", "per image"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

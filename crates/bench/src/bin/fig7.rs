@@ -1,0 +1,49 @@
+//! Regenerates Figure 7: execution time and memory accesses per training
+//! iteration for Baseline / RCF / RCF+MVF / BNFF / BNFF+ICF on DenseNet-121
+//! and ResNet-50 (Skylake profile, mini-batch 120).
+
+use bnff_bench::{ms, pct, print_table};
+use bnff_core::experiments::{figure7, PAPER_CPU_BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_CPU_BATCH);
+    let rows = figure7(batch)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.scenario.clone(),
+                ms(r.fwd_seconds),
+                ms(r.bwd_seconds),
+                ms(r.total_seconds),
+                format!("{:.1} GB", r.dram_gb),
+                pct(r.improvement),
+                pct(r.fwd_improvement),
+                pct(r.bwd_improvement),
+                pct(r.traffic_reduction),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 7 — scenario sweep (batch {batch})"),
+        &[
+            "model",
+            "scenario",
+            "fwd",
+            "bwd",
+            "total",
+            "DRAM",
+            "improv",
+            "fwd improv",
+            "bwd improv",
+            "traffic -",
+        ],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

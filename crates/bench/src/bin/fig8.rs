@@ -1,0 +1,32 @@
+//! Regenerates Figure 8: baseline vs BNFF at full (230.4 GB/s) and halved
+//! (115.2 GB/s) memory bandwidth on DenseNet-121.
+
+use bnff_bench::{ms, pct, print_table};
+use bnff_core::experiments::{figure8, PAPER_CPU_BATCH};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_CPU_BATCH);
+    let rows = figure8(batch)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.bandwidth_gbs),
+                r.scenario.clone(),
+                ms(r.total_seconds),
+                pct(r.non_conv_fraction),
+                pct(r.bnff_improvement),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 8 — bandwidth sensitivity (batch {batch})"),
+        &["BW (GB/s)", "scenario", "iteration", "non-CONV share", "BNFF gain"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

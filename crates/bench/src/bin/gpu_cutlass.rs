@@ -1,0 +1,21 @@
+//! Regenerates the Section 5 GPU evaluation: scenario improvements on a
+//! Pascal Titan X profile (CUTLASS-style baseline, mini-batch 28).
+
+use bnff_bench::{pct, print_table};
+use bnff_core::experiments::gpu_cutlass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(28);
+    let rows = gpu_cutlass(batch)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.model.clone(), r.scenario.clone(), pct(r.improvement)])
+        .collect();
+    print_table(
+        &format!("Section 5 (GPU) — scenario improvements (batch {batch})"),
+        &["model", "scenario", "improvement"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

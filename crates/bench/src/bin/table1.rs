@@ -1,0 +1,28 @@
+//! Regenerates Table 1: peak single-precision performance and peak memory
+//! bandwidth of the evaluated data-parallel architectures.
+
+use bnff_bench::print_table;
+use bnff_core::experiments::table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = table1();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.clone(),
+                format!("{:.2}", r.tflops),
+                format!("{:.1}", r.bandwidth_gbs),
+                format!("{:.1}", r.flop_per_byte),
+                r.batch.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1 — peak performance and memory bandwidth",
+        &["architecture", "TFLOPS", "BW (GB/s)", "FLOP/B", "mini-batch"],
+        &table,
+    );
+    println!("\n{}", serde_json::to_string_pretty(&rows)?);
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Error type of the public API.
+
+use std::fmt;
+
+/// Errors produced by the BNFF optimizer and the experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error bubbled up from the graph crate.
+    Graph(bnff_graph::GraphError),
+    /// An error bubbled up from the performance model.
+    Memsim(bnff_memsim::MemsimError),
+    /// An error bubbled up from the training substrate.
+    Train(String),
+    /// An invalid experiment configuration.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(err) => write!(f, "graph error: {err}"),
+            CoreError::Memsim(err) => write!(f, "performance model error: {err}"),
+            CoreError::Train(msg) => write!(f, "training error: {msg}"),
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(err) => Some(err),
+            CoreError::Memsim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<bnff_graph::GraphError> for CoreError {
+    fn from(err: bnff_graph::GraphError) -> Self {
+        CoreError::Graph(err)
+    }
+}
+
+impl From<bnff_memsim::MemsimError> for CoreError {
+    fn from(err: bnff_memsim::MemsimError) -> Self {
+        CoreError::Memsim(err)
+    }
+}
+
+impl From<bnff_train::TrainError> for CoreError {
+    fn from(err: bnff_train::TrainError) -> Self {
+        CoreError::Train(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = bnff_graph::GraphError::CyclicGraph.into();
+        assert!(e.to_string().contains("cycle"));
+        let e: CoreError = bnff_memsim::MemsimError::InvalidProfile("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = bnff_train::TrainError::InvalidArgument("y".into()).into();
+        assert!(e.to_string().contains("training"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 1: execution-time breakdown of popular CNN models over layer
+//! types (CONV/FC vs non-CONV) during training.
+
+use crate::Result;
+use bnff_memsim::{simulate_iteration, MachineProfile};
+use bnff_models::{build, Model};
+use serde::Serialize;
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Model name.
+    pub model: String,
+    /// Fraction of iteration time spent in CONV/FC (and fused-CONV) layers.
+    pub conv_fc_fraction: f64,
+    /// Fraction spent in non-CONV layers.
+    pub non_conv_fraction: f64,
+    /// Absolute simulated iteration time in seconds.
+    pub total_seconds: f64,
+}
+
+/// Reproduces Figure 1 on the Skylake profile at the given mini-batch size.
+///
+/// # Errors
+/// Returns an error if a model cannot be built or simulated.
+pub fn figure1(batch: usize) -> Result<Vec<Fig1Row>> {
+    let machine = MachineProfile::skylake_xeon_2s();
+    let mut rows = Vec::new();
+    for model in Model::figure1_models() {
+        let graph = build(model, batch)?;
+        let report = simulate_iteration(&graph, &machine)?;
+        rows.push(Fig1Row {
+            model: model.display_name().to_string(),
+            conv_fc_fraction: report.conv_fraction(),
+            non_conv_fraction: report.non_conv_fraction(),
+            total_seconds: report.total_seconds(),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::QUICK_BATCH;
+
+    #[test]
+    fn early_models_are_conv_dominated_recent_ones_are_not() {
+        let rows = figure1(QUICK_BATCH).unwrap();
+        assert_eq!(rows.len(), 4);
+        let by_name = |name: &str| rows.iter().find(|r| r.model == name).unwrap();
+        let alexnet = by_name("AlexNet");
+        let vgg = by_name("VGG-16");
+        let densenet = by_name("DenseNet-121");
+        let resnet = by_name("ResNet-50");
+        // The paper: CONV/FC dominates the early models (up to ~95%)...
+        assert!(alexnet.conv_fc_fraction > 0.75, "AlexNet {}", alexnet.conv_fc_fraction);
+        assert!(vgg.conv_fc_fraction > 0.80, "VGG {}", vgg.conv_fc_fraction);
+        // ...while DenseNet-121 spends more than half its time in non-CONV
+        // layers, and ResNet-50 sits in between.
+        assert!(densenet.non_conv_fraction > 0.5, "DenseNet {}", densenet.non_conv_fraction);
+        assert!(densenet.non_conv_fraction > resnet.non_conv_fraction);
+        assert!(resnet.non_conv_fraction > vgg.non_conv_fraction);
+        for row in &rows {
+            assert!((row.conv_fc_fraction + row.non_conv_fraction - 1.0).abs() < 1e-9);
+            assert!(row.total_seconds > 0.0);
+        }
+    }
+}

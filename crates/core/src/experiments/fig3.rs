@@ -1,0 +1,86 @@
+//! Figure 3: memory-bandwidth utilization of DenseNet-121 layers over time.
+
+use crate::Result;
+use bnff_memsim::timeline::{bandwidth_series, simulate_timeline};
+use bnff_memsim::MachineProfile;
+use bnff_models::densenet121;
+use serde::Serialize;
+
+/// The bandwidth-utilization series of one training iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Series {
+    /// Mini-batch size used.
+    pub batch: usize,
+    /// Peak bandwidth of the machine in GB/s.
+    pub peak_bandwidth_gbs: f64,
+    /// Average bandwidth utilization per time bucket (0..=1).
+    pub utilization: Vec<f64>,
+    /// Average utilization of forward-pass non-CONV layers.
+    pub non_conv_avg_utilization: f64,
+    /// Average utilization of forward-pass CONV layers.
+    pub conv_avg_utilization: f64,
+    /// Total number of layer executions in the timeline.
+    pub events: usize,
+}
+
+/// Reproduces Figure 3: the layer-by-layer bandwidth timeline of
+/// DenseNet-121 on the Skylake profile.
+///
+/// # Errors
+/// Returns an error if the model cannot be built or simulated.
+pub fn figure3(batch: usize, buckets: usize) -> Result<Fig3Series> {
+    let machine = MachineProfile::skylake_xeon_2s();
+    let graph = densenet121(batch)?;
+    let events = simulate_timeline(&graph, &machine)?;
+    let utilization = bandwidth_series(&events, buckets);
+    // Duration-weighted averages over forward events that actually move
+    // data (Split forwards a pointer and is excluded, as in the paper).
+    let mut conv_sum = 0.0;
+    let mut conv_n = 0.0f64;
+    let mut nc_sum = 0.0;
+    let mut nc_n = 0.0f64;
+    for e in events.iter().filter(|e| !e.backward && e.dram_bytes > 0.0) {
+        if e.category == bnff_graph::op::LayerCategory::NonConv {
+            nc_sum += e.bandwidth_utilization * e.duration;
+            nc_n += e.duration;
+        } else {
+            conv_sum += e.bandwidth_utilization * e.duration;
+            conv_n += e.duration;
+        }
+    }
+    Ok(Fig3Series {
+        batch,
+        peak_bandwidth_gbs: machine.mem_bandwidth / 1e9,
+        utilization,
+        non_conv_avg_utilization: if nc_n > 0.0 { nc_sum / nc_n } else { 0.0 },
+        conv_avg_utilization: if conv_n > 0.0 { conv_sum / conv_n } else { 0.0 },
+        events: events.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::QUICK_BATCH;
+
+    #[test]
+    fn non_conv_layers_saturate_bandwidth_conv_layers_do_not() {
+        let series = figure3(QUICK_BATCH, 64).unwrap();
+        assert_eq!(series.utilization.len(), 64);
+        assert!(series.events > 400, "DenseNet-121 should produce many layer events");
+        // The paper: non-CONV layers are pinned at peak bandwidth while CONV
+        // layers use at most ~half of it.
+        assert!(
+            series.non_conv_avg_utilization > 0.6,
+            "non-CONV utilization {}",
+            series.non_conv_avg_utilization
+        );
+        assert!(
+            series.conv_avg_utilization < 0.55,
+            "CONV utilization {}",
+            series.conv_avg_utilization
+        );
+        assert!(series.non_conv_avg_utilization > series.conv_avg_utilization);
+        assert!((series.peak_bandwidth_gbs - 230.4).abs() < 0.5);
+    }
+}

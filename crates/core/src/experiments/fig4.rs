@@ -1,0 +1,75 @@
+//! Figure 4: execution time of BN and ReLU layers with finite vs infinite
+//! (hypothetical) memory bandwidth.
+
+use crate::Result;
+use bnff_memsim::{simulate_iteration, IterationReport, MachineProfile};
+use bnff_models::densenet121;
+use serde::Serialize;
+
+/// One bar pair of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Layer type (`"BatchNorm"` or `"ReLU"`).
+    pub layer: String,
+    /// Time per iteration with the real memory system, in seconds.
+    pub finite_seconds: f64,
+    /// Time per iteration with infinite bandwidth, in seconds.
+    pub infinite_seconds: f64,
+    /// The resulting speedup.
+    pub speedup: f64,
+}
+
+fn seconds_for(report: &IterationReport, op: &str) -> f64 {
+    report.seconds_by_op().get(op).copied().unwrap_or(0.0)
+}
+
+/// Reproduces Figure 4 on DenseNet-121: BN and ReLU layer time with the real
+/// Skylake memory system vs a hypothetical infinite-bandwidth machine
+/// (the paper observes roughly a 20× speedup; Concat/Split are excluded as
+/// in the paper).
+///
+/// # Errors
+/// Returns an error if the model cannot be built or simulated.
+pub fn figure4(batch: usize) -> Result<Vec<Fig4Row>> {
+    let graph = densenet121(batch)?;
+    let finite = simulate_iteration(&graph, &MachineProfile::skylake_xeon_2s())?;
+    let infinite = simulate_iteration(
+        &graph,
+        &MachineProfile::skylake_xeon_2s().with_infinite_bandwidth(),
+    )?;
+    let mut rows = Vec::new();
+    for layer in ["BatchNorm", "ReLU"] {
+        let f = seconds_for(&finite, layer);
+        let i = seconds_for(&infinite, layer);
+        rows.push(Fig4Row {
+            layer: layer.to_string(),
+            finite_seconds: f,
+            infinite_seconds: i,
+            speedup: if i > 0.0 { f / i } else { 0.0 },
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::QUICK_BATCH;
+
+    #[test]
+    fn infinite_bandwidth_gives_order_of_magnitude_speedup() {
+        let rows = figure4(QUICK_BATCH).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.finite_seconds > row.infinite_seconds);
+            assert!(
+                row.speedup > 5.0,
+                "{} speedup {} too small to match the paper's ~20x observation",
+                row.layer,
+                row.speedup
+            );
+        }
+        // BN is the heavier of the two non-CONV layer types.
+        assert!(rows[0].finite_seconds > rows[1].finite_seconds);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 6: CONV/FC vs non-CONV execution time of DenseNet-121 across the
+//! three data-parallel architectures (GPU, KNL, Skylake).
+
+use crate::Result;
+use bnff_memsim::{simulate_iteration, MachineProfile};
+use bnff_models::densenet121;
+use serde::Serialize;
+
+/// One machine's bar of Figure 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Machine name.
+    pub machine: String,
+    /// Mini-batch size used on that machine in the paper.
+    pub batch: usize,
+    /// Time per iteration spent in CONV/FC layers (seconds).
+    pub conv_seconds: f64,
+    /// Time per iteration spent in non-CONV layers (seconds).
+    pub non_conv_seconds: f64,
+    /// Total time per iteration (seconds).
+    pub total_seconds: f64,
+    /// Total time per image (seconds), i.e. normalized by the batch.
+    pub per_image_seconds: f64,
+}
+
+/// Reproduces Figure 6 with the paper's per-machine mini-batch sizes
+/// (28 for the GPU, 128 for KNL, 120 for Skylake). Pass `scale` < 1.0 to
+/// shrink every batch proportionally for quick runs.
+///
+/// # Errors
+/// Returns an error if the model cannot be built or simulated.
+pub fn figure6(scale: f64) -> Result<Vec<Fig6Row>> {
+    let machines = [
+        MachineProfile::pascal_titan_x(),
+        MachineProfile::knights_landing(),
+        MachineProfile::skylake_xeon_2s(),
+    ];
+    let mut rows = Vec::new();
+    for machine in &machines {
+        let batch = ((machine.default_batch as f64 * scale).round() as usize).max(1);
+        let graph = densenet121(batch)?;
+        let report = simulate_iteration(&graph, machine)?;
+        let by_cat = report.seconds_by_category();
+        let conv = by_cat
+            .get(&bnff_graph::op::LayerCategory::ConvFc)
+            .copied()
+            .unwrap_or(0.0)
+            + by_cat
+                .get(&bnff_graph::op::LayerCategory::FusedConv)
+                .copied()
+                .unwrap_or(0.0);
+        let non_conv = by_cat
+            .get(&bnff_graph::op::LayerCategory::NonConv)
+            .copied()
+            .unwrap_or(0.0);
+        rows.push(Fig6Row {
+            machine: machine.name.clone(),
+            batch,
+            conv_seconds: conv,
+            non_conv_seconds: non_conv,
+            total_seconds: report.total_seconds(),
+            per_image_seconds: report.total_seconds() / batch as f64,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_architectures_spend_more_time_in_non_conv_layers() {
+        let rows = figure6(1.0).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.non_conv_seconds > row.conv_seconds,
+                "{}: non-CONV {} should exceed CONV {}",
+                row.machine,
+                row.non_conv_seconds,
+                row.conv_seconds
+            );
+            assert!(row.per_image_seconds > 0.0);
+        }
+        // Per-image execution time is of the same order across machines
+        // (the paper's Figure 6(b)): max/min within a factor of ~3.
+        let per_image: Vec<f64> = rows.iter().map(|r| r.per_image_seconds).collect();
+        let max = per_image.iter().cloned().fold(f64::MIN, f64::max);
+        let min = per_image.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 3.0, "per-image times too far apart: {per_image:?}");
+    }
+}

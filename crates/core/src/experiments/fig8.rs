@@ -1,0 +1,85 @@
+//! Figure 8: baseline vs BNFF at full (230.4 GB/s) and halved (115.2 GB/s)
+//! memory bandwidth.
+
+use crate::fusion_level::FusionLevel;
+use crate::optimizer::evaluate_level;
+use crate::Result;
+use bnff_memsim::{simulate_iteration, MachineProfile};
+use bnff_models::densenet121;
+use serde::Serialize;
+
+/// One (bandwidth, scenario) entry of Figure 8.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Peak memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Scenario label ("Baseline" or "BNFF").
+    pub scenario: String,
+    /// Total time per iteration in seconds.
+    pub total_seconds: f64,
+    /// Fraction of time spent in non-CONV layers.
+    pub non_conv_fraction: f64,
+    /// BNFF's improvement over the baseline at this bandwidth (repeated on
+    /// both rows of a bandwidth for convenience).
+    pub bnff_improvement: f64,
+}
+
+/// Reproduces Figure 8 on DenseNet-121.
+///
+/// # Errors
+/// Returns an error if the model cannot be built, restructured or simulated.
+pub fn figure8(batch: usize) -> Result<Vec<Fig8Row>> {
+    let graph = densenet121(batch)?;
+    let mut rows = Vec::new();
+    for bandwidth in [230.4e9, 115.2e9] {
+        let machine = MachineProfile::skylake_xeon_2s().with_bandwidth(bandwidth);
+        let baseline_report = simulate_iteration(&graph, &machine)?;
+        let comparison = evaluate_level(&graph, FusionLevel::Bnff, &machine)?;
+        let improvement = comparison.improvement();
+        rows.push(Fig8Row {
+            bandwidth_gbs: bandwidth / 1e9,
+            scenario: "Baseline".to_string(),
+            total_seconds: baseline_report.total_seconds(),
+            non_conv_fraction: baseline_report.non_conv_fraction(),
+            bnff_improvement: improvement,
+        });
+        rows.push(Fig8Row {
+            bandwidth_gbs: bandwidth / 1e9,
+            scenario: "BNFF".to_string(),
+            total_seconds: comparison.restructured.total_seconds(),
+            non_conv_fraction: comparison.restructured.non_conv_fraction(),
+            bnff_improvement: improvement,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::QUICK_BATCH;
+
+    #[test]
+    fn halving_bandwidth_increases_bnff_gain_and_non_conv_share() {
+        let rows = figure8(QUICK_BATCH).unwrap();
+        assert_eq!(rows.len(), 4);
+        let full_base = &rows[0];
+        let full_bnff = &rows[1];
+        let half_base = &rows[2];
+        let half_bnff = &rows[3];
+
+        // Halving bandwidth slows everything down.
+        assert!(half_base.total_seconds > full_base.total_seconds);
+        assert!(half_bnff.total_seconds > full_bnff.total_seconds);
+        // The baseline's non-CONV share grows when bandwidth shrinks
+        // (58.9% -> 63.0% in the paper).
+        assert!(half_base.non_conv_fraction > full_base.non_conv_fraction);
+        // And BNFF's advantage grows (25.7% -> 30.1% in the paper).
+        assert!(
+            half_base.bnff_improvement > full_base.bnff_improvement,
+            "half-bandwidth gain {} should exceed full-bandwidth gain {}",
+            half_base.bnff_improvement,
+            full_base.bnff_improvement
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1: peak single-precision performance and peak memory bandwidth of
+//! the evaluated data-parallel architectures.
+
+use bnff_memsim::MachineProfile;
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Machine name.
+    pub machine: String,
+    /// Peak single-precision TFLOPS.
+    pub tflops: f64,
+    /// Peak main-memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Compute-to-bandwidth ratio in FLOP per byte.
+    pub flop_per_byte: f64,
+    /// Mini-batch size the paper uses on this machine.
+    pub batch: usize,
+}
+
+impl From<&MachineProfile> for Table1Row {
+    fn from(m: &MachineProfile) -> Self {
+        Table1Row {
+            machine: m.name.clone(),
+            tflops: m.peak_flops / 1e12,
+            bandwidth_gbs: m.mem_bandwidth / 1e9,
+            flop_per_byte: m.flop_per_byte(),
+            batch: m.default_batch,
+        }
+    }
+}
+
+/// Reproduces Table 1.
+pub fn table1() -> Vec<Table1Row> {
+    [
+        MachineProfile::skylake_xeon_2s(),
+        MachineProfile::knights_landing(),
+        MachineProfile::pascal_titan_x(),
+    ]
+    .iter()
+    .map(Table1Row::from)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_values() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].tflops - 3.34).abs() < 0.01);
+        assert!((rows[0].bandwidth_gbs - 230.4).abs() < 0.5);
+        assert!((rows[1].tflops - 5.30).abs() < 0.01);
+        assert!((rows[1].bandwidth_gbs - 400.0).abs() < 0.5);
+        assert!((rows[2].tflops - 10.0).abs() < 0.01);
+        assert!((rows[2].bandwidth_gbs - 480.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn flop_per_byte_increases_towards_gpu() {
+        let rows = table1();
+        assert!(rows[2].flop_per_byte > rows[0].flop_per_byte);
+    }
+}

@@ -1,0 +1,121 @@
+//! The cumulative restructuring scenarios evaluated in the paper.
+
+use bnff_graph::passes::{BnffPass, IcfPass, MvfPass, PassPipeline, RcfPass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four scenarios of Figure 7 (plus the unmodified baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusionLevel {
+    /// The reference implementation: no restructuring.
+    Baseline,
+    /// ReLU–CONV fusion only.
+    Rcf,
+    /// RCF + mean/variance fusion.
+    RcfMvf,
+    /// Full BN Fission-n-Fusion (includes MVF and RCF).
+    Bnff,
+    /// BNFF + inter-composite-layer fusion (Concat absorbs boundary stats).
+    BnffIcf,
+}
+
+impl FusionLevel {
+    /// All levels in the order the paper presents them.
+    pub fn all() -> Vec<FusionLevel> {
+        vec![
+            FusionLevel::Baseline,
+            FusionLevel::Rcf,
+            FusionLevel::RcfMvf,
+            FusionLevel::Bnff,
+            FusionLevel::BnffIcf,
+        ]
+    }
+
+    /// The levels measured (not estimated) on the CPU in the paper.
+    pub fn measured() -> Vec<FusionLevel> {
+        vec![FusionLevel::Baseline, FusionLevel::Rcf, FusionLevel::RcfMvf, FusionLevel::Bnff]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionLevel::Baseline => "Baseline",
+            FusionLevel::Rcf => "RCF",
+            FusionLevel::RcfMvf => "RCF+MVF",
+            FusionLevel::Bnff => "BNFF",
+            FusionLevel::BnffIcf => "BNFF+ICF",
+        }
+    }
+
+    /// Builds the pass pipeline that realises this level.
+    pub fn pipeline(self) -> PassPipeline {
+        match self {
+            FusionLevel::Baseline => PassPipeline::new(),
+            FusionLevel::Rcf => PassPipeline::new().with(Box::new(RcfPass::new())),
+            FusionLevel::RcfMvf => PassPipeline::new()
+                .with(Box::new(MvfPass::new()))
+                .with(Box::new(RcfPass::new())),
+            FusionLevel::Bnff => PassPipeline::new().with(Box::new(BnffPass::new())),
+            FusionLevel::BnffIcf => PassPipeline::new()
+                .with(Box::new(BnffPass::new()))
+                .with(Box::new(IcfPass::new())),
+        }
+    }
+}
+
+impl fmt::Display for FusionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::builder::GraphBuilder;
+    use bnff_graph::op::Conv2dAttrs;
+    use bnff_tensor::Shape;
+
+    fn sample() -> bnff_graph::Graph {
+        let mut b = GraphBuilder::new("s");
+        let x = b.input("in", Shape::nchw(4, 16, 16, 16)).unwrap();
+        let c1 = b.bn_relu_conv(x, Conv2dAttrs::pointwise(32), "a").unwrap();
+        let c2 = b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(16), "b").unwrap();
+        b.concat(vec![x, c2], "cat").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn ordering_and_labels() {
+        assert_eq!(FusionLevel::all().len(), 5);
+        assert_eq!(FusionLevel::measured().len(), 4);
+        assert_eq!(FusionLevel::Bnff.label(), "BNFF");
+        assert_eq!(FusionLevel::RcfMvf.to_string(), "RCF+MVF");
+    }
+
+    #[test]
+    fn baseline_pipeline_is_identity() {
+        let g = sample();
+        let out = FusionLevel::Baseline.pipeline().run(&g).unwrap();
+        assert_eq!(out.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn deeper_levels_remove_more_sweeps() {
+        let g = sample();
+        let sweeps: Vec<usize> = FusionLevel::all()
+            .into_iter()
+            .map(|level| {
+                let out = level.pipeline().run(&g).unwrap();
+                bnff_graph::analysis::activation_sweep_count(&out).unwrap()
+            })
+            .collect();
+        for window in sweeps.windows(2) {
+            assert!(
+                window[1] <= window[0],
+                "sweeps must be monotonically non-increasing across levels: {sweeps:?}"
+            );
+        }
+        assert!(sweeps[4] < sweeps[0]);
+    }
+}

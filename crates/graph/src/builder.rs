@@ -1,0 +1,271 @@
+//! A convenience builder for constructing model graphs.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::op::{BatchNormAttrs, Conv2dAttrs, OpKind, PoolAttrs, PoolKind};
+use crate::Result;
+use bnff_tensor::Shape;
+
+/// Fluent builder over [`Graph`] used by the model zoo.
+///
+/// Every method adds one layer node and returns its [`NodeId`], so model
+/// definitions read like the layer listings in the paper:
+///
+/// ```rust
+/// use bnff_graph::builder::GraphBuilder;
+/// use bnff_graph::op::Conv2dAttrs;
+/// use bnff_tensor::Shape;
+///
+/// # fn main() -> Result<(), bnff_graph::GraphError> {
+/// let mut b = GraphBuilder::new("tiny");
+/// let x = b.input("data", Shape::nchw(4, 3, 32, 32))?;
+/// let c = b.conv2d(x, Conv2dAttrs::same_3x3(16), "conv")?;
+/// let bn = b.batch_norm_default(c, "bn")?;
+/// let r = b.relu(bn, "relu")?;
+/// let p = b.global_avg_pool(r, "gap")?;
+/// let fc = b.fully_connected(p, 10, "fc")?;
+/// let labels = b.input("labels", Shape::vector(4))?;
+/// b.softmax_loss(fc, labels, "loss")?;
+/// let graph = b.finish();
+/// assert_eq!(graph.node_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder { graph: Graph::new(name) }
+    }
+
+    /// Finishes building, returning the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+
+    /// Read-only access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Adds an input node.
+    ///
+    /// # Errors
+    /// Infallible today; returns `Result` for uniformity with other methods.
+    pub fn input(&mut self, name: &str, shape: Shape) -> Result<NodeId> {
+        Ok(self.graph.add_input(name, shape))
+    }
+
+    /// Adds a 2-D convolution.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn conv2d(&mut self, input: NodeId, attrs: Conv2dAttrs, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Conv2d(attrs), vec![input])
+    }
+
+    /// Adds a Batch Normalization layer with explicit attributes.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn batch_norm(
+        &mut self,
+        input: NodeId,
+        attrs: BatchNormAttrs,
+        name: &str,
+    ) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::BatchNorm(attrs), vec![input])
+    }
+
+    /// Adds a Batch Normalization layer with default (two-pass) attributes.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn batch_norm_default(&mut self, input: NodeId, name: &str) -> Result<NodeId> {
+        self.batch_norm(input, BatchNormAttrs::default(), name)
+    }
+
+    /// Adds a ReLU activation.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn relu(&mut self, input: NodeId, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Relu, vec![input])
+    }
+
+    /// Adds a max-pooling layer.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn max_pool(&mut self, input: NodeId, attrs: PoolAttrs, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Pool { kind: PoolKind::Max, attrs }, vec![input])
+    }
+
+    /// Adds an average-pooling layer.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn avg_pool(&mut self, input: NodeId, attrs: PoolAttrs, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Pool { kind: PoolKind::Average, attrs }, vec![input])
+    }
+
+    /// Adds a global average pooling layer.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn global_avg_pool(&mut self, input: NodeId, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::GlobalAvgPool, vec![input])
+    }
+
+    /// Adds a channel concatenation (DenseNet dense connectivity).
+    ///
+    /// # Errors
+    /// Returns an error if the inputs' batch or spatial dimensions disagree.
+    pub fn concat(&mut self, inputs: Vec<NodeId>, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Concat, inputs)
+    }
+
+    /// Adds an explicit split/replication node feeding `consumers` readers.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn split(&mut self, input: NodeId, consumers: usize, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::Split { consumers }, vec![input])
+    }
+
+    /// Adds an element-wise sum (ResNet shortcut join).
+    ///
+    /// # Errors
+    /// Returns an error if the input shapes differ.
+    pub fn eltwise_sum(&mut self, inputs: Vec<NodeId>, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::EltwiseSum, inputs)
+    }
+
+    /// Adds a fully-connected layer.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn fully_connected(
+        &mut self,
+        input: NodeId,
+        out_features: usize,
+        name: &str,
+    ) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::FullyConnected { out_features }, vec![input])
+    }
+
+    /// Adds a softmax + cross-entropy loss head.
+    ///
+    /// # Errors
+    /// Returns an error if the scores/labels batch sizes disagree.
+    pub fn softmax_loss(&mut self, scores: NodeId, labels: NodeId, name: &str) -> Result<NodeId> {
+        self.graph.add_node(name, OpKind::SoftmaxLoss, vec![scores, labels])
+    }
+
+    /// Adds the BN → ReLU → CONV sequence that forms half of a DenseNet
+    /// composite layer, returning the CONV's node id.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn bn_relu_conv(
+        &mut self,
+        input: NodeId,
+        conv: Conv2dAttrs,
+        prefix: &str,
+    ) -> Result<NodeId> {
+        let bn = self.batch_norm_default(input, &format!("{prefix}/bn"))?;
+        let relu = self.relu(bn, &format!("{prefix}/relu"))?;
+        self.conv2d(relu, conv, &format!("{prefix}/conv"))
+    }
+
+    /// Adds the CONV → BN → ReLU sequence used by ResNet, returning the
+    /// ReLU's node id.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn conv_bn_relu(
+        &mut self,
+        input: NodeId,
+        conv: Conv2dAttrs,
+        prefix: &str,
+    ) -> Result<NodeId> {
+        let c = self.conv2d(input, conv, &format!("{prefix}/conv"))?;
+        let bn = self.batch_norm_default(c, &format!("{prefix}/bn"))?;
+        self.relu(bn, &format!("{prefix}/relu"))
+    }
+
+    /// Adds the CONV → BN sequence (no activation) used on ResNet's residual
+    /// branch tail and projection shortcuts, returning the BN's node id.
+    ///
+    /// # Errors
+    /// Returns an error if shape inference fails.
+    pub fn conv_bn(&mut self, input: NodeId, conv: Conv2dAttrs, prefix: &str) -> Result<NodeId> {
+        let c = self.conv2d(input, conv, &format!("{prefix}/conv"))?;
+        self.batch_norm_default(c, &format!("{prefix}/bn"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_classifier() {
+        let mut b = GraphBuilder::new("clf");
+        let x = b.input("data", Shape::nchw(2, 3, 8, 8)).unwrap();
+        let c = b.conv2d(x, Conv2dAttrs::same_3x3(4), "conv").unwrap();
+        let bn = b.batch_norm_default(c, "bn").unwrap();
+        let r = b.relu(bn, "relu").unwrap();
+        let p = b.global_avg_pool(r, "gap").unwrap();
+        let fc = b.fully_connected(p, 10, "fc").unwrap();
+        let labels = b.input("labels", Shape::vector(2)).unwrap();
+        let loss = b.softmax_loss(fc, labels, "loss").unwrap();
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node(loss).unwrap().output_shape, Shape::scalar());
+        assert_eq!(g.output_nodes(), vec![loss]);
+    }
+
+    #[test]
+    fn composite_helpers() {
+        let mut b = GraphBuilder::new("helpers");
+        let x = b.input("data", Shape::nchw(2, 16, 8, 8)).unwrap();
+        let dense_branch = b.bn_relu_conv(x, Conv2dAttrs::pointwise(32), "cpl").unwrap();
+        let res_branch = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(16), "res").unwrap();
+        let tail = b.conv_bn(res_branch, Conv2dAttrs::pointwise(16), "tail").unwrap();
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node(dense_branch).unwrap().output_shape, Shape::nchw(2, 32, 8, 8));
+        assert_eq!(g.node(tail).unwrap().output_shape, Shape::nchw(2, 16, 8, 8));
+        assert_eq!(g.op_histogram()["BatchNorm"], 3);
+    }
+
+    #[test]
+    fn concat_and_eltwise() {
+        let mut b = GraphBuilder::new("join");
+        let x = b.input("a", Shape::nchw(1, 8, 4, 4)).unwrap();
+        let y = b.input("b", Shape::nchw(1, 8, 4, 4)).unwrap();
+        let cat = b.concat(vec![x, y], "cat").unwrap();
+        let ews = b.eltwise_sum(vec![x, y], "sum").unwrap();
+        let g = b.finish();
+        assert_eq!(g.node(cat).unwrap().output_shape, Shape::nchw(1, 16, 4, 4));
+        assert_eq!(g.node(ews).unwrap().output_shape, Shape::nchw(1, 8, 4, 4));
+    }
+
+    #[test]
+    fn pooling_and_split() {
+        let mut b = GraphBuilder::new("pool");
+        let x = b.input("a", Shape::nchw(1, 8, 8, 8)).unwrap();
+        let mp = b.max_pool(x, PoolAttrs::new(2, 2, 0), "max").unwrap();
+        let ap = b.avg_pool(x, PoolAttrs::new(2, 2, 0), "avg").unwrap();
+        let sp = b.split(x, 2, "split").unwrap();
+        let g = b.finish();
+        assert_eq!(g.node(mp).unwrap().output_shape, Shape::nchw(1, 8, 4, 4));
+        assert_eq!(g.node(ap).unwrap().output_shape, Shape::nchw(1, 8, 4, 4));
+        assert_eq!(g.node(sp).unwrap().output_shape, Shape::nchw(1, 8, 8, 8));
+    }
+}

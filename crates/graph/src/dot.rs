@@ -1,0 +1,100 @@
+//! Graphviz DOT export for computational graphs.
+//!
+//! Useful for inspecting what the restructuring passes did to a model, e.g.
+//! by piping the output of [`to_dot`] into `dot -Tsvg`.
+
+use crate::graph::Graph;
+use crate::op::LayerCategory;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Convolution-bearing nodes are drawn as boxes, BN-related nodes as
+/// ellipses with a highlight colour, and everything else as plain ellipses,
+/// so the effect of the fusion passes is visually obvious.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=10];");
+    for node in graph.nodes() {
+        let (shape, color) = match node.op.category() {
+            LayerCategory::ConvFc => ("box", "lightblue"),
+            LayerCategory::FusedConv => ("box", "palegreen"),
+            LayerCategory::NonConv => {
+                if node.op.is_bn_related() {
+                    ("ellipse", "lightsalmon")
+                } else {
+                    ("ellipse", "white")
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{}\\n{}\", shape={}, style=filled, fillcolor={}];",
+            node.id.index(),
+            escape(&node.name),
+            node.op,
+            node.output_shape,
+            shape,
+            color
+        );
+    }
+    for node in graph.nodes() {
+        for input in &node.inputs {
+            let _ = writeln!(out, "  {} -> {};", input.index(), node.id.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Conv2dAttrs;
+    use crate::passes::{BnffPass, Pass};
+    use bnff_tensor::Shape;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new("dot-sample");
+        let x = b.input("in", Shape::nchw(2, 8, 8, 8)).unwrap();
+        let c = b.conv2d(x, Conv2dAttrs::pointwise(16), "conv").unwrap();
+        let bn = b.batch_norm_default(c, "bn").unwrap();
+        let r = b.relu(bn, "relu").unwrap();
+        b.conv2d(r, Conv2dAttrs::same_3x3(8), "conv2").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn renders_every_node_and_edge() {
+        let g = sample();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for node in g.nodes() {
+            assert!(dot.contains(&node.name));
+        }
+        let edges = g.nodes().map(|n| n.inputs.len()).sum::<usize>();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn fused_nodes_get_highlighted() {
+        let g = BnffPass::new().run(&sample()).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("palegreen"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = GraphBuilder::new("q");
+        b.input("weird\"name", Shape::vector(4)).unwrap();
+        let dot = to_dot(&b.finish());
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

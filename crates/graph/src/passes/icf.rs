@@ -1,0 +1,147 @@
+//! Inter-Composite-layer Fusion (ICF).
+//!
+//! After BNFF, the only standalone BN statistics sub-layers left are those
+//! whose producing layer is not a convolution — in DenseNet these are the
+//! BN layers at composite-layer boundaries, whose inputs come from the
+//! Concat (forward) / Split (backward) of the dense connectivity. ICF fuses
+//! those `sub-BN1` layers into the Concat itself, removing the last
+//! dedicated BN memory sweeps (Section 3.2, evaluated as an estimate in
+//! Section 5 of the paper).
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::op::OpKind;
+use crate::passes::Pass;
+use crate::Result;
+use std::collections::HashSet;
+
+/// Fuses boundary `sub-BN1` statistics nodes into their producing Concat
+/// (yielding [`OpKind::ConcatStats`]).
+///
+/// The pass only applies to statistics nodes whose producer is a plain
+/// [`OpKind::Concat`] with no other statistics consumer; everything else is
+/// left untouched. Run it after [`BnffPass`](crate::passes::BnffPass).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IcfPass;
+
+impl IcfPass {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        IcfPass
+    }
+}
+
+impl Pass for IcfPass {
+    fn name(&self) -> &'static str {
+        "inter-composite-layer-fusion"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<Graph> {
+        let mut out = graph.clone();
+        let mut removed: HashSet<NodeId> = HashSet::new();
+        let mut claimed_concats: HashSet<NodeId> = HashSet::new();
+
+        let stats_nodes: Vec<NodeId> = graph
+            .nodes()
+            .filter(|n| matches!(n.op, OpKind::SubBnStats(_)))
+            .map(|n| n.id)
+            .collect();
+
+        for stats_id in stats_nodes {
+            let (bn_attrs, producer_id) = {
+                let node = out.node(stats_id)?;
+                let attrs = match node.op {
+                    OpKind::SubBnStats(a) => a,
+                    _ => continue,
+                };
+                (attrs, node.inputs[0])
+            };
+            if claimed_concats.contains(&producer_id) {
+                continue;
+            }
+            if !matches!(out.node(producer_id)?.op, OpKind::Concat) {
+                continue;
+            }
+            out.set_op(producer_id, OpKind::ConcatStats(bn_attrs))?;
+            let name = out.node(producer_id)?.name.clone();
+            out.set_node_name(producer_id, format!("{name}+stats"))?;
+            out.rewire_consumers(stats_id, producer_id)?;
+            removed.insert(stats_id);
+            claimed_concats.insert(producer_id);
+        }
+        out.compacted(&removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::builder::GraphBuilder;
+    use crate::op::Conv2dAttrs;
+    use crate::passes::BnffPass;
+    use bnff_tensor::Shape;
+
+    /// Dense-block fragment whose boundary BN reads from a Concat.
+    fn dense_boundary_graph() -> Graph {
+        let mut b = GraphBuilder::new("boundary");
+        let x = b.input("in", Shape::nchw(8, 64, 16, 16)).unwrap();
+        let c0 = b.conv2d(x, Conv2dAttrs::same_3x3(32), "prev_conv").unwrap();
+        let cat = b.concat(vec![x, c0], "concat").unwrap();
+        let c1 = b.bn_relu_conv(cat, Conv2dAttrs::pointwise(128), "cpl/a").unwrap();
+        let c2 = b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(32), "cpl/b").unwrap();
+        b.concat(vec![cat, c2], "concat_out").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn fuses_boundary_stats_into_concat() {
+        let g = dense_boundary_graph();
+        let bnff = BnffPass::new().run(&g).unwrap();
+        assert_eq!(bnff.op_histogram()["SubBnStats"], 1);
+        let icf = IcfPass::new().run(&bnff).unwrap();
+        assert!(icf.validate().is_ok());
+        let hist = icf.op_histogram();
+        assert!(hist.get("SubBnStats").is_none());
+        assert_eq!(hist["ConcatStats"], 1);
+        assert_eq!(hist["Concat"], 1);
+    }
+
+    #[test]
+    fn icf_reduces_sweeps_beyond_bnff() {
+        let g = dense_boundary_graph();
+        let bnff = BnffPass::new().run(&g).unwrap();
+        let icf = IcfPass::new().run(&bnff).unwrap();
+        let bnff_sweeps = analysis::activation_sweep_count(&bnff).unwrap();
+        let icf_sweeps = analysis::activation_sweep_count(&icf).unwrap();
+        assert!(icf_sweeps < bnff_sweeps);
+    }
+
+    #[test]
+    fn leaves_non_concat_producers_alone() {
+        // The standalone stats node after an Input producer must stay.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input("in", Shape::nchw(2, 8, 8, 8)).unwrap();
+        let c = b.bn_relu_conv(x, Conv2dAttrs::pointwise(16), "cpl").unwrap();
+        let _ = c;
+        let g = BnffPass::new().run(&b.finish()).unwrap();
+        let out = IcfPass::new().run(&g).unwrap();
+        assert_eq!(out.op_histogram()["SubBnStats"], 1);
+    }
+
+    #[test]
+    fn icf_without_bnff_is_identity() {
+        let g = dense_boundary_graph();
+        let out = IcfPass::new().run(&g).unwrap();
+        assert_eq!(out.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn idempotent() {
+        let g = dense_boundary_graph();
+        let bnff = BnffPass::new().run(&g).unwrap();
+        let once = IcfPass::new().run(&bnff).unwrap();
+        let twice = IcfPass::new().run(&once).unwrap();
+        assert_eq!(once.node_count(), twice.node_count());
+    }
+}

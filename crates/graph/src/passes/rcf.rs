@@ -1,0 +1,139 @@
+//! ReLU–CONV Fusion: apply the ReLU while reading the ifmaps of the
+//! following convolution.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::op::OpKind;
+use crate::passes::Pass;
+use crate::Result;
+use std::collections::HashSet;
+
+/// Fuses a ReLU into the convolution that consumes it.
+///
+/// The MKL-DNN baseline can only fuse a ReLU into its *preceding*
+/// convolution's epilogue, which does not apply to DenseNet's
+/// BN → ReLU → CONV ordering; the paper's RCF instead clips values while the
+/// following convolution reads its ifmaps, removing the ReLU's read and
+/// write sweeps (Section 3.2).
+///
+/// Only ReLU nodes with exactly one consumer that is a plain [`OpKind::Conv2d`]
+/// are fused; anything else is left untouched.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RcfPass;
+
+impl RcfPass {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        RcfPass
+    }
+}
+
+impl Pass for RcfPass {
+    fn name(&self) -> &'static str {
+        "relu-conv-fusion"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<Graph> {
+        let mut out = graph.clone();
+        let mut removed: HashSet<NodeId> = HashSet::new();
+
+        let relu_nodes: Vec<NodeId> = graph
+            .nodes()
+            .filter(|n| matches!(n.op, OpKind::Relu))
+            .map(|n| n.id)
+            .collect();
+
+        for relu_id in relu_nodes {
+            let consumers = out.consumers(relu_id);
+            if consumers.len() != 1 {
+                continue;
+            }
+            let conv_id = consumers[0];
+            let conv_attrs = match &out.node(conv_id)?.op {
+                OpKind::Conv2d(a) => *a,
+                _ => continue,
+            };
+            let relu_input = out.node(relu_id)?.inputs[0];
+            out.set_op(conv_id, OpKind::ReluConv(conv_attrs))?;
+            out.set_inputs(conv_id, vec![relu_input])?;
+            let conv_name = out.node(conv_id)?.name.clone();
+            out.set_node_name(conv_id, format!("{conv_name}+relu"))?;
+            removed.insert(relu_id);
+        }
+        out.compacted(&removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::builder::GraphBuilder;
+    use crate::op::Conv2dAttrs;
+    use bnff_tensor::Shape;
+
+    fn relu_conv_graph() -> Graph {
+        let mut b = GraphBuilder::new("g");
+        let x = b.input("in", Shape::nchw(4, 16, 8, 8)).unwrap();
+        let bn = b.batch_norm_default(x, "bn").unwrap();
+        let r = b.relu(bn, "relu").unwrap();
+        b.conv2d(r, Conv2dAttrs::same_3x3(8), "conv").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn fuses_relu_into_following_conv() {
+        let g = relu_conv_graph();
+        let out = RcfPass::new().run(&g).unwrap();
+        assert!(out.validate().is_ok());
+        let hist = out.op_histogram();
+        assert!(hist.get("ReLU").is_none());
+        assert_eq!(hist["ReluConv"], 1);
+        assert_eq!(out.node_count(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn reduces_two_sweeps_per_fused_relu() {
+        let g = relu_conv_graph();
+        let before = analysis::activation_sweep_count(&g).unwrap();
+        let out = RcfPass::new().run(&g).unwrap();
+        let after = analysis::activation_sweep_count(&out).unwrap();
+        // Forward: ReLU read + write disappear. Backward: the standalone
+        // ReLU backward (read d_ofmap, read mask, write d_ifmap) disappears
+        // as it is handled during the convolution's backward sweeps.
+        assert!(after < before);
+        assert_eq!(before - after, 5);
+    }
+
+    #[test]
+    fn relu_with_multiple_consumers_is_kept() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.input("in", Shape::nchw(2, 8, 8, 8)).unwrap();
+        let r = b.relu(x, "relu").unwrap();
+        b.conv2d(r, Conv2dAttrs::same_3x3(8), "conv_a").unwrap();
+        b.conv2d(r, Conv2dAttrs::pointwise(4), "conv_b").unwrap();
+        let g = b.finish();
+        let out = RcfPass::new().run(&g).unwrap();
+        assert_eq!(out.op_histogram()["ReLU"], 1);
+        assert!(out.op_histogram().get("ReluConv").is_none());
+    }
+
+    #[test]
+    fn relu_followed_by_pool_is_kept() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.input("in", Shape::nchw(2, 8, 8, 8)).unwrap();
+        let r = b.relu(x, "relu").unwrap();
+        b.global_avg_pool(r, "gap").unwrap();
+        let g = b.finish();
+        let out = RcfPass::new().run(&g).unwrap();
+        assert_eq!(out.op_histogram()["ReLU"], 1);
+    }
+
+    #[test]
+    fn idempotent_on_already_fused_graph() {
+        let g = relu_conv_graph();
+        let once = RcfPass::new().run(&g).unwrap();
+        let twice = RcfPass::new().run(&once).unwrap();
+        assert_eq!(once.node_count(), twice.node_count());
+    }
+}

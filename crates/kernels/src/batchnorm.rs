@@ -1,0 +1,336 @@
+//! Training-mode Batch Normalization kernels.
+//!
+//! The forward pass computes per-channel mean/variance over the mini-batch
+//! (either in the baseline two-pass fashion or the single-pass MVF fashion),
+//! then normalizes with the learnable scale γ and shift β. The backward
+//! pass produces ∂γ, ∂β and ∂x with the standard BN gradient formulas.
+
+use crate::error::KernelError;
+use crate::Result;
+use bnff_tensor::stats::{channel_stats_one_pass, channel_stats_two_pass, ChannelStats};
+use bnff_tensor::Tensor;
+
+/// Learnable per-channel parameters of a BN layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnParams {
+    /// Scale γ, one entry per channel.
+    pub gamma: Vec<f32>,
+    /// Shift β, one entry per channel.
+    pub beta: Vec<f32>,
+}
+
+impl BnParams {
+    /// Identity parameters (γ = 1, β = 0) for `channels` channels.
+    pub fn identity(channels: usize) -> Self {
+        BnParams { gamma: vec![1.0; channels], beta: vec![0.0; channels] }
+    }
+
+    /// Creates parameters from explicit γ and β vectors.
+    ///
+    /// # Errors
+    /// Returns [`KernelError::ShapeMismatch`] when the lengths differ.
+    pub fn new(gamma: Vec<f32>, beta: Vec<f32>) -> Result<Self> {
+        if gamma.len() != beta.len() {
+            return Err(KernelError::ShapeMismatch(format!(
+                "gamma has {} channels, beta has {}",
+                gamma.len(),
+                beta.len()
+            )));
+        }
+        Ok(BnParams { gamma, beta })
+    }
+
+    /// Number of channels covered.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+/// Gradients of a BN layer's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnParamGrads {
+    /// ∂L/∂γ per channel.
+    pub d_gamma: Vec<f32>,
+    /// ∂L/∂β per channel.
+    pub d_beta: Vec<f32>,
+}
+
+/// Everything the BN backward pass needs from the forward pass.
+#[derive(Debug, Clone)]
+pub struct BnForwardState {
+    /// The mini-batch statistics used for normalization.
+    pub stats: ChannelStats,
+    /// The normalized activations `x̂` (before γ/β), kept for the backward
+    /// pass exactly like the `O2'` sweep in the paper's Figure 5.
+    pub x_hat: Tensor,
+}
+
+fn check_channels(x: &Tensor, params: &BnParams) -> Result<usize> {
+    x.shape().expect_nchw()?;
+    let c = x.shape().c();
+    if params.channels() != c {
+        return Err(KernelError::ShapeMismatch(format!(
+            "input has {c} channels but parameters have {}",
+            params.channels()
+        )));
+    }
+    Ok(c)
+}
+
+/// Computes mini-batch statistics, two-pass (baseline) or one-pass (MVF).
+///
+/// # Errors
+/// Returns an error for non-4-D inputs.
+pub fn bn_statistics(x: &Tensor, one_pass: bool) -> Result<ChannelStats> {
+    let stats =
+        if one_pass { channel_stats_one_pass(x)? } else { channel_stats_two_pass(x)? };
+    Ok(stats)
+}
+
+/// Normalizes `x` with the given statistics and parameters, returning the
+/// output and the pre-γ/β normalized activations.
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn bn_normalize(
+    x: &Tensor,
+    stats: &ChannelStats,
+    params: &BnParams,
+    epsilon: f32,
+) -> Result<(Tensor, Tensor)> {
+    let c = check_channels(x, params)?;
+    if stats.channels() != c {
+        return Err(KernelError::ShapeMismatch(format!(
+            "statistics cover {} channels, input has {c}",
+            stats.channels()
+        )));
+    }
+    if epsilon <= 0.0 {
+        return Err(KernelError::InvalidArgument("epsilon must be positive".to_string()));
+    }
+    let n = x.shape().n();
+    let mut y = Tensor::zeros(x.shape().clone());
+    let mut x_hat = Tensor::zeros(x.shape().clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            let mean = stats.mean[ci];
+            let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
+            let gamma = params.gamma[ci];
+            let beta = params.beta[ci];
+            let src = x.channel_plane(ni, ci).to_vec();
+            let hat_plane = x_hat.channel_plane_mut(ni, ci);
+            for (h, &v) in hat_plane.iter_mut().zip(src.iter()) {
+                *h = (v - mean) * inv_std;
+            }
+            let hat_copy = hat_plane.to_vec();
+            let y_plane = y.channel_plane_mut(ni, ci);
+            for (o, &h) in y_plane.iter_mut().zip(hat_copy.iter()) {
+                *o = gamma * h + beta;
+            }
+        }
+    }
+    Ok((y, x_hat))
+}
+
+/// Full BN forward pass: statistics + normalization.
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn bn_forward(
+    x: &Tensor,
+    params: &BnParams,
+    epsilon: f32,
+    one_pass: bool,
+) -> Result<(Tensor, BnForwardState)> {
+    let stats = bn_statistics(x, one_pass)?;
+    let (y, x_hat) = bn_normalize(x, &stats, params, epsilon)?;
+    Ok((y, BnForwardState { stats, x_hat }))
+}
+
+/// BN backward pass.
+///
+/// Given the upstream gradient `d_y`, the forward state and the parameters,
+/// returns `(d_x, parameter gradients)` using the standard training-mode BN
+/// gradient:
+///
+/// `d_x = (γ / √(σ²+ε)) · (d_y − mean(d_y) − x̂ · mean(d_y · x̂))`
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn bn_backward(
+    d_y: &Tensor,
+    state: &BnForwardState,
+    params: &BnParams,
+    epsilon: f32,
+) -> Result<(Tensor, BnParamGrads)> {
+    let c = check_channels(d_y, params)?;
+    d_y.shape().expect_same(state.x_hat.shape())?;
+    let n = d_y.shape().n();
+    let per_channel = (n * d_y.shape().h() * d_y.shape().w()) as f64;
+
+    // First reduction: ∂β = Σ d_y, ∂γ = Σ d_y · x̂ (per channel).
+    let mut d_beta = vec![0.0f64; c];
+    let mut d_gamma = vec![0.0f64; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let dy = d_y.channel_plane(ni, ci);
+            let xh = state.x_hat.channel_plane(ni, ci);
+            for (&g, &h) in dy.iter().zip(xh.iter()) {
+                d_beta[ci] += f64::from(g);
+                d_gamma[ci] += f64::from(g) * f64::from(h);
+            }
+        }
+    }
+
+    // Second pass: ∂x.
+    let mut d_x = Tensor::zeros(d_y.shape().clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            let inv_std = 1.0 / (state.stats.var[ci] + epsilon).sqrt();
+            let scale = f64::from(params.gamma[ci]) * f64::from(inv_std);
+            let mean_dy = d_beta[ci] / per_channel;
+            let mean_dy_xhat = d_gamma[ci] / per_channel;
+            let dy = d_y.channel_plane(ni, ci).to_vec();
+            let xh = state.x_hat.channel_plane(ni, ci).to_vec();
+            let dx_plane = d_x.channel_plane_mut(ni, ci);
+            for ((dst, &g), &h) in dx_plane.iter_mut().zip(dy.iter()).zip(xh.iter()) {
+                *dst = (scale * (f64::from(g) - mean_dy - f64::from(h) * mean_dy_xhat)) as f32;
+            }
+        }
+    }
+
+    Ok((
+        d_x,
+        BnParamGrads {
+            d_gamma: d_gamma.into_iter().map(|v| v as f32).collect(),
+            d_beta: d_beta.into_iter().map(|v| v as f32).collect(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::init::Initializer;
+    use bnff_tensor::Shape;
+
+    fn random(shape: Shape, seed: u64) -> Tensor {
+        Initializer::seeded(seed).uniform(shape, -2.0, 2.0)
+    }
+
+    #[test]
+    fn output_is_normalized_per_channel() {
+        let x = random(Shape::nchw(8, 4, 6, 6), 1);
+        let params = BnParams::identity(4);
+        let (y, _) = bn_forward(&x, &params, 1e-5, false).unwrap();
+        let stats = bn_statistics(&y, false).unwrap();
+        for ci in 0..4 {
+            assert!(stats.mean[ci].abs() < 1e-4, "mean {}", stats.mean[ci]);
+            assert!((stats.var[ci] - 1.0).abs() < 1e-2, "var {}", stats.var[ci]);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_are_applied() {
+        let x = random(Shape::nchw(4, 2, 4, 4), 2);
+        let params = BnParams::new(vec![2.0, 0.5], vec![1.0, -1.0]).unwrap();
+        let (y, state) = bn_forward(&x, &params, 1e-5, false).unwrap();
+        let expected = state.x_hat.clone();
+        for ni in 0..4 {
+            for (ci, (g, b)) in [(2.0f32, 1.0f32), (0.5, -1.0)].iter().enumerate() {
+                for (yv, xv) in y
+                    .channel_plane(ni, ci)
+                    .iter()
+                    .zip(expected.channel_plane(ni, ci).iter())
+                {
+                    assert!((yv - (g * xv + b)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_pass_and_two_pass_agree() {
+        let x = random(Shape::nchw(6, 5, 7, 7), 3);
+        let params = BnParams::identity(5);
+        let (y1, _) = bn_forward(&x, &params, 1e-5, false).unwrap();
+        let (y2, _) = bn_forward(&x, &params, 1e-5, true).unwrap();
+        assert!(y1.all_close(&y2, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let x = random(Shape::nchw(2, 3, 4, 4), 4);
+        let params = BnParams::identity(5);
+        assert!(bn_forward(&x, &params, 1e-5, false).is_err());
+        assert!(BnParams::new(vec![1.0], vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let x = random(Shape::nchw(2, 3, 4, 4), 4);
+        let params = BnParams::identity(3);
+        let stats = bn_statistics(&x, false).unwrap();
+        assert!(bn_normalize(&x, &stats, &params, 0.0).is_err());
+    }
+
+    #[test]
+    fn backward_param_grads_match_reductions() {
+        let x = random(Shape::nchw(3, 2, 4, 4), 5);
+        let params = BnParams::new(vec![1.5, 0.7], vec![0.2, -0.3]).unwrap();
+        let (_, state) = bn_forward(&x, &params, 1e-5, false).unwrap();
+        let d_y = random(x.shape().clone(), 6);
+        let (_, grads) = bn_backward(&d_y, &state, &params, 1e-5).unwrap();
+        // d_beta must equal the plain per-channel sum of d_y.
+        for ci in 0..2 {
+            let mut expected = 0.0f64;
+            for ni in 0..3 {
+                expected += d_y.channel_plane(ni, ci).iter().map(|&v| f64::from(v)).sum::<f64>();
+            }
+            assert!((f64::from(grads.d_beta[ci]) - expected).abs() < 1e-3);
+        }
+    }
+
+    /// Full numerical gradient check of the BN backward pass.
+    #[test]
+    fn gradient_check() {
+        let x = random(Shape::nchw(2, 2, 3, 3), 7);
+        let params = BnParams::new(vec![1.2, 0.8], vec![0.1, -0.2]).unwrap();
+        let eps_bn = 1e-3f32;
+        let g = random(x.shape().clone(), 8);
+
+        let loss = |input: &Tensor| -> f64 {
+            let (y, _) = bn_forward(input, &params, eps_bn, false).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum()
+        };
+
+        let (_, state) = bn_forward(&x, &params, eps_bn, false).unwrap();
+        let (d_x, _) = bn_backward(&g, &state, &params, eps_bn).unwrap();
+
+        let h = 1e-2f32;
+        for &idx in &[0usize, 5, 11, 17, 23, 31] {
+            let mut xp = x.clone();
+            xp.set(idx, x.get(idx).unwrap() + h).unwrap();
+            let mut xm = x.clone();
+            xm.set(idx, x.get(idx).unwrap() - h).unwrap();
+            let numeric = (loss(&xp) - loss(&xm)) / (2.0 * f64::from(h));
+            let analytic = f64::from(d_x.get(idx).unwrap());
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "d_x[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_params_constructor() {
+        let p = BnParams::identity(3);
+        assert_eq!(p.gamma, vec![1.0, 1.0, 1.0]);
+        assert_eq!(p.beta, vec![0.0, 0.0, 0.0]);
+        assert_eq!(p.channels(), 3);
+    }
+}

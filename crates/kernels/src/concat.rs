@@ -1,0 +1,126 @@
+//! Channel-axis concatenation (DenseNet dense connectivity).
+
+use crate::error::KernelError;
+use crate::Result;
+use bnff_tensor::{Shape, Tensor};
+
+/// Concatenates NCHW tensors along the channel axis.
+///
+/// # Errors
+/// Returns an error when no inputs are given or batch/spatial dimensions
+/// disagree.
+pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| KernelError::InvalidArgument("concat needs at least one input".to_string()))?;
+    first.shape().expect_nchw()?;
+    let (n, h, w) = (first.shape().n(), first.shape().h(), first.shape().w());
+    let mut channels = 0usize;
+    for t in inputs {
+        t.shape().expect_nchw()?;
+        if t.shape().n() != n || t.shape().h() != h || t.shape().w() != w {
+            return Err(KernelError::ShapeMismatch(format!(
+                "concat input {} incompatible with {}",
+                t.shape(),
+                first.shape()
+            )));
+        }
+        channels += t.shape().c();
+    }
+    let mut out = Tensor::zeros(Shape::nchw(n, channels, h, w));
+    for ni in 0..n {
+        let mut offset = 0usize;
+        for t in inputs {
+            for ci in 0..t.shape().c() {
+                out.channel_plane_mut(ni, offset + ci).copy_from_slice(t.channel_plane(ni, ci));
+            }
+            offset += t.shape().c();
+        }
+    }
+    Ok(out)
+}
+
+/// Splits the upstream gradient of a concatenation back into per-input
+/// gradients.
+///
+/// # Errors
+/// Returns an error when the channel counts do not add up.
+pub fn concat_backward(d_y: &Tensor, input_shapes: &[Shape]) -> Result<Vec<Tensor>> {
+    d_y.shape().expect_nchw()?;
+    let total: usize = input_shapes.iter().map(|s| s.c()).sum();
+    if total != d_y.shape().c() {
+        return Err(KernelError::ShapeMismatch(format!(
+            "inputs supply {total} channels but gradient has {}",
+            d_y.shape().c()
+        )));
+    }
+    let n = d_y.shape().n();
+    let mut grads = Vec::with_capacity(input_shapes.len());
+    let mut offset = 0usize;
+    for shape in input_shapes {
+        shape.expect_nchw()?;
+        let mut g = Tensor::zeros(shape.clone());
+        for ni in 0..n {
+            for ci in 0..shape.c() {
+                g.channel_plane_mut(ni, ci).copy_from_slice(d_y.channel_plane(ni, offset + ci));
+            }
+        }
+        offset += shape.c();
+        grads.push(g);
+    }
+    Ok(grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenates_channels_in_order() {
+        let a = Tensor::filled(Shape::nchw(1, 1, 2, 2), 1.0);
+        let b = Tensor::filled(Shape::nchw(1, 2, 2, 2), 2.0);
+        let y = concat_forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), &Shape::nchw(1, 3, 2, 2));
+        assert_eq!(y.channel_plane(0, 0), &[1.0; 4]);
+        assert_eq!(y.channel_plane(0, 1), &[2.0; 4]);
+        assert_eq!(y.channel_plane(0, 2), &[2.0; 4]);
+    }
+
+    #[test]
+    fn backward_splits_gradient() {
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+        let y = concat_forward(&[&a, &b]).unwrap();
+        let mut d_y = Tensor::zeros(y.shape().clone());
+        d_y.channel_plane_mut(0, 0).fill(1.0);
+        d_y.channel_plane_mut(0, 2).fill(3.0);
+        let grads = concat_backward(&d_y, &[a.shape().clone(), b.shape().clone()]).unwrap();
+        assert_eq!(grads[0].channel_plane(0, 0), &[1.0; 4]);
+        assert_eq!(grads[1].channel_plane(0, 0), &[0.0; 4]);
+        assert_eq!(grads[1].channel_plane(0, 1), &[3.0; 4]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let a = Tensor::from_vec(Shape::nchw(2, 1, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(Shape::nchw(2, 1, 1, 2), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let y = concat_forward(&[&a, &b]).unwrap();
+        let back = concat_backward(&y, &[a.shape().clone(), b.shape().clone()]).unwrap();
+        assert!(back[0].all_close(&a, 1e-6).unwrap());
+        assert!(back[1].all_close(&b, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn mismatched_spatial_dims_rejected() {
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        assert!(concat_forward(&[&a, &b]).is_err());
+        assert!(concat_forward(&[]).is_err());
+    }
+
+    #[test]
+    fn backward_channel_mismatch_rejected() {
+        let d_y = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        assert!(concat_backward(&d_y, &[Shape::nchw(1, 1, 2, 2)]).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! 2-D convolution kernels: direct and im2col+GEMM forward paths, plus the
+//! backward passes with respect to the inputs and the weights.
+
+use crate::error::KernelError;
+use crate::gemm::{gemm, gemm_tn};
+use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col};
+use crate::Result;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_tensor::{Shape, Tensor};
+
+/// Validates the weight tensor layout `(Cout, Cin, Kh, Kw)` against the
+/// input channels and attributes, returning `(in_c, out_h, out_w)`.
+fn check_conv(
+    input: &Tensor,
+    weights: &Tensor,
+    attrs: &Conv2dAttrs,
+) -> Result<(usize, usize, usize)> {
+    input.shape().expect_nchw()?;
+    weights.shape().expect_nchw()?;
+    let in_c = input.shape().c();
+    let ws = weights.shape();
+    if ws.n() != attrs.out_channels
+        || ws.c() != in_c
+        || ws.h() != attrs.kernel_h
+        || ws.w() != attrs.kernel_w
+    {
+        return Err(KernelError::ShapeMismatch(format!(
+            "weights {} do not match attrs (oc {}, ic {}, k {}x{})",
+            ws, attrs.out_channels, in_c, attrs.kernel_h, attrs.kernel_w
+        )));
+    }
+    let out_h = conv_out_dim(input.shape().h(), attrs.kernel_h, attrs.stride, attrs.pad)?;
+    let out_w = conv_out_dim(input.shape().w(), attrs.kernel_w, attrs.stride, attrs.pad)?;
+    Ok((in_c, out_h, out_w))
+}
+
+/// Direct (loop-nest) convolution forward pass.
+///
+/// Weight layout is `(Cout, Cin, Kh, Kw)`; an optional per-output-channel
+/// bias of length `Cout` may be provided.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_forward_direct(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor> {
+    let (in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    if let Some(b) = bias {
+        if b.len() != attrs.out_channels {
+            return Err(KernelError::ShapeMismatch(format!(
+                "bias has {} entries, expected {}",
+                b.len(),
+                attrs.out_channels
+            )));
+        }
+    }
+    let n = input.shape().n();
+    let (h, w) = (input.shape().h(), input.shape().w());
+    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
+    for ni in 0..n {
+        for oc in 0..attrs.out_channels {
+            let bias_v = bias.map(|b| b[oc]).unwrap_or(0.0);
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    let mut acc = bias_v;
+                    for ic in 0..in_c {
+                        let plane = input.channel_plane(ni, ic);
+                        for kh in 0..attrs.kernel_h {
+                            let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
+                            if ih < 0 || ih as usize >= h {
+                                continue;
+                            }
+                            for kw in 0..attrs.kernel_w {
+                                let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
+                                if iw < 0 || iw as usize >= w {
+                                    continue;
+                                }
+                                acc += plane[ih as usize * w + iw as usize]
+                                    * weights.at(oc, ic, kh, kw);
+                            }
+                        }
+                    }
+                    *out.at_mut(ni, oc, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// im2col + GEMM convolution forward pass (the layout the paper's reference
+/// libraries use).
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_forward_im2col(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor> {
+    let (_in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    let n = input.shape().n();
+    let (rows, cols) = col_shape(input.shape(), attrs)?;
+    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
+    let w_mat = weights.as_slice(); // (Cout) x (Cin*Kh*Kw), row-major by construction
+    for ni in 0..n {
+        let col = im2col(input, ni, attrs)?;
+        // out_sample = W (Cout x rows) · col (rows x cols)
+        let start = out.shape().offset4(ni, 0, 0, 0);
+        let out_slice = &mut out.as_mut_slice()[start..start + attrs.out_channels * cols];
+        gemm(attrs.out_channels, cols, rows, 1.0, w_mat, &col, 0.0, out_slice)?;
+        if let Some(b) = bias {
+            for oc in 0..attrs.out_channels {
+                for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
+                    *v += b[oc];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of the convolution with respect to its input.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_backward_input(
+    d_out: &Tensor,
+    weights: &Tensor,
+    input_shape: &Shape,
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor> {
+    input_shape.expect_nchw()?;
+    d_out.shape().expect_nchw()?;
+    let n = input_shape.n();
+    let (rows, cols) = col_shape(input_shape, attrs)?;
+    if d_out.shape().c() != attrs.out_channels {
+        return Err(KernelError::ShapeMismatch(format!(
+            "d_out channels {} do not match out_channels {}",
+            d_out.shape().c(),
+            attrs.out_channels
+        )));
+    }
+    let mut d_input = Tensor::zeros(input_shape.clone());
+    let w_mat = weights.as_slice(); // Cout x rows
+    for ni in 0..n {
+        // d_col (rows x cols) = Wᵀ (rows x Cout) · d_out_sample (Cout x cols)
+        let start = d_out.shape().offset4(ni, 0, 0, 0);
+        let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
+        let mut d_col = vec![0.0f32; rows * cols];
+        gemm_tn(rows, cols, attrs.out_channels, w_mat, d_out_slice, &mut d_col)?;
+        col2im_accumulate(&d_col, &mut d_input, ni, attrs)?;
+    }
+    Ok(d_input)
+}
+
+/// Gradient of the convolution with respect to its weights (and bias when
+/// `with_bias` is set).
+///
+/// Returns `(d_weights, d_bias)`, where `d_bias` is empty when `with_bias`
+/// is `false`.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_backward_weights(
+    input: &Tensor,
+    d_out: &Tensor,
+    attrs: &Conv2dAttrs,
+    with_bias: bool,
+) -> Result<(Tensor, Vec<f32>)> {
+    input.shape().expect_nchw()?;
+    d_out.shape().expect_nchw()?;
+    let in_c = input.shape().c();
+    let n = input.shape().n();
+    let (rows, cols) = col_shape(input.shape(), attrs)?;
+    let mut d_w =
+        Tensor::zeros(Shape::nchw(attrs.out_channels, in_c, attrs.kernel_h, attrs.kernel_w));
+    let mut d_bias = vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }];
+    let mut d_w_flat = vec![0.0f32; attrs.out_channels * rows];
+    for ni in 0..n {
+        let col = im2col(input, ni, attrs)?;
+        let start = d_out.shape().offset4(ni, 0, 0, 0);
+        let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
+        // d_W (Cout x rows) += d_out_sample (Cout x cols) · colᵀ (cols x rows)
+        crate::gemm::gemm_nt(attrs.out_channels, rows, cols, d_out_slice, &col, &mut d_w_flat)?;
+        for (acc, v) in d_w.as_mut_slice().iter_mut().zip(d_w_flat.iter()) {
+            *acc += *v;
+        }
+        if with_bias {
+            for oc in 0..attrs.out_channels {
+                d_bias[oc] += d_out_slice[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+            }
+        }
+    }
+    Ok((d_w, d_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::init::Initializer;
+
+    fn random(shape: Shape, seed: u64) -> Tensor {
+        Initializer::seeded(seed).uniform(shape, -1.0, 1.0)
+    }
+
+    #[test]
+    fn pointwise_conv_is_channel_mix() {
+        // 1x1 conv with identity-like weights just scales channels.
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
+        let w = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![1.0, 0.5]).unwrap();
+        let attrs = Conv2dAttrs::pointwise(1);
+        let y = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+        assert_eq!(y.as_slice(), &[6.0, 12.0, 18.0, 24.0]);
+    }
+
+    #[test]
+    fn direct_and_im2col_paths_agree() {
+        let attrs = Conv2dAttrs::new(5, 3, 2, 1);
+        let x = random(Shape::nchw(2, 4, 9, 9), 1);
+        let w = random(Shape::nchw(5, 4, 3, 3), 2);
+        let direct = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+        let lowered = conv2d_forward_im2col(&x, &w, None, &attrs).unwrap();
+        assert!(direct.all_close(&lowered, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let attrs = Conv2dAttrs::pointwise(2).with_bias();
+        let x = Tensor::ones(Shape::nchw(1, 1, 2, 2));
+        let w = Tensor::from_vec(Shape::nchw(2, 1, 1, 1), vec![1.0, 2.0]).unwrap();
+        let bias = vec![10.0, -5.0];
+        let y = conv2d_forward_direct(&x, &w, Some(&bias), &attrs).unwrap();
+        assert_eq!(y.channel_plane(0, 0), &[11.0; 4]);
+        assert_eq!(y.channel_plane(0, 1), &[-3.0; 4]);
+        let y2 = conv2d_forward_im2col(&x, &w, Some(&bias), &attrs).unwrap();
+        assert!(y.all_close(&y2, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn weight_shape_mismatch_rejected() {
+        let attrs = Conv2dAttrs::same_3x3(4);
+        let x = Tensor::zeros(Shape::nchw(1, 3, 8, 8));
+        let w = Tensor::zeros(Shape::nchw(4, 3, 5, 5));
+        assert!(conv2d_forward_direct(&x, &w, None, &attrs).is_err());
+        let w = Tensor::zeros(Shape::nchw(4, 2, 3, 3));
+        assert!(conv2d_forward_im2col(&x, &w, None, &attrs).is_err());
+    }
+
+    /// Numerical gradient check for the convolution backward passes.
+    #[test]
+    fn gradient_check() {
+        let attrs = Conv2dAttrs::new(3, 3, 1, 1);
+        let x = random(Shape::nchw(1, 2, 5, 5), 3);
+        let w = random(Shape::nchw(3, 2, 3, 3), 4);
+        let y = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+        // Loss = sum(y * g) for a fixed random g, so dL/dy = g.
+        let g = random(y.shape().clone(), 5);
+        let d_x = conv2d_backward_input(&g, &w, x.shape(), &attrs).unwrap();
+        let (d_w, _) = conv2d_backward_weights(&x, &g, &attrs, false).unwrap();
+
+        let loss = |input: &Tensor, weights: &Tensor| -> f64 {
+            let out = conv2d_forward_direct(input, weights, None, &attrs).unwrap();
+            out.as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum()
+        };
+
+        let eps = 1e-2f32;
+        // Check a handful of input coordinates.
+        for &idx in &[0usize, 7, 23, 49] {
+            let mut xp = x.clone();
+            xp.set(idx, x.get(idx).unwrap() + eps).unwrap();
+            let mut xm = x.clone();
+            xm.set(idx, x.get(idx).unwrap() - eps).unwrap();
+            let numeric = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * f64::from(eps));
+            let analytic = f64::from(d_x.get(idx).unwrap());
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "d_input[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a handful of weight coordinates.
+        for &idx in &[0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.set(idx, w.get(idx).unwrap() + eps).unwrap();
+            let mut wm = w.clone();
+            wm.set(idx, w.get(idx).unwrap() - eps).unwrap();
+            let numeric = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * f64::from(eps));
+            let analytic = f64::from(d_w.get(idx).unwrap());
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "d_weights[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_output_gradient() {
+        let attrs = Conv2dAttrs::pointwise(2).with_bias();
+        let x = random(Shape::nchw(2, 3, 4, 4), 6);
+        let d_out = Tensor::ones(Shape::nchw(2, 2, 4, 4));
+        let (_, d_bias) = conv2d_backward_weights(&x, &d_out, &attrs, true).unwrap();
+        // Each bias sees N*H*W ones.
+        assert_eq!(d_bias, vec![32.0, 32.0]);
+    }
+
+    #[test]
+    fn strided_conv_output_size() {
+        let attrs = Conv2dAttrs::new(8, 7, 2, 3);
+        let x = random(Shape::nchw(1, 3, 32, 32), 7);
+        let w = random(Shape::nchw(8, 3, 7, 7), 8);
+        let y = conv2d_forward_im2col(&x, &w, None, &attrs).unwrap();
+        assert_eq!(y.shape(), &Shape::nchw(1, 8, 16, 16));
+    }
+}

@@ -1,0 +1,59 @@
+//! Element-wise sum (ResNet shortcut join).
+
+use crate::error::KernelError;
+use crate::Result;
+use bnff_tensor::Tensor;
+
+/// Element-wise sum of any number of equally shaped tensors.
+///
+/// # Errors
+/// Returns an error when no inputs are given or shapes differ.
+pub fn eltwise_sum_forward(inputs: &[&Tensor]) -> Result<Tensor> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| KernelError::InvalidArgument("element-wise sum needs inputs".to_string()))?;
+    let mut out = (*first).clone();
+    for t in &inputs[1..] {
+        bnff_tensor::ops::add_assign(&mut out, t)?;
+    }
+    Ok(out)
+}
+
+/// Backward pass of the element-wise sum: each input receives the upstream
+/// gradient unchanged.
+pub fn eltwise_sum_backward(d_y: &Tensor, num_inputs: usize) -> Vec<Tensor> {
+    (0..num_inputs).map(|_| d_y.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::{Shape, Tensor};
+
+    #[test]
+    fn sums_inputs() {
+        let a = Tensor::filled(Shape::vector(4), 1.0);
+        let b = Tensor::filled(Shape::vector(4), 2.0);
+        let c = Tensor::filled(Shape::vector(4), 3.0);
+        let y = eltwise_sum_forward(&[&a, &b, &c]).unwrap();
+        assert_eq!(y.as_slice(), &[6.0; 4]);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(eltwise_sum_forward(&[]).is_err());
+        let a = Tensor::zeros(Shape::vector(4));
+        let b = Tensor::zeros(Shape::vector(5));
+        assert!(eltwise_sum_forward(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn backward_replicates_gradient() {
+        let d_y = Tensor::from_slice(&[1.0, 2.0]);
+        let grads = eltwise_sum_backward(&d_y, 3);
+        assert_eq!(grads.len(), 3);
+        for g in grads {
+            assert_eq!(g, d_y);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared by every kernel.
+
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// Input tensors had incompatible or unexpected shapes.
+    ShapeMismatch(String),
+    /// A numerical argument was invalid (e.g. zero stride).
+    InvalidArgument(String),
+    /// An error bubbled up from the tensor substrate.
+    Tensor(bnff_tensor::TensorError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            KernelError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            KernelError::Tensor(err) => write!(f, "tensor error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Tensor(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<bnff_tensor::TensorError> for KernelError {
+    fn from(err: bnff_tensor::TensorError) -> Self {
+        KernelError::Tensor(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KernelError::ShapeMismatch("a vs b".into());
+        assert!(e.to_string().contains("a vs b"));
+        let e: KernelError = bnff_tensor::TensorError::InvalidArgument("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<KernelError>();
+    }
+}

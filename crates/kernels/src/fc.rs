@@ -1,0 +1,175 @@
+//! Fully-connected (inner-product) layer.
+
+use crate::error::KernelError;
+use crate::gemm::{gemm, gemm_nt, gemm_tn};
+use crate::Result;
+use bnff_tensor::{Shape, Tensor};
+
+/// Flattens an `N × …` tensor into `(N, features)` dimensions.
+fn flatten_dims(x: &Tensor) -> Result<(usize, usize)> {
+    let n = x.shape().dim(0).map_err(KernelError::Tensor)?;
+    if n == 0 {
+        return Err(KernelError::InvalidArgument("empty batch".to_string()));
+    }
+    Ok((n, x.len() / n))
+}
+
+/// Fully-connected forward pass: `y = x · Wᵀ + b`.
+///
+/// `x` is `(N, in)` (any shape with leading batch dimension is flattened),
+/// `weights` is `(out, in)` and `bias` has length `out`.
+///
+/// # Errors
+/// Returns an error if the dimensions are inconsistent.
+pub fn fc_forward(x: &Tensor, weights: &Tensor, bias: &[f32]) -> Result<Tensor> {
+    let (n, in_features) = flatten_dims(x)?;
+    let out_features = weights.shape().dim(0).map_err(KernelError::Tensor)?;
+    if weights.len() != out_features * in_features {
+        return Err(KernelError::ShapeMismatch(format!(
+            "weights {} do not match ({out_features}, {in_features})",
+            weights.shape()
+        )));
+    }
+    if bias.len() != out_features {
+        return Err(KernelError::ShapeMismatch(format!(
+            "bias has {} entries, expected {out_features}",
+            bias.len()
+        )));
+    }
+    let mut out = Tensor::zeros(Shape::matrix(n, out_features));
+    // y (N x out) = x (N x in) · Wᵀ (in x out)
+    gemm_nt(n, out_features, in_features, x.as_slice(), weights.as_slice(), out.as_mut_slice())?;
+    for row in 0..n {
+        for (j, b) in bias.iter().enumerate() {
+            let idx = row * out_features + j;
+            let v = out.get(idx)? + b;
+            out.set(idx, v)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Fully-connected backward pass.
+///
+/// Returns `(d_x, d_weights, d_bias)` where `d_x` has the shape of the
+/// original (possibly 4-D) input.
+///
+/// # Errors
+/// Returns an error if the dimensions are inconsistent.
+pub fn fc_backward(
+    x: &Tensor,
+    weights: &Tensor,
+    d_y: &Tensor,
+) -> Result<(Tensor, Tensor, Vec<f32>)> {
+    let (n, in_features) = flatten_dims(x)?;
+    let (n2, out_features) = flatten_dims(d_y)?;
+    if n != n2 {
+        return Err(KernelError::ShapeMismatch(format!("batch mismatch {n} vs {n2}")));
+    }
+    if weights.len() != out_features * in_features {
+        return Err(KernelError::ShapeMismatch(format!(
+            "weights {} do not match ({out_features}, {in_features})",
+            weights.shape()
+        )));
+    }
+
+    // d_x (N x in) = d_y (N x out) · W (out x in)
+    let mut d_x_flat = vec![0.0f32; n * in_features];
+    gemm(n, in_features, out_features, 1.0, d_y.as_slice(), weights.as_slice(), 0.0, &mut d_x_flat)?;
+    let d_x = Tensor::from_vec(x.shape().clone(), d_x_flat)?;
+
+    // d_W (out x in) = d_yᵀ (out x N) · x (N x in)
+    let mut d_w = Tensor::zeros(weights.shape().clone());
+    gemm_tn(out_features, in_features, n, d_y.as_slice(), x.as_slice(), d_w.as_mut_slice())?;
+
+    // d_b = column sums of d_y.
+    let mut d_bias = vec![0.0f32; out_features];
+    for row in 0..n {
+        for j in 0..out_features {
+            d_bias[j] += d_y.as_slice()[row * out_features + j];
+        }
+    }
+    Ok((d_x, d_w, d_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::init::Initializer;
+
+    #[test]
+    fn forward_known_values() {
+        let x = Tensor::from_vec(Shape::matrix(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(2, 3), vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        let y = fc_forward(&x, &w, &[0.5, -0.5]).unwrap();
+        assert_eq!(y.as_slice(), &[1.5, 1.5, 4.5, 4.5]);
+    }
+
+    #[test]
+    fn accepts_nchw_input() {
+        let x = Tensor::ones(Shape::nchw(2, 3, 1, 1));
+        let w = Tensor::ones(Shape::matrix(4, 3));
+        let y = fc_forward(&x, &w, &[0.0; 4]).unwrap();
+        assert_eq!(y.shape(), &Shape::matrix(2, 4));
+        assert_eq!(y.as_slice(), &[3.0; 8]);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let x = Tensor::ones(Shape::matrix(2, 3));
+        let w = Tensor::ones(Shape::matrix(4, 5));
+        assert!(fc_forward(&x, &w, &[0.0; 4]).is_err());
+        let w = Tensor::ones(Shape::matrix(4, 3));
+        assert!(fc_forward(&x, &w, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut init = Initializer::seeded(11);
+        let x = init.uniform(Shape::matrix(3, 4), -1.0, 1.0);
+        let w = init.uniform(Shape::matrix(2, 4), -1.0, 1.0);
+        let bias = vec![0.1, -0.2];
+        let g = init.uniform(Shape::matrix(3, 2), -1.0, 1.0);
+
+        let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f64 {
+            let y = fc_forward(x, w, b).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum()
+        };
+
+        let (d_x, d_w, d_b) = fc_backward(&x, &w, &g).unwrap();
+        let h = 1e-2f32;
+        for idx in [0usize, 3, 7, 11] {
+            let mut xp = x.clone();
+            xp.set(idx, x.get(idx).unwrap() + h).unwrap();
+            let mut xm = x.clone();
+            xm.set(idx, x.get(idx).unwrap() - h).unwrap();
+            let numeric = (loss(&xp, &w, &bias) - loss(&xm, &w, &bias)) / (2.0 * f64::from(h));
+            assert!((numeric - f64::from(d_x.get(idx).unwrap())).abs() < 1e-2);
+        }
+        for idx in [0usize, 2, 5, 7] {
+            let mut wp = w.clone();
+            wp.set(idx, w.get(idx).unwrap() + h).unwrap();
+            let mut wm = w.clone();
+            wm.set(idx, w.get(idx).unwrap() - h).unwrap();
+            let numeric = (loss(&x, &wp, &bias) - loss(&x, &wm, &bias)) / (2.0 * f64::from(h));
+            assert!((numeric - f64::from(d_w.get(idx).unwrap())).abs() < 1e-2);
+        }
+        // Bias gradient equals column sums of g.
+        assert!((d_b[0] - g.as_slice().iter().step_by(2).sum::<f32>()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_preserves_input_shape() {
+        let x = Tensor::ones(Shape::nchw(2, 3, 2, 2));
+        let w = Tensor::ones(Shape::matrix(5, 12));
+        let d_y = Tensor::ones(Shape::matrix(2, 5));
+        let (d_x, d_w, d_b) = fc_backward(&x, &w, &d_y).unwrap();
+        assert_eq!(d_x.shape(), x.shape());
+        assert_eq!(d_w.shape(), w.shape());
+        assert_eq!(d_b.len(), 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! im2col / col2im lowering for convolutions.
+//!
+//! The reference CNN libraries in the paper (MKL-DNN, CUTLASS) execute
+//! convolutions as matrix multiplies over an im2col-expanded input; we
+//! provide the same lowering so the GEMM-based convolution path can be
+//! benchmarked against the direct path.
+
+use crate::error::KernelError;
+use crate::Result;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_tensor::{Shape, Tensor};
+
+/// Computes the output spatial size of a convolution dimension.
+pub(crate) fn conv_out_dim(dim: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize> {
+    let padded = dim + 2 * pad;
+    if stride == 0 {
+        return Err(KernelError::InvalidArgument("stride must be positive".to_string()));
+    }
+    if padded < kernel {
+        return Err(KernelError::ShapeMismatch(format!(
+            "kernel {kernel} does not fit input extent {dim} with pad {pad}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Expands one sample of an NCHW tensor into a `(C·Kh·Kw) × (Ho·Wo)` column
+/// matrix (row-major).
+///
+/// # Errors
+/// Returns an error if the input is not 4-D or the window does not fit.
+pub fn im2col(input: &Tensor, sample: usize, attrs: &Conv2dAttrs) -> Result<Vec<f32>> {
+    let shape = input.shape();
+    shape.expect_nchw()?;
+    let (c, h, w) = (shape.c(), shape.h(), shape.w());
+    let ho = conv_out_dim(h, attrs.kernel_h, attrs.stride, attrs.pad)?;
+    let wo = conv_out_dim(w, attrs.kernel_w, attrs.stride, attrs.pad)?;
+    let rows = c * attrs.kernel_h * attrs.kernel_w;
+    let cols = ho * wo;
+    let mut out = vec![0.0f32; rows * cols];
+    for ci in 0..c {
+        let plane = input.channel_plane(sample, ci);
+        for kh in 0..attrs.kernel_h {
+            for kw in 0..attrs.kernel_w {
+                let row = (ci * attrs.kernel_h + kh) * attrs.kernel_w + kw;
+                for oh in 0..ho {
+                    let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
+                    for ow in 0..wo {
+                        let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
+                        let value = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                        {
+                            plane[ih as usize * w + iw as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + oh * wo + ow] = value;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Accumulates a `(C·Kh·Kw) × (Ho·Wo)` column matrix back into one sample of
+/// an NCHW tensor (the adjoint of [`im2col`], used for the gradient with
+/// respect to the convolution input).
+///
+/// # Errors
+/// Returns an error if the target is not 4-D or the dimensions disagree.
+pub fn col2im_accumulate(
+    cols_data: &[f32],
+    target: &mut Tensor,
+    sample: usize,
+    attrs: &Conv2dAttrs,
+) -> Result<()> {
+    let shape = target.shape().clone();
+    shape.expect_nchw()?;
+    let (c, h, w) = (shape.c(), shape.h(), shape.w());
+    let ho = conv_out_dim(h, attrs.kernel_h, attrs.stride, attrs.pad)?;
+    let wo = conv_out_dim(w, attrs.kernel_w, attrs.stride, attrs.pad)?;
+    let rows = c * attrs.kernel_h * attrs.kernel_w;
+    let cols = ho * wo;
+    if cols_data.len() != rows * cols {
+        return Err(KernelError::ShapeMismatch(format!(
+            "column matrix has {} elements, expected {}",
+            cols_data.len(),
+            rows * cols
+        )));
+    }
+    for ci in 0..c {
+        for kh in 0..attrs.kernel_h {
+            for kw in 0..attrs.kernel_w {
+                let row = (ci * attrs.kernel_h + kh) * attrs.kernel_w + kw;
+                for oh in 0..ho {
+                    let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
+                    if ih < 0 || ih as usize >= h {
+                        continue;
+                    }
+                    for ow in 0..wo {
+                        let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
+                        if iw < 0 || iw as usize >= w {
+                            continue;
+                        }
+                        let v = cols_data[row * cols + oh * wo + ow];
+                        *target.at_mut(sample, ci, ih as usize, iw as usize) += v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shape of the column matrix produced by [`im2col`] for the given input
+/// shape and attributes: `(rows, cols)`.
+///
+/// # Errors
+/// Returns an error if the input shape is not 4-D or the window does not fit.
+pub fn col_shape(input: &Shape, attrs: &Conv2dAttrs) -> Result<(usize, usize)> {
+    input.expect_nchw()?;
+    let ho = conv_out_dim(input.h(), attrs.kernel_h, attrs.stride, attrs.pad)?;
+    let wo = conv_out_dim(input.w(), attrs.kernel_w, attrs.stride, attrs.pad)?;
+    Ok((input.c() * attrs.kernel_h * attrs.kernel_w, ho * wo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let attrs = Conv2dAttrs::pointwise(1);
+        let cols = im2col(&x, 0, &attrs).unwrap();
+        assert_eq!(cols, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn padding_produces_zero_border() {
+        let x = Tensor::ones(Shape::nchw(1, 1, 2, 2));
+        let attrs = Conv2dAttrs::same_3x3(1);
+        let cols = im2col(&x, 0, &attrs).unwrap();
+        let (rows, ncols) = col_shape(x.shape(), &attrs).unwrap();
+        assert_eq!((rows, ncols), (9, 4));
+        // First row corresponds to kernel offset (0,0): for output (0,0) it
+        // samples input (-1,-1), i.e. padding.
+        assert_eq!(cols[0], 0.0);
+        // Center kernel offset (1,1) samples the input directly.
+        let center_row = 4;
+        assert_eq!(&cols[center_row * 4..center_row * 4 + 4], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 4, 4), data).unwrap();
+        let attrs = Conv2dAttrs::new(1, 2, 2, 0);
+        let cols = im2col(&x, 0, &attrs).unwrap();
+        let (rows, ncols) = col_shape(x.shape(), &attrs).unwrap();
+        assert_eq!((rows, ncols), (4, 4));
+        // Row 0 = kernel offset (0,0): top-left corner of each 2x2 window.
+        assert_eq!(&cols[0..4], &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_for_disjoint_windows() {
+        // With stride == kernel the windows are disjoint, so
+        // col2im(im2col(x)) == x.
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 4, 4), data).unwrap();
+        let attrs = Conv2dAttrs::new(1, 2, 2, 0);
+        let cols = im2col(&x, 0, &attrs).unwrap();
+        let mut back = Tensor::zeros(x.shape().clone());
+        col2im_accumulate(&cols, &mut back, 0, &attrs).unwrap();
+        assert!(back.all_close(&x, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let x = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(im2col(&x, 0, &Conv2dAttrs::pointwise(1)).is_err());
+        let x = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let attrs = Conv2dAttrs::new(1, 5, 1, 0);
+        assert!(im2col(&x, 0, &attrs).is_err());
+        let mut t = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(col2im_accumulate(&[0.0; 3], &mut t, 0, &Conv2dAttrs::pointwise(1)).is_err());
+    }
+}

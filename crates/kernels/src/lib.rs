@@ -1,0 +1,42 @@
+//! # bnff-kernels — numerical CPU kernels for CNN training layers
+//!
+//! This crate implements the arithmetic of every layer type the paper's
+//! CNNs use during training, in two flavours:
+//!
+//! * **Unfused (baseline)** kernels that mirror the reference
+//!   implementation: convolution, two-pass Batch Normalization, standalone
+//!   ReLU, pooling, fully-connected, softmax loss, concat and element-wise
+//!   sum.
+//! * **Fused (restructured)** kernels corresponding to the operators the BN
+//!   Fission-n-Fusion passes introduce: a convolution that accumulates
+//!   Σx/Σx² of its output while writing it ([`fused::conv2d_forward_with_stats`]),
+//!   and a convolution that normalizes + clips its input while reading it
+//!   ([`fused::norm_relu_conv_forward`]).
+//!
+//! The fused kernels compute *bit-for-bit comparable* results to the
+//! composition of their unfused counterparts (up to floating-point
+//! reassociation in the Σx² variance), which is what makes the paper's
+//! restructuring legal during training. The test-suites in this crate check
+//! that equivalence, and the Criterion benches in `bnff-bench` measure the
+//! actual memory-traffic benefit on the host CPU.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batchnorm;
+pub mod concat;
+pub mod conv;
+pub mod eltwise;
+pub mod error;
+pub mod fc;
+pub mod fused;
+pub mod gemm;
+pub mod im2col;
+pub mod pool;
+pub mod relu;
+pub mod softmax;
+
+pub use error::KernelError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,302 @@
+//! Spatial pooling layers: max, average and global average pooling.
+
+use crate::error::KernelError;
+use crate::im2col::conv_out_dim;
+use crate::Result;
+use bnff_graph::op::PoolAttrs;
+use bnff_tensor::{Shape, Tensor};
+
+/// Result of a max-pooling forward pass: the pooled output plus the argmax
+/// indices (linear indices into each input channel plane) needed by the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolState {
+    /// Pooled output.
+    pub output: Tensor,
+    /// For every output element, the linear index (within its input plane)
+    /// of the maximum that produced it.
+    pub argmax: Vec<usize>,
+}
+
+fn pooled_shape(x: &Tensor, attrs: &PoolAttrs) -> Result<(usize, usize)> {
+    x.shape().expect_nchw()?;
+    let oh = conv_out_dim(x.shape().h(), attrs.kernel, attrs.stride, attrs.pad)?;
+    let ow = conv_out_dim(x.shape().w(), attrs.kernel, attrs.stride, attrs.pad)?;
+    Ok((oh, ow))
+}
+
+/// Max-pooling forward pass.
+///
+/// # Errors
+/// Returns an error if the input is not 4-D or the window does not fit.
+pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<MaxPoolState> {
+    let (oh, ow) = pooled_shape(x, attrs)?;
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let mut out_idx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = x.channel_plane(ni, ci);
+            for po in 0..oh {
+                for qo in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for kh in 0..attrs.kernel {
+                        let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        for kw in 0..attrs.kernel {
+                            let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            let idx = ih as usize * w + iw as usize;
+                            if plane[idx] > best {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    *output.at_mut(ni, ci, po, qo) = best;
+                    argmax[out_idx] = best_idx;
+                    out_idx += 1;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolState { output, argmax })
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input
+/// position that won the max.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent with the forward state.
+pub fn max_pool_backward(
+    d_y: &Tensor,
+    state: &MaxPoolState,
+    input_shape: &Shape,
+) -> Result<Tensor> {
+    d_y.shape().expect_same(state.output.shape()).map_err(KernelError::Tensor)?;
+    input_shape.expect_nchw()?;
+    let (n, c) = (d_y.shape().n(), d_y.shape().c());
+    let (oh, ow) = (d_y.shape().h(), d_y.shape().w());
+    let mut d_x = Tensor::zeros(input_shape.clone());
+    let mut out_idx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let grads = d_y.channel_plane(ni, ci).to_vec();
+            let plane = d_x.channel_plane_mut(ni, ci);
+            for po in 0..oh {
+                for qo in 0..ow {
+                    plane[state.argmax[out_idx]] += grads[po * ow + qo];
+                    out_idx += 1;
+                }
+            }
+        }
+    }
+    Ok(d_x)
+}
+
+/// Average-pooling forward pass (count includes padding positions excluded,
+/// i.e. the divisor is the number of valid input positions in the window).
+///
+/// # Errors
+/// Returns an error if the input is not 4-D or the window does not fit.
+pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
+    let (oh, ow) = pooled_shape(x, attrs)?;
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = x.channel_plane(ni, ci);
+            for po in 0..oh {
+                for qo in 0..ow {
+                    let mut acc = 0.0f32;
+                    let mut count = 0usize;
+                    for kh in 0..attrs.kernel {
+                        let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        for kw in 0..attrs.kernel {
+                            let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            acc += plane[ih as usize * w + iw as usize];
+                            count += 1;
+                        }
+                    }
+                    *output.at_mut(ni, ci, po, qo) = if count > 0 { acc / count as f32 } else { 0.0 };
+                }
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Average-pooling backward pass.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn avg_pool_backward(d_y: &Tensor, input_shape: &Shape, attrs: &PoolAttrs) -> Result<Tensor> {
+    d_y.shape().expect_nchw()?;
+    input_shape.expect_nchw()?;
+    let (n, c, h, w) = (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    let (oh, ow) = (d_y.shape().h(), d_y.shape().w());
+    let mut d_x = Tensor::zeros(input_shape.clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            let grads = d_y.channel_plane(ni, ci).to_vec();
+            let plane = d_x.channel_plane_mut(ni, ci);
+            for po in 0..oh {
+                for qo in 0..ow {
+                    // Recompute the number of valid positions of this window.
+                    let mut positions = Vec::new();
+                    for kh in 0..attrs.kernel {
+                        let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        for kw in 0..attrs.kernel {
+                            let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            positions.push(ih as usize * w + iw as usize);
+                        }
+                    }
+                    if positions.is_empty() {
+                        continue;
+                    }
+                    let share = grads[po * ow + qo] / positions.len() as f32;
+                    for idx in positions {
+                        plane[idx] += share;
+                    }
+                }
+            }
+        }
+    }
+    Ok(d_x)
+}
+
+/// Global average pooling forward: reduces every channel plane to a single
+/// value, producing an `N × C × 1 × 1` tensor.
+///
+/// # Errors
+/// Returns an error if the input is not 4-D.
+pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
+    x.shape().expect_nchw()?;
+    let (n, c) = (x.shape().n(), x.shape().c());
+    let plane_len = (x.shape().h() * x.shape().w()) as f32;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
+    for ni in 0..n {
+        for ci in 0..c {
+            let sum: f32 = x.channel_plane(ni, ci).iter().sum();
+            *out.at_mut(ni, ci, 0, 0) = sum / plane_len;
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling backward.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn global_avg_pool_backward(d_y: &Tensor, input_shape: &Shape) -> Result<Tensor> {
+    d_y.shape().expect_nchw()?;
+    input_shape.expect_nchw()?;
+    let (n, c) = (input_shape.n(), input_shape.c());
+    let plane_len = (input_shape.h() * input_shape.w()) as f32;
+    let mut d_x = Tensor::zeros(input_shape.clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            let share = d_y.at(ni, ci, 0, 0) / plane_len;
+            for v in d_x.channel_plane_mut(ni, ci) {
+                *v = share;
+            }
+        }
+    }
+    Ok(d_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let state = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
+        assert_eq!(state.output.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 5.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let state = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
+        let d_y = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![7.0]).unwrap();
+        let d_x = max_pool_backward(&d_y, &state, x.shape()).unwrap();
+        assert_eq!(d_x.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_matches_mean() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let y = avg_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
+        assert_eq!(y.as_slice(), &[2.5]);
+        let d_y = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![4.0]).unwrap();
+        let d_x = avg_pool_backward(&d_y, x.shape(), &PoolAttrs::new(2, 2, 0)).unwrap();
+        assert_eq!(d_x.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
+        let y = global_avg_pool_forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        let d_y = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![4.0, 8.0]).unwrap();
+        let d_x = global_avg_pool_backward(&d_y, x.shape()).unwrap();
+        assert_eq!(d_x.channel_plane(0, 0), &[1.0; 4]);
+        assert_eq!(d_x.channel_plane(0, 1), &[2.0; 4]);
+    }
+
+    #[test]
+    fn padded_max_pool_shape() {
+        let x = Tensor::ones(Shape::nchw(2, 3, 112, 112));
+        let state = max_pool_forward(&x, &PoolAttrs::new(3, 2, 1)).unwrap();
+        assert_eq!(state.output.shape(), &Shape::nchw(2, 3, 56, 56));
+    }
+
+    #[test]
+    fn non_nchw_is_rejected() {
+        let x = Tensor::zeros(Shape::matrix(4, 4));
+        assert!(max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).is_err());
+        assert!(avg_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).is_err());
+        assert!(global_avg_pool_forward(&x).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Rectified linear unit.
+
+use crate::Result;
+use bnff_tensor::Tensor;
+
+/// ReLU forward pass: `y = max(x, 0)`.
+pub fn relu_forward(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU forward pass in place.
+pub fn relu_forward_inplace(x: &mut Tensor) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
+/// ReLU backward pass: `d_x = d_y ⊙ 1[x > 0]`.
+///
+/// The mask is taken from the *forward input* `x` (equivalently the forward
+/// output, since both share the same sign pattern on the positive side).
+///
+/// # Errors
+/// Returns an error if the shapes differ.
+pub fn relu_backward(d_y: &Tensor, x: &Tensor) -> Result<Tensor> {
+    Ok(d_y.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::{Shape, Tensor};
+
+    #[test]
+    fn clips_negatives() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0, -3.5]);
+        let y = relu_forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut z = x.clone();
+        relu_forward_inplace(&mut z);
+        assert_eq!(z, y);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0, 3.0]);
+        let d_y = Tensor::from_slice(&[10.0, 10.0, 10.0, 10.0]);
+        let d_x = relu_backward(&d_y, &x).unwrap();
+        assert_eq!(d_x.as_slice(), &[0.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn backward_shape_mismatch() {
+        let x = Tensor::zeros(Shape::vector(4));
+        let d_y = Tensor::zeros(Shape::vector(5));
+        assert!(relu_backward(&d_y, &x).is_err());
+    }
+
+    #[test]
+    fn idempotent_forward() {
+        let x = Tensor::from_slice(&[-2.0, 4.0]);
+        let once = relu_forward(&x);
+        let twice = relu_forward(&once);
+        assert_eq!(once, twice);
+    }
+}

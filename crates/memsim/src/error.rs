@@ -1,0 +1,56 @@
+//! Error type for the performance model.
+
+use std::fmt;
+
+/// Errors produced by the machine performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemsimError {
+    /// A machine profile parameter was invalid (e.g. zero bandwidth).
+    InvalidProfile(String),
+    /// An error bubbled up from the graph crate.
+    Graph(bnff_graph::GraphError),
+}
+
+impl fmt::Display for MemsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemsimError::InvalidProfile(msg) => write!(f, "invalid machine profile: {msg}"),
+            MemsimError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for MemsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemsimError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<bnff_graph::GraphError> for MemsimError {
+    fn from(err: bnff_graph::GraphError) -> Self {
+        MemsimError::Graph(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = MemsimError::InvalidProfile("zero bandwidth".into());
+        assert!(e.to_string().contains("zero bandwidth"));
+        let ge = bnff_graph::GraphError::CyclicGraph;
+        let e: MemsimError = ge.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<MemsimError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Layer-by-layer execution timeline with bandwidth utilization.
+//!
+//! Figure 3 of the paper plots the memory-bandwidth utilization of
+//! DenseNet-121 layer by layer over time, showing non-CONV layers pinned at
+//! the peak bandwidth while CONV layers underutilize it. This module
+//! produces that series from the simulated iteration: forward pass in
+//! topological order, then the backward pass in reverse order.
+
+use crate::cache::CacheModel;
+use crate::machine::MachineProfile;
+use crate::roofline::{achieved_bandwidth, pass_time};
+use crate::Result;
+use bnff_graph::analysis::node_cost;
+use bnff_graph::op::LayerCategory;
+use bnff_graph::Graph;
+use serde::Serialize;
+
+/// One layer execution in the timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineEvent {
+    /// Node name.
+    pub name: String,
+    /// Operation display name.
+    pub op: String,
+    /// Layer category.
+    pub category: LayerCategory,
+    /// Whether this event belongs to the backward pass.
+    pub backward: bool,
+    /// Start time in seconds from the beginning of the iteration.
+    pub start: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Achieved DRAM bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Achieved bandwidth as a fraction of the machine's peak.
+    pub bandwidth_utilization: f64,
+}
+
+/// Simulates the layer-by-layer timeline of one training iteration.
+///
+/// # Errors
+/// Returns an error if the machine profile is invalid or the graph is
+/// structurally inconsistent.
+pub fn simulate_timeline(graph: &Graph, machine: &MachineProfile) -> Result<Vec<TimelineEvent>> {
+    machine.validate()?;
+    let cache = CacheModel::for_machine(machine);
+    let order = graph.topo_order()?;
+    let mut events = Vec::new();
+    let mut clock = 0.0f64;
+
+    let mut push_event = |clock: &mut f64,
+                          name: &str,
+                          op: &str,
+                          category: LayerCategory,
+                          backward: bool,
+                          flops: f64,
+                          dram_bytes: f64| {
+        let duration = pass_time(machine, category, flops, dram_bytes);
+        let bandwidth = achieved_bandwidth(dram_bytes, duration);
+        events.push(TimelineEvent {
+            name: name.to_string(),
+            op: op.to_string(),
+            category,
+            backward,
+            start: *clock,
+            duration,
+            dram_bytes,
+            bandwidth,
+            bandwidth_utilization: if machine.mem_bandwidth.is_finite() {
+                bandwidth / machine.mem_bandwidth
+            } else {
+                0.0
+            },
+        });
+        *clock += duration;
+    };
+
+    // Forward pass.
+    for id in &order {
+        let node = graph.node(*id)?;
+        if matches!(node.op, bnff_graph::OpKind::Input) {
+            continue;
+        }
+        let cost = node_cost(graph, node)?;
+        let bytes = cache.dram_bytes_for(&cost.sweeps_fwd);
+        push_event(
+            &mut clock,
+            &node.name,
+            node.op.name(),
+            node.op.category(),
+            false,
+            cost.flops_fwd,
+            bytes,
+        );
+    }
+    // Backward pass, reverse order.
+    for id in order.iter().rev() {
+        let node = graph.node(*id)?;
+        if matches!(node.op, bnff_graph::OpKind::Input) {
+            continue;
+        }
+        let cost = node_cost(graph, node)?;
+        if cost.flops_bwd == 0.0 && cost.sweeps_bwd.is_empty() {
+            continue;
+        }
+        let bytes = cache.dram_bytes_for(&cost.sweeps_bwd);
+        push_event(
+            &mut clock,
+            &node.name,
+            node.op.name(),
+            node.op.category(),
+            true,
+            cost.flops_bwd,
+            bytes,
+        );
+    }
+    Ok(events)
+}
+
+/// Buckets a timeline into fixed-width windows and reports the average
+/// bandwidth utilization per window — a compact series suitable for
+/// plotting Figure 3.
+pub fn bandwidth_series(events: &[TimelineEvent], buckets: usize) -> Vec<f64> {
+    if events.is_empty() || buckets == 0 {
+        return vec![];
+    }
+    let total: f64 = events.iter().map(|e| e.start + e.duration).fold(0.0, f64::max);
+    if total <= 0.0 {
+        return vec![0.0; buckets];
+    }
+    let width = total / buckets as f64;
+    let mut series = vec![0.0f64; buckets];
+    for (i, slot) in series.iter_mut().enumerate() {
+        let lo = i as f64 * width;
+        let hi = lo + width;
+        let mut weighted = 0.0;
+        for e in events {
+            let start = e.start.max(lo);
+            let end = (e.start + e.duration).min(hi);
+            if end > start {
+                weighted += e.bandwidth_utilization * (end - start);
+            }
+        }
+        *slot = weighted / width;
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::builder::GraphBuilder;
+    use bnff_graph::op::Conv2dAttrs;
+    use bnff_tensor::Shape;
+
+    fn fragment() -> Graph {
+        let mut b = GraphBuilder::new("timeline");
+        let x = b.input("in", Shape::nchw(120, 128, 28, 28)).unwrap();
+        let c1 = b.bn_relu_conv(x, Conv2dAttrs::pointwise(128), "cpl/a").unwrap();
+        b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(32), "cpl/b").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn events_are_contiguous_and_ordered() {
+        let events =
+            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        assert!(!events.is_empty());
+        let mut clock = 0.0;
+        for e in &events {
+            assert!((e.start - clock).abs() < 1e-12, "events must be back-to-back");
+            assert!(e.duration > 0.0);
+            clock = e.start + e.duration;
+        }
+        // Forward events come before backward events.
+        let first_bwd = events.iter().position(|e| e.backward).unwrap();
+        assert!(events[..first_bwd].iter().all(|e| !e.backward));
+        assert!(events[first_bwd..].iter().all(|e| e.backward));
+    }
+
+    #[test]
+    fn bn_layers_pin_the_bandwidth() {
+        let events =
+            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let bn_util: Vec<f64> = events
+            .iter()
+            .filter(|e| e.op == "BatchNorm" && !e.backward)
+            .map(|e| e.bandwidth_utilization)
+            .collect();
+        let conv_util: Vec<f64> = events
+            .iter()
+            .filter(|e| e.op == "Conv2d" && !e.backward)
+            .map(|e| e.bandwidth_utilization)
+            .collect();
+        assert!(!bn_util.is_empty() && !conv_util.is_empty());
+        let bn_avg = bn_util.iter().sum::<f64>() / bn_util.len() as f64;
+        let conv_avg = conv_util.iter().sum::<f64>() / conv_util.len() as f64;
+        assert!(
+            bn_avg > conv_avg,
+            "BN layers must utilise more bandwidth than CONV layers ({bn_avg} vs {conv_avg})"
+        );
+        // Memory-bound layers run at (close to) the achievable bandwidth.
+        assert!(bn_avg > 0.6);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_peak() {
+        let events =
+            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        for e in &events {
+            assert!(e.bandwidth_utilization <= 1.0 + 1e-9, "{} exceeds peak", e.name);
+        }
+    }
+
+    #[test]
+    fn bandwidth_series_buckets() {
+        let events =
+            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let series = bandwidth_series(&events, 16);
+        assert_eq!(series.len(), 16);
+        assert!(series.iter().all(|v| *v >= 0.0 && *v <= 1.0 + 1e-9));
+        assert!(series.iter().sum::<f64>() > 0.0);
+        assert!(bandwidth_series(&[], 8).is_empty());
+        assert!(bandwidth_series(&events, 0).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! AlexNet (Krizhevsky et al., 2012) — an early, CONV/FC-dominated model
+//! used in the paper's Figure 1 breakdown. No Batch Normalization.
+
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::{Conv2dAttrs, PoolAttrs};
+use bnff_graph::{Graph, Result};
+use bnff_tensor::Shape;
+
+/// AlexNet (the single-tower torchvision variant) at 224×224.
+///
+/// # Errors
+/// Returns an error if graph construction fails.
+pub fn alexnet(batch: usize) -> Result<Graph> {
+    let mut b = GraphBuilder::new("alexnet");
+    let data = b.input("data", Shape::nchw(batch, 3, 224, 224))?;
+    let labels = b.input("labels", Shape::vector(batch))?;
+
+    let c1 = b.conv2d(data, Conv2dAttrs::new(64, 11, 4, 2).with_bias(), "conv1")?;
+    let r1 = b.relu(c1, "relu1")?;
+    let p1 = b.max_pool(r1, PoolAttrs::new(3, 2, 0), "pool1")?;
+
+    let c2 = b.conv2d(p1, Conv2dAttrs::new(192, 5, 1, 2).with_bias(), "conv2")?;
+    let r2 = b.relu(c2, "relu2")?;
+    let p2 = b.max_pool(r2, PoolAttrs::new(3, 2, 0), "pool2")?;
+
+    let c3 = b.conv2d(p2, Conv2dAttrs::same_3x3(384).with_bias(), "conv3")?;
+    let r3 = b.relu(c3, "relu3")?;
+    let c4 = b.conv2d(r3, Conv2dAttrs::same_3x3(256).with_bias(), "conv4")?;
+    let r4 = b.relu(c4, "relu4")?;
+    let c5 = b.conv2d(r4, Conv2dAttrs::same_3x3(256).with_bias(), "conv5")?;
+    let r5 = b.relu(c5, "relu5")?;
+    let p5 = b.max_pool(r5, PoolAttrs::new(3, 2, 0), "pool5")?;
+
+    let fc6 = b.fully_connected(p5, 4096, "fc6")?;
+    let r6 = b.relu(fc6, "relu6")?;
+    let fc7 = b.fully_connected(r6, 4096, "fc7")?;
+    let r7 = b.relu(fc7, "relu7")?;
+    let fc8 = b.fully_connected(r7, 1000, "fc8")?;
+    b.softmax_loss(fc8, labels, "loss")?;
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::op::OpKind;
+
+    #[test]
+    fn alexnet_structure() {
+        let g = alexnet(4).unwrap();
+        assert!(g.validate().is_ok());
+        let convs = g.nodes().filter(|n| matches!(n.op, OpKind::Conv2d(_))).count();
+        assert_eq!(convs, 5);
+        let fcs = g.nodes().filter(|n| matches!(n.op, OpKind::FullyConnected { .. })).count();
+        assert_eq!(fcs, 3);
+        let bns = g.nodes().filter(|n| matches!(n.op, OpKind::BatchNorm(_))).count();
+        assert_eq!(bns, 0);
+    }
+
+    #[test]
+    fn alexnet_parameter_count() {
+        // torchvision's alexnet has ~61.1 M parameters.
+        let g = alexnet(1).unwrap();
+        let params = g.parameter_count();
+        assert!(
+            (60_000_000..=62_500_000).contains(&params),
+            "alexnet parameter count {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn alexnet_feature_map_flow() {
+        let g = alexnet(2).unwrap();
+        let p5 = g.nodes().find(|n| n.name == "pool5").unwrap();
+        assert_eq!(p5.output_shape, Shape::nchw(2, 256, 6, 6));
+    }
+}

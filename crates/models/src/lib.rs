@@ -1,0 +1,33 @@
+//! # bnff-models — the CNN model zoo as computational graphs
+//!
+//! Graph builders for every network the paper evaluates or references:
+//!
+//! * [`densenet::densenet121`] (and the other DenseNet-BC depths) — the
+//!   primary optimization target,
+//! * [`resnet::resnet50`] (and ResNet-18/34) — the secondary target,
+//! * [`alexnet::alexnet`] and [`vgg::vgg16`] — the early, CONV-dominated
+//!   models of Figure 1,
+//! * CIFAR-scale variants of DenseNet and ResNet used by the numerical
+//!   training tests, where running the real arithmetic is cheap.
+//!
+//! Every builder returns a [`bnff_graph::Graph`] that ends in a softmax
+//! cross-entropy head, so the same graph drives both the performance model
+//! (`bnff-memsim`) and the numerical executor (`bnff-train`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alexnet;
+pub mod densenet;
+pub mod resnet;
+pub mod vgg;
+pub mod zoo;
+
+pub use alexnet::alexnet;
+pub use densenet::{densenet121, densenet169, densenet_cifar, DenseNetConfig};
+pub use resnet::{resnet18, resnet50, resnet_cifar};
+pub use vgg::vgg16;
+pub use zoo::{build, Model};
+
+/// Convenience result alias re-exported from the graph crate.
+pub type Result<T> = bnff_graph::Result<T>;

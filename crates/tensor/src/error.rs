@@ -1,0 +1,109 @@
+//! Error types for the tensor substrate.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected shape) did not agree.
+    ShapeMismatch {
+        /// The shape the operation expected.
+        expected: Shape,
+        /// The shape it actually received.
+        got: Shape,
+    },
+    /// A shape was structurally invalid for the requested operation
+    /// (e.g. a 3-D shape where a 4-D NCHW shape is required).
+    InvalidShape {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+        /// The offending shape.
+        shape: Shape,
+    },
+    /// The provided buffer length did not match the number of elements
+    /// implied by the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        got: usize,
+    },
+    /// An index was outside the bounds of the tensor.
+    IndexOutOfBounds {
+        /// The offending linear index.
+        index: usize,
+        /// The number of elements in the tensor.
+        len: usize,
+    },
+    /// An axis argument referred to a dimension the tensor does not have.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The rank of the tensor.
+        rank: usize,
+    },
+    /// A numerical argument was invalid (e.g. a non-positive epsilon).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            TensorError::InvalidShape { reason, shape } => {
+                write!(f, "invalid shape {shape}: {reason}")
+            }
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            expected: Shape::nchw(1, 2, 3, 4),
+            got: Shape::nchw(4, 3, 2, 1),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("shape mismatch"));
+        assert!(msg.contains("1x2x3x4"));
+        assert!(msg.contains("4x3x2x1"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch { expected: 24, got: 10 };
+        assert!(err.to_string().contains("24"));
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn display_axis_out_of_range() {
+        let err = TensorError::AxisOutOfRange { axis: 5, rank: 4 };
+        assert!(err.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TensorError>();
+    }
+}

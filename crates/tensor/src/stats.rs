@@ -1,0 +1,402 @@
+//! Per-channel mini-batch statistics.
+//!
+//! Batch Normalization during training needs, for every channel `c`, the
+//! mean and (biased) variance of all `N × H × W` activations of that channel
+//! across the mini-batch. The paper's Mean/Variance Fusion (MVF) replaces
+//! the classic two-pass computation (one sweep for the mean, one for the
+//! variance) with the single-sweep identity `Var[X] = E[X²] − E[X]²`.
+//!
+//! This module provides three interchangeable implementations —
+//! [`channel_stats_two_pass`], [`channel_stats_one_pass`] and
+//! [`channel_stats_welford`] — plus the raw Σx / Σx² accumulators
+//! ([`ChannelAccumulator`]) that the fused `CONV + sub-BN1` kernel updates
+//! while it writes its output feature map.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Per-channel mean and biased variance over a mini-batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Per-channel mean, `E[X]`.
+    pub mean: Vec<f32>,
+    /// Per-channel biased variance, `E[(X − E[X])²]`.
+    pub var: Vec<f32>,
+    /// Number of elements each channel's statistics were computed over
+    /// (`N × H × W`).
+    pub count: usize,
+}
+
+impl ChannelStats {
+    /// Creates zeroed statistics for `channels` channels.
+    pub fn zeros(channels: usize) -> Self {
+        ChannelStats { mean: vec![0.0; channels], var: vec![0.0; channels], count: 0 }
+    }
+
+    /// Number of channels covered.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Largest absolute difference in mean or variance against `other`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when the channel counts
+    /// differ.
+    pub fn max_abs_diff(&self, other: &ChannelStats) -> Result<f32> {
+        if self.channels() != other.channels() {
+            return Err(TensorError::InvalidArgument(format!(
+                "channel count mismatch: {} vs {}",
+                self.channels(),
+                other.channels()
+            )));
+        }
+        let mut worst = 0.0f32;
+        for c in 0..self.channels() {
+            worst = worst.max((self.mean[c] - other.mean[c]).abs());
+            worst = worst.max((self.var[c] - other.var[c]).abs());
+        }
+        Ok(worst)
+    }
+}
+
+/// Running Σx and Σx² accumulators per channel.
+///
+/// This is the state the fused `CONV1-(sub-BN1)` kernel maintains: each
+/// output value produced by the convolution is accumulated into the sums of
+/// its channel, so mean and variance are available when the convolution
+/// finishes without re-reading the output feature map (Section 3.2 of the
+/// paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelAccumulator {
+    sum: Vec<f64>,
+    sq_sum: Vec<f64>,
+    count: usize,
+}
+
+impl ChannelAccumulator {
+    /// Creates an accumulator for `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        ChannelAccumulator { sum: vec![0.0; channels], sq_sum: vec![0.0; channels], count: 0 }
+    }
+
+    /// Number of channels tracked.
+    pub fn channels(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Number of per-channel elements accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Accumulates one activation of channel `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn push(&mut self, c: usize, value: f32) {
+        let v = f64::from(value);
+        self.sum[c] += v;
+        self.sq_sum[c] += v * v;
+    }
+
+    /// Records that `per_channel_count` elements have been accumulated into
+    /// every channel (call once per plane / batch rather than per element to
+    /// keep `push` cheap).
+    pub fn add_count(&mut self, per_channel_count: usize) {
+        self.count += per_channel_count;
+    }
+
+    /// Accumulates an entire contiguous plane of channel `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn push_plane(&mut self, c: usize, plane: &[f32]) {
+        let mut s = 0.0f64;
+        let mut q = 0.0f64;
+        for &x in plane {
+            let v = f64::from(x);
+            s += v;
+            q += v * v;
+        }
+        self.sum[c] += s;
+        self.sq_sum[c] += q;
+    }
+
+    /// Merges another accumulator into this one (used when per-thread
+    /// accumulators are reduced, mirroring the paper's per-thread-block
+    /// reduction on GPU).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when the channel counts
+    /// differ.
+    pub fn merge(&mut self, other: &ChannelAccumulator) -> Result<()> {
+        if self.channels() != other.channels() {
+            return Err(TensorError::InvalidArgument(format!(
+                "cannot merge accumulators with {} and {} channels",
+                self.channels(),
+                other.channels()
+            )));
+        }
+        for c in 0..self.channels() {
+            self.sum[c] += other.sum[c];
+            self.sq_sum[c] += other.sq_sum[c];
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Finalizes the accumulator into mean / variance statistics using
+    /// `Var[X] = E[X²] − E[X]²`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] if nothing was accumulated.
+    pub fn finalize(&self) -> Result<ChannelStats> {
+        if self.count == 0 {
+            return Err(TensorError::InvalidArgument(
+                "cannot finalize an empty accumulator".to_string(),
+            ));
+        }
+        let n = self.count as f64;
+        let mut mean = Vec::with_capacity(self.channels());
+        let mut var = Vec::with_capacity(self.channels());
+        for c in 0..self.channels() {
+            let m = self.sum[c] / n;
+            // Clamp at zero: E[X²] − E[X]² can go very slightly negative in
+            // floating point when the variance is tiny.
+            let v = (self.sq_sum[c] / n - m * m).max(0.0);
+            mean.push(m as f32);
+            var.push(v as f32);
+        }
+        Ok(ChannelStats { mean, var, count: self.count })
+    }
+}
+
+fn per_channel_count(shape: &Shape) -> Result<(usize, usize)> {
+    shape.expect_nchw()?;
+    let per_channel = shape.n() * shape.h() * shape.w();
+    if per_channel == 0 {
+        return Err(TensorError::InvalidShape {
+            reason: "statistics require a non-empty mini-batch".to_string(),
+            shape: shape.clone(),
+        });
+    }
+    Ok((shape.c(), per_channel))
+}
+
+/// Classic two-pass statistics: one sweep for the mean, a second sweep for
+/// the variance. This models the *baseline* BN implementation whose extra
+/// memory sweep MVF removes.
+///
+/// # Errors
+/// Returns an error for non-4-D or empty inputs.
+pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
+    let (channels, per_channel) = per_channel_count(x.shape())?;
+    let n = x.shape().n();
+    let mut mean = vec![0.0f64; channels];
+    for ni in 0..n {
+        for c in 0..channels {
+            let plane = x.channel_plane(ni, c);
+            mean[c] += plane.iter().map(|&v| f64::from(v)).sum::<f64>();
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= per_channel as f64;
+    }
+    let mut var = vec![0.0f64; channels];
+    for ni in 0..n {
+        for c in 0..channels {
+            let plane = x.channel_plane(ni, c);
+            let m = mean[c];
+            var[c] += plane.iter().map(|&v| (f64::from(v) - m) * (f64::from(v) - m)).sum::<f64>();
+        }
+    }
+    for v in var.iter_mut() {
+        *v /= per_channel as f64;
+    }
+    Ok(ChannelStats {
+        mean: mean.into_iter().map(|m| m as f32).collect(),
+        var: var.into_iter().map(|v| v as f32).collect(),
+        count: per_channel,
+    })
+}
+
+/// Single-pass statistics using `Var[X] = E[X²] − E[X]²` (the paper's MVF).
+///
+/// # Errors
+/// Returns an error for non-4-D or empty inputs.
+pub fn channel_stats_one_pass(x: &Tensor) -> Result<ChannelStats> {
+    let (channels, _) = per_channel_count(x.shape())?;
+    let n = x.shape().n();
+    let mut acc = ChannelAccumulator::new(channels);
+    for ni in 0..n {
+        for c in 0..channels {
+            acc.push_plane(c, x.channel_plane(ni, c));
+        }
+    }
+    acc.add_count(n * x.shape().h() * x.shape().w());
+    acc.finalize()
+}
+
+/// Numerically robust single-pass statistics using Welford's online
+/// algorithm. Used as the "gold" reference when quantifying the floating
+/// point error MVF introduces.
+///
+/// # Errors
+/// Returns an error for non-4-D or empty inputs.
+pub fn channel_stats_welford(x: &Tensor) -> Result<ChannelStats> {
+    let (channels, per_channel) = per_channel_count(x.shape())?;
+    let n = x.shape().n();
+    let mut mean = vec![0.0f64; channels];
+    let mut m2 = vec![0.0f64; channels];
+    let mut count = vec![0.0f64; channels];
+    for ni in 0..n {
+        for c in 0..channels {
+            for &v in x.channel_plane(ni, c) {
+                count[c] += 1.0;
+                let value = f64::from(v);
+                let delta = value - mean[c];
+                mean[c] += delta / count[c];
+                m2[c] += delta * (value - mean[c]);
+            }
+        }
+    }
+    Ok(ChannelStats {
+        mean: mean.iter().map(|&m| m as f32).collect(),
+        var: m2
+            .iter()
+            .zip(count.iter())
+            .map(|(&m2c, &n)| if n > 0.0 { (m2c / n) as f32 } else { 0.0 })
+            .collect(),
+        count: per_channel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..shape.volume()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn constant_tensor_has_zero_variance() {
+        let x = Tensor::filled(Shape::nchw(4, 3, 2, 2), 2.5);
+        for stats in [
+            channel_stats_two_pass(&x).unwrap(),
+            channel_stats_one_pass(&x).unwrap(),
+            channel_stats_welford(&x).unwrap(),
+        ] {
+            for c in 0..3 {
+                assert!((stats.mean[c] - 2.5).abs() < 1e-6);
+                assert!(stats.var[c].abs() < 1e-6);
+            }
+            assert_eq!(stats.count, 4 * 2 * 2);
+        }
+    }
+
+    #[test]
+    fn all_three_methods_agree_on_random_data() {
+        let x = random_tensor(Shape::nchw(8, 5, 7, 6), 42);
+        let two = channel_stats_two_pass(&x).unwrap();
+        let one = channel_stats_one_pass(&x).unwrap();
+        let wel = channel_stats_welford(&x).unwrap();
+        assert!(two.max_abs_diff(&one).unwrap() < 1e-4);
+        assert!(two.max_abs_diff(&wel).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn known_values() {
+        // Channel 0: [1, 2, 3, 4] -> mean 2.5, var 1.25
+        // Channel 1: [0, 0, 0, 8] -> mean 2.0, var 12.0
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 8.0],
+        )
+        .unwrap();
+        let stats = channel_stats_two_pass(&x).unwrap();
+        assert!((stats.mean[0] - 2.5).abs() < 1e-6);
+        assert!((stats.var[0] - 1.25).abs() < 1e-6);
+        assert!((stats.mean[1] - 2.0).abs() < 1e-6);
+        assert!((stats.var[1] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single() {
+        let x = random_tensor(Shape::nchw(4, 3, 4, 4), 7);
+        let full = channel_stats_one_pass(&x).unwrap();
+
+        // Split the batch over two accumulators and merge, emulating the
+        // per-thread-block reduction described for the GPU implementation.
+        let mut a = ChannelAccumulator::new(3);
+        let mut b = ChannelAccumulator::new(3);
+        for ni in 0..4 {
+            let target = if ni < 2 { &mut a } else { &mut b };
+            for c in 0..3 {
+                target.push_plane(c, x.channel_plane(ni, c));
+            }
+        }
+        a.add_count(2 * 16);
+        b.add_count(2 * 16);
+        a.merge(&b).unwrap();
+        let merged = a.finalize().unwrap();
+        assert!(full.max_abs_diff(&merged).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn accumulator_push_individual_elements() {
+        let mut acc = ChannelAccumulator::new(1);
+        for v in [1.0f32, 2.0, 3.0, 4.0] {
+            acc.push(0, v);
+        }
+        acc.add_count(4);
+        let stats = acc.finalize().unwrap();
+        assert!((stats.mean[0] - 2.5).abs() < 1e-6);
+        assert!((stats.var[0] - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_accumulator_cannot_finalize() {
+        let acc = ChannelAccumulator::new(4);
+        assert!(acc.finalize().is_err());
+    }
+
+    #[test]
+    fn merge_channel_mismatch_fails() {
+        let mut a = ChannelAccumulator::new(2);
+        let b = ChannelAccumulator::new(3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn non_nchw_input_is_rejected() {
+        let x = Tensor::zeros(Shape::matrix(3, 4));
+        assert!(channel_stats_two_pass(&x).is_err());
+        assert!(channel_stats_one_pass(&x).is_err());
+        assert!(channel_stats_welford(&x).is_err());
+    }
+
+    #[test]
+    fn stats_diff_channel_mismatch() {
+        let a = ChannelStats::zeros(2);
+        let b = ChannelStats::zeros(3);
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+
+    #[test]
+    fn variance_never_negative_in_one_pass() {
+        // Large offset makes E[X²] − E[X]² catastrophically cancel; the
+        // one-pass implementation must clamp at zero.
+        let x = Tensor::filled(Shape::nchw(2, 1, 8, 8), 10_000.0);
+        let stats = channel_stats_one_pass(&x).unwrap();
+        assert!(stats.var[0] >= 0.0);
+    }
+}

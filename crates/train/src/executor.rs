@@ -1,0 +1,756 @@
+//! The numeric graph executor: forward and backward passes over a model
+//! graph, dispatching to the kernels crate, including the fused BNFF
+//! operators.
+
+use crate::error::TrainError;
+use crate::params::{NodeParamGrads, NodeParams, ParamSet};
+use crate::Result;
+use bnff_graph::op::{OpKind, PoolKind};
+use bnff_graph::{Graph, Node, NodeId};
+use bnff_kernels::batchnorm::{bn_backward, bn_normalize, bn_statistics, BnForwardState};
+use bnff_kernels::concat::{concat_backward, concat_forward};
+use bnff_kernels::conv::{
+    conv2d_backward_input, conv2d_backward_weights, conv2d_forward_direct,
+};
+use bnff_kernels::eltwise::eltwise_sum_forward;
+use bnff_kernels::fc::{fc_backward, fc_forward};
+use bnff_kernels::fused::{
+    concat_forward_with_stats, conv2d_forward_with_stats, norm_relu_conv_backward,
+    norm_relu_conv_forward, NormReluConvState,
+};
+use bnff_kernels::pool::{
+    avg_pool_backward, avg_pool_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool_backward, max_pool_forward, MaxPoolState,
+};
+use bnff_kernels::relu::{relu_backward, relu_forward};
+use bnff_kernels::softmax::{
+    accuracy, softmax_loss_backward, softmax_loss_forward, SoftmaxLossState,
+};
+use bnff_tensor::stats::ChannelStats;
+use bnff_tensor::{ops, Shape, Tensor};
+use std::collections::HashMap;
+
+/// Per-node state captured during the forward pass for reuse in backward.
+#[derive(Debug, Clone)]
+enum NodeState {
+    Bn(BnForwardState),
+    MaxPool(MaxPoolState),
+    Softmax(SoftmaxLossState),
+    NormReluConv(NormReluConvState),
+    /// The clipped (post-ReLU) input a fused ReluConv fed to its convolution.
+    ClippedInput(Tensor),
+}
+
+/// The result of one forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// Mean cross-entropy loss over the mini-batch.
+    pub loss: f32,
+    /// Classification accuracy over the mini-batch.
+    pub accuracy: f32,
+    /// The classifier scores fed into the loss node.
+    pub scores: Tensor,
+    outputs: HashMap<usize, Tensor>,
+    stats: HashMap<usize, ChannelStats>,
+    states: HashMap<usize, NodeState>,
+    labels: Vec<usize>,
+}
+
+impl ForwardResult {
+    /// The output tensor of a node, if it was produced.
+    pub fn output(&self, id: NodeId) -> Option<&Tensor> {
+        self.outputs.get(&id.index())
+    }
+
+    /// The mini-batch statistics produced by a statistics-bearing node.
+    pub fn stats(&self, id: NodeId) -> Option<&ChannelStats> {
+        self.stats.get(&id.index())
+    }
+}
+
+/// Parameter gradients (and the data gradient) of one backward pass.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-node parameter gradients, keyed by node id index.
+    pub per_node: HashMap<usize, NodeParamGrads>,
+    /// Gradient with respect to the data input, when requested.
+    pub d_data: Option<Tensor>,
+}
+
+impl Gradients {
+    /// Looks up the gradients of one node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeParamGrads> {
+        self.per_node.get(&id.index())
+    }
+
+    /// Global L2 norm of all parameter gradients (useful for debugging
+    /// exploding/vanishing gradients).
+    pub fn global_norm(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for g in self.per_node.values() {
+            match g {
+                NodeParamGrads::Conv { d_weights, d_bias } => {
+                    acc += d_weights.sq_norm();
+                    acc += d_bias.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                }
+                NodeParamGrads::Bn { d_gamma, d_beta } => {
+                    acc += d_gamma.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                    acc += d_beta.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                }
+                NodeParamGrads::ConvBn { d_weights, d_bias, d_gamma, d_beta } => {
+                    acc += d_weights.sq_norm();
+                    acc += d_bias.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                    acc += d_gamma.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                    acc += d_beta.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                }
+                NodeParamGrads::Fc { d_weights, d_bias } => {
+                    acc += d_weights.sq_norm();
+                    acc += d_bias.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                }
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// A numeric executor bound to one graph and one parameter set.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    graph: Graph,
+    params: ParamSet,
+}
+
+impl Executor {
+    /// Creates an executor with freshly initialized parameters.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is structurally invalid.
+    pub fn new(graph: Graph, seed: u64) -> Result<Self> {
+        graph.validate()?;
+        let params = ParamSet::initialize(&graph, seed)?;
+        Ok(Executor { graph, params })
+    }
+
+    /// Creates an executor around an existing parameter set.
+    pub fn with_params(graph: Graph, params: ParamSet) -> Self {
+        Executor { graph, params }
+    }
+
+    /// The executor's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The executor's parameters.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable access to the parameters (used by the optimizer).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn data_input(&self) -> Result<NodeId> {
+        self.graph
+            .input_nodes()
+            .into_iter()
+            .find(|id| {
+                self.graph
+                    .node(*id)
+                    .map(|n| n.output_shape.is_nchw())
+                    .unwrap_or(false)
+            })
+            .ok_or_else(|| TrainError::Missing("4-D data input node".to_string()))
+    }
+
+    fn conv_params(&self, node: &Node) -> Result<(&Tensor, Option<&[f32]>)> {
+        match self.params.get(node.id) {
+            Some(NodeParams::Conv { weights, bias }) => Ok((weights, bias.as_deref())),
+            Some(NodeParams::ConvBn { weights, bias, .. }) => Ok((weights, bias.as_deref())),
+            _ => Err(TrainError::Missing(format!("convolution parameters for '{}'", node.name))),
+        }
+    }
+
+    fn bn_params(&self, node: &Node) -> Result<&bnff_kernels::batchnorm::BnParams> {
+        match self.params.get(node.id) {
+            Some(NodeParams::Bn(p)) => Ok(p),
+            Some(NodeParams::ConvBn { bn, .. }) => Ok(bn),
+            _ => Err(TrainError::Missing(format!("BN parameters for '{}'", node.name))),
+        }
+    }
+
+    /// Runs the forward pass on a mini-batch.
+    ///
+    /// # Errors
+    /// Returns an error if an operation cannot be executed or shapes are
+    /// inconsistent with the graph.
+    pub fn forward(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
+        let data_id = self.data_input()?;
+        let expected = &self.graph.node(data_id)?.output_shape;
+        expected.expect_same(data.shape()).map_err(TrainError::Tensor)?;
+
+        let mut outputs: HashMap<usize, Tensor> = HashMap::new();
+        let mut stats: HashMap<usize, ChannelStats> = HashMap::new();
+        let mut states: HashMap<usize, NodeState> = HashMap::new();
+        let mut loss = 0.0f32;
+        let mut scores: Option<Tensor> = None;
+        outputs.insert(data_id.index(), data.clone());
+
+        for id in self.graph.topo_order()? {
+            let node = self.graph.node(id)?.clone();
+            let get_out = |outputs: &HashMap<usize, Tensor>, idx: usize| -> Result<Tensor> {
+                outputs
+                    .get(&node.inputs[idx].index())
+                    .cloned()
+                    .ok_or_else(|| TrainError::Missing(format!("output of {}", node.inputs[idx])))
+            };
+            match &node.op {
+                OpKind::Input => {
+                    // Label inputs carry no tensor; the data input is pre-seeded.
+                }
+                OpKind::Conv2d(a) => {
+                    let x = get_out(&outputs, 0)?;
+                    let (w, b) = self.conv_params(&node)?;
+                    outputs.insert(id.index(), conv2d_forward_direct(&x, w, b, a)?);
+                }
+                OpKind::ReluConv(a) => {
+                    let x = get_out(&outputs, 0)?;
+                    let (w, b) = self.conv_params(&node)?;
+                    let clipped = relu_forward(&x);
+                    states.insert(id.index(), NodeState::ClippedInput(clipped.clone()));
+                    outputs.insert(id.index(), conv2d_forward_direct(&clipped, w, b, a)?);
+                }
+                OpKind::ConvStats { conv: a, bn } => {
+                    let x = get_out(&outputs, 0)?;
+                    let (w, b) = self.conv_params(&node)?;
+                    let _ = bn;
+                    let (out, s) = conv2d_forward_with_stats(&x, w, b, a)?;
+                    stats.insert(id.index(), s);
+                    outputs.insert(id.index(), out);
+                }
+                OpKind::BatchNorm(attrs) => {
+                    let x = get_out(&outputs, 0)?;
+                    let p = self.bn_params(&node)?;
+                    let s = bn_statistics(&x, attrs.one_pass_stats)?;
+                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
+                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    outputs.insert(id.index(), y);
+                }
+                OpKind::SubBnStats(attrs) => {
+                    let x = get_out(&outputs, 0)?;
+                    let s = bn_statistics(&x, attrs.one_pass_stats)?;
+                    let mut summary = Tensor::zeros(Shape::matrix(2, s.channels()));
+                    for (c, (&m, &v)) in s.mean.iter().zip(s.var.iter()).enumerate() {
+                        summary.set(c, m).map_err(TrainError::Tensor)?;
+                        summary.set(s.channels() + c, v).map_err(TrainError::Tensor)?;
+                    }
+                    stats.insert(id.index(), s);
+                    outputs.insert(id.index(), summary);
+                }
+                OpKind::SubBnNorm(attrs) => {
+                    let x = get_out(&outputs, 0)?;
+                    let p = self.bn_params(&node)?;
+                    let s = stats
+                        .get(&node.inputs[1].index())
+                        .cloned()
+                        .ok_or_else(|| {
+                            TrainError::Missing(format!("statistics for '{}'", node.name))
+                        })?;
+                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
+                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    outputs.insert(id.index(), y);
+                }
+                OpKind::NormRelu(attrs) => {
+                    let x = get_out(&outputs, 0)?;
+                    let p = self.bn_params(&node)?;
+                    let s = stats
+                        .get(&node.inputs[1].index())
+                        .cloned()
+                        .ok_or_else(|| {
+                            TrainError::Missing(format!("statistics for '{}'", node.name))
+                        })?;
+                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
+                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    outputs.insert(id.index(), relu_forward(&y));
+                }
+                OpKind::NormReluConv { conv: a, bn: attrs }
+                | OpKind::NormReluConvStats { conv: a, bn_in: attrs, .. } => {
+                    let raw = get_out(&outputs, 0)?;
+                    let s = stats
+                        .get(&node.inputs[1].index())
+                        .cloned()
+                        .ok_or_else(|| {
+                            TrainError::Missing(format!("statistics for '{}'", node.name))
+                        })?;
+                    let (w, b) = self.conv_params(&node)?;
+                    let bn_p = self.bn_params(&node)?;
+                    let (out, state) =
+                        norm_relu_conv_forward(&raw, &s, bn_p, attrs.epsilon, w, b, a)?;
+                    if let OpKind::NormReluConvStats { bn_out, .. } = &node.op {
+                        stats.insert(id.index(), bn_statistics(&out, bn_out.one_pass_stats)?);
+                    }
+                    states.insert(id.index(), NodeState::NormReluConv(state));
+                    outputs.insert(id.index(), out);
+                }
+                OpKind::Relu => {
+                    let x = get_out(&outputs, 0)?;
+                    outputs.insert(id.index(), relu_forward(&x));
+                }
+                OpKind::Pool { kind, attrs } => {
+                    let x = get_out(&outputs, 0)?;
+                    match kind {
+                        PoolKind::Max => {
+                            let state = max_pool_forward(&x, attrs)?;
+                            outputs.insert(id.index(), state.output.clone());
+                            states.insert(id.index(), NodeState::MaxPool(state));
+                        }
+                        PoolKind::Average => {
+                            outputs.insert(id.index(), avg_pool_forward(&x, attrs)?);
+                        }
+                    }
+                }
+                OpKind::GlobalAvgPool => {
+                    let x = get_out(&outputs, 0)?;
+                    outputs.insert(id.index(), global_avg_pool_forward(&x)?);
+                }
+                OpKind::Concat => {
+                    let xs: Vec<Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|i| {
+                            outputs
+                                .get(&i.index())
+                                .cloned()
+                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
+                        })
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = xs.iter().collect();
+                    outputs.insert(id.index(), concat_forward(&refs)?);
+                }
+                OpKind::ConcatStats(_) => {
+                    let xs: Vec<Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|i| {
+                            outputs
+                                .get(&i.index())
+                                .cloned()
+                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
+                        })
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = xs.iter().collect();
+                    let (out, s) = concat_forward_with_stats(&refs)?;
+                    stats.insert(id.index(), s);
+                    outputs.insert(id.index(), out);
+                }
+                OpKind::Split { .. } => {
+                    let x = get_out(&outputs, 0)?;
+                    outputs.insert(id.index(), x);
+                }
+                OpKind::EltwiseSum => {
+                    let xs: Vec<Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|i| {
+                            outputs
+                                .get(&i.index())
+                                .cloned()
+                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
+                        })
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = xs.iter().collect();
+                    outputs.insert(id.index(), eltwise_sum_forward(&refs)?);
+                }
+                OpKind::FullyConnected { .. } => {
+                    let x = get_out(&outputs, 0)?;
+                    let (w, b) = match self.params.get(node.id) {
+                        Some(NodeParams::Fc { weights, bias }) => (weights, bias),
+                        _ => {
+                            return Err(TrainError::Missing(format!(
+                                "FC parameters for '{}'",
+                                node.name
+                            )))
+                        }
+                    };
+                    outputs.insert(id.index(), fc_forward(&x, w, b)?);
+                }
+                OpKind::SoftmaxLoss => {
+                    let x = get_out(&outputs, 0)?;
+                    let state = softmax_loss_forward(&x, labels)?;
+                    loss = state.loss;
+                    scores = Some(x.clone());
+                    states.insert(id.index(), NodeState::Softmax(state));
+                    outputs.insert(id.index(), Tensor::from_slice(&[loss]));
+                }
+            }
+        }
+
+        let scores = scores.ok_or_else(|| TrainError::Missing("softmax loss node".to_string()))?;
+        let acc = accuracy(&scores, labels)?;
+        Ok(ForwardResult {
+            loss,
+            accuracy: acc,
+            scores,
+            outputs,
+            stats,
+            states,
+            labels: labels.to_vec(),
+        })
+    }
+
+    /// Runs the backward pass, producing parameter gradients.
+    ///
+    /// # Errors
+    /// Returns an error if the forward result does not match this graph.
+    pub fn backward(&self, fwd: &ForwardResult) -> Result<Gradients> {
+        let mut d_out: HashMap<usize, Tensor> = HashMap::new();
+        let mut per_node: HashMap<usize, NodeParamGrads> = HashMap::new();
+        let data_id = self.data_input()?;
+
+        let accumulate = |map: &mut HashMap<usize, Tensor>, id: NodeId, grad: Tensor| -> Result<()> {
+            match map.get_mut(&id.index()) {
+                Some(existing) => {
+                    ops::add_assign(existing, &grad).map_err(TrainError::Tensor)?;
+                }
+                None => {
+                    map.insert(id.index(), grad);
+                }
+            }
+            Ok(())
+        };
+
+        let order = self.graph.topo_order()?;
+        for id in order.into_iter().rev() {
+            let node = self.graph.node(id)?.clone();
+            match &node.op {
+                OpKind::SoftmaxLoss => {
+                    let state = match fwd.states.get(&id.index()) {
+                        Some(NodeState::Softmax(s)) => s,
+                        _ => return Err(TrainError::Missing("softmax state".to_string())),
+                    };
+                    let d_scores = softmax_loss_backward(state, &fwd.labels)?;
+                    accumulate(&mut d_out, node.inputs[0], d_scores)?;
+                }
+                OpKind::Input => {}
+                _ => {
+                    let Some(grad) = d_out.get(&id.index()).cloned() else {
+                        continue;
+                    };
+                    let input_tensor = |idx: usize| -> Result<Tensor> {
+                        fwd.outputs
+                            .get(&node.inputs[idx].index())
+                            .cloned()
+                            .ok_or_else(|| {
+                                TrainError::Missing(format!("forward output of {}", node.inputs[idx]))
+                            })
+                    };
+                    match &node.op {
+                        OpKind::Conv2d(a) | OpKind::ConvStats { conv: a, .. } => {
+                            let x = input_tensor(0)?;
+                            let (w, b) = self.conv_params(&node)?;
+                            let d_x = conv2d_backward_input(&grad, w, x.shape(), a)?;
+                            let (d_w, d_b) = conv2d_backward_weights(&x, &grad, a, b.is_some())?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::Conv { d_weights: d_w, d_bias: d_b },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::ReluConv(a) => {
+                            let x = input_tensor(0)?;
+                            let clipped = match fwd.states.get(&id.index()) {
+                                Some(NodeState::ClippedInput(t)) => t.clone(),
+                                _ => relu_forward(&x),
+                            };
+                            let (w, b) = self.conv_params(&node)?;
+                            let d_clipped = conv2d_backward_input(&grad, w, clipped.shape(), a)?;
+                            let (d_w, d_b) =
+                                conv2d_backward_weights(&clipped, &grad, a, b.is_some())?;
+                            let d_x = relu_backward(&d_clipped, &x)?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::Conv { d_weights: d_w, d_bias: d_b },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::NormReluConv { conv: a, bn: attrs }
+                        | OpKind::NormReluConvStats { conv: a, bn_in: attrs, .. } => {
+                            let state = match fwd.states.get(&id.index()) {
+                                Some(NodeState::NormReluConv(s)) => s,
+                                _ => {
+                                    return Err(TrainError::Missing(format!(
+                                        "fused state for '{}'",
+                                        node.name
+                                    )))
+                                }
+                            };
+                            let (w, b) = self.conv_params(&node)?;
+                            let bn_p = self.bn_params(&node)?;
+                            let grads = norm_relu_conv_backward(
+                                &grad,
+                                state,
+                                bn_p,
+                                attrs.epsilon,
+                                w,
+                                a,
+                                b.is_some(),
+                            )?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::ConvBn {
+                                    d_weights: grads.d_weights,
+                                    d_bias: grads.d_bias,
+                                    d_gamma: grads.d_bn.d_gamma,
+                                    d_beta: grads.d_bn.d_beta,
+                                },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], grads.d_raw)?;
+                        }
+                        OpKind::BatchNorm(attrs) | OpKind::SubBnNorm(attrs) => {
+                            let state = match fwd.states.get(&id.index()) {
+                                Some(NodeState::Bn(s)) => s,
+                                _ => {
+                                    return Err(TrainError::Missing(format!(
+                                        "BN state for '{}'",
+                                        node.name
+                                    )))
+                                }
+                            };
+                            let p = self.bn_params(&node)?;
+                            let (d_x, g) = bn_backward(&grad, state, p, attrs.epsilon)?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::Bn { d_gamma: g.d_gamma, d_beta: g.d_beta },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::NormRelu(attrs) => {
+                            let state = match fwd.states.get(&id.index()) {
+                                Some(NodeState::Bn(s)) => s,
+                                _ => {
+                                    return Err(TrainError::Missing(format!(
+                                        "BN state for '{}'",
+                                        node.name
+                                    )))
+                                }
+                            };
+                            let p = self.bn_params(&node)?;
+                            let y = fwd
+                                .outputs
+                                .get(&id.index())
+                                .cloned()
+                                .ok_or_else(|| TrainError::Missing("NormRelu output".into()))?;
+                            let d_post_bn = relu_backward(&grad, &y)?;
+                            let (d_x, g) = bn_backward(&d_post_bn, state, p, attrs.epsilon)?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::Bn { d_gamma: g.d_gamma, d_beta: g.d_beta },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::SubBnStats(_) => {
+                            // The statistics path carries no independent
+                            // gradient: the normalization backward already
+                            // differentiates through mean/variance.
+                        }
+                        OpKind::Relu => {
+                            let x = input_tensor(0)?;
+                            let d_x = relu_backward(&grad, &x)?;
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::Pool { kind, attrs } => {
+                            let x = input_tensor(0)?;
+                            let d_x = match kind {
+                                PoolKind::Max => {
+                                    let state = match fwd.states.get(&id.index()) {
+                                        Some(NodeState::MaxPool(s)) => s,
+                                        _ => {
+                                            return Err(TrainError::Missing(format!(
+                                                "max pool state for '{}'",
+                                                node.name
+                                            )))
+                                        }
+                                    };
+                                    max_pool_backward(&grad, state, x.shape())?
+                                }
+                                PoolKind::Average => avg_pool_backward(&grad, x.shape(), attrs)?,
+                            };
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::GlobalAvgPool => {
+                            let x = input_tensor(0)?;
+                            let d_x = global_avg_pool_backward(&grad, x.shape())?;
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::Concat | OpKind::ConcatStats(_) => {
+                            let shapes: Vec<Shape> = node
+                                .inputs
+                                .iter()
+                                .map(|i| self.graph.node(*i).map(|n| n.output_shape.clone()))
+                                .collect::<bnff_graph::Result<_>>()?;
+                            let grads = concat_backward(&grad, &shapes)?;
+                            for (input, g) in node.inputs.iter().zip(grads.into_iter()) {
+                                accumulate(&mut d_out, *input, g)?;
+                            }
+                        }
+                        OpKind::Split { .. } => {
+                            accumulate(&mut d_out, node.inputs[0], grad)?;
+                        }
+                        OpKind::EltwiseSum => {
+                            for input in &node.inputs {
+                                accumulate(&mut d_out, *input, grad.clone())?;
+                            }
+                        }
+                        OpKind::FullyConnected { .. } => {
+                            let x = input_tensor(0)?;
+                            let w = match self.params.get(node.id) {
+                                Some(NodeParams::Fc { weights, .. }) => weights,
+                                _ => {
+                                    return Err(TrainError::Missing(format!(
+                                        "FC parameters for '{}'",
+                                        node.name
+                                    )))
+                                }
+                            };
+                            let (d_x, d_w, d_b) = fc_backward(&x, w, &grad)?;
+                            per_node.insert(
+                                id.index(),
+                                NodeParamGrads::Fc { d_weights: d_w, d_bias: d_b },
+                            );
+                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                        }
+                        OpKind::Input | OpKind::SoftmaxLoss => unreachable!("handled above"),
+                    }
+                }
+            }
+        }
+
+        Ok(Gradients { per_node, d_data: d_out.remove(&data_id.index()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::builder::GraphBuilder;
+    use bnff_graph::op::Conv2dAttrs;
+    use bnff_graph::passes::{BnffPass, Pass};
+    use bnff_tensor::init::Initializer;
+
+    fn tiny_classifier(batch: usize) -> Graph {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input("data", Shape::nchw(batch, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(batch)).unwrap();
+        let c1 = b.conv2d(x, Conv2dAttrs::same_3x3(8), "conv1").unwrap();
+        let bn = b.batch_norm_default(c1, "bn1").unwrap();
+        let r = b.relu(bn, "relu1").unwrap();
+        let c2 = b.conv2d(r, Conv2dAttrs::pointwise(8), "conv2").unwrap();
+        let gap = b.global_avg_pool(c2, "gap").unwrap();
+        let fc = b.fully_connected(gap, 4, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        b.finish()
+    }
+
+    fn random_batch(batch: usize, classes: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut init = Initializer::seeded(seed);
+        let data = init.uniform(Shape::nchw(batch, 3, 8, 8), -1.0, 1.0);
+        let labels = (0..batch).map(|i| i % classes).collect();
+        (data, labels)
+    }
+
+    #[test]
+    fn forward_produces_finite_loss() {
+        let exec = Executor::new(tiny_classifier(4), 1).unwrap();
+        let (data, labels) = random_batch(4, 4, 2);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        assert!(fwd.loss.is_finite());
+        assert!(fwd.loss > 0.0);
+        assert!((0.0..=1.0).contains(&fwd.accuracy));
+        assert_eq!(fwd.scores.shape(), &Shape::matrix(4, 4));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let exec = Executor::new(tiny_classifier(4), 1).unwrap();
+        let (data, labels) = random_batch(2, 4, 2);
+        assert!(exec.forward(&data, &labels).is_err());
+    }
+
+    #[test]
+    fn backward_produces_gradients_for_every_parameterised_node() {
+        let exec = Executor::new(tiny_classifier(4), 3).unwrap();
+        let (data, labels) = random_batch(4, 4, 4);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let grads = exec.backward(&fwd).unwrap();
+        assert_eq!(grads.per_node.len(), exec.params().len());
+        assert!(grads.global_norm() > 0.0);
+        assert!(grads.d_data.is_some());
+    }
+
+    #[test]
+    fn loss_gradient_check_through_the_whole_network() {
+        // Perturb a single convolution weight and compare the numerical
+        // derivative of the loss against the analytic gradient.
+        let exec = Executor::new(tiny_classifier(2), 5).unwrap();
+        let (data, labels) = random_batch(2, 4, 6);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let grads = exec.backward(&fwd).unwrap();
+
+        let conv_id = exec.graph().nodes().find(|n| n.name == "conv1").unwrap().id;
+        let analytic = match grads.node(conv_id).unwrap() {
+            NodeParamGrads::Conv { d_weights, .. } => d_weights.get(11).unwrap(),
+            _ => panic!("expected conv gradients"),
+        };
+
+        let h = 1e-2f32;
+        let mut plus = exec.clone();
+        if let Some(NodeParams::Conv { weights, .. }) = plus.params_mut().get_mut(conv_id) {
+            let v = weights.get(11).unwrap();
+            weights.set(11, v + h).unwrap();
+        }
+        let mut minus = exec.clone();
+        if let Some(NodeParams::Conv { weights, .. }) = minus.params_mut().get_mut(conv_id) {
+            let v = weights.get(11).unwrap();
+            weights.set(11, v - h).unwrap();
+        }
+        let lp = plus.forward(&data, &labels).unwrap().loss;
+        let lm = minus.forward(&data, &labels).unwrap().loss;
+        let numeric = f64::from(lp - lm) / (2.0 * f64::from(h));
+        assert!(
+            (numeric - f64::from(analytic)).abs() < 5e-3,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn executes_bnff_restructured_graphs() {
+        let baseline = tiny_classifier(4);
+        let restructured = BnffPass::new().run(&baseline).unwrap();
+        let exec = Executor::new(restructured, 7).unwrap();
+        let (data, labels) = random_batch(4, 4, 8);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        assert!(fwd.loss.is_finite());
+        let grads = exec.backward(&fwd).unwrap();
+        assert!(grads.global_norm() > 0.0);
+        // The fused graph must still own parameters for every conv/BN/FC.
+        assert!(!grads.per_node.is_empty());
+    }
+
+    #[test]
+    fn forward_exposes_intermediate_outputs_and_stats() {
+        let baseline = tiny_classifier(2);
+        let restructured = BnffPass::new().run(&baseline).unwrap();
+        let exec = Executor::new(restructured, 9).unwrap();
+        let (data, labels) = random_batch(2, 4, 10);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let stats_node = exec
+            .graph()
+            .nodes()
+            .find(|n| matches!(n.op, OpKind::ConvStats { .. }))
+            .unwrap()
+            .id;
+        assert!(fwd.stats(stats_node).is_some());
+        assert!(fwd.output(stats_node).is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Numerical-equivalence validation of the BN restructuring.
+//!
+//! The paper's transformation is only legal if it does not change what the
+//! network learns. Three properties are checked here (and exercised by the
+//! crate's tests and the workspace integration tests):
+//!
+//! 1. **MVF equivalence** — switching every BN layer to single-sweep
+//!    `E[X²]−E[X]²` statistics ([`MvfPass`]) leaves the loss and the
+//!    parameter gradients essentially unchanged (Section 3.2 argues single
+//!    precision is sufficient; [`mvf_divergence`] measures exactly that).
+//! 2. **Restructured-graph trainability** — a BNFF-restructured graph can be
+//!    trained end to end and reaches the same loss scale as the baseline
+//!    ([`compare_training`]).
+//! 3. **Kernel-level equivalence** of the fused operators, covered by the
+//!    `bnff-kernels` test-suite.
+
+use crate::data::SyntheticDataset;
+use crate::executor::Executor;
+use crate::trainer::{TrainConfig, Trainer};
+use crate::Result;
+use bnff_graph::passes::{MvfPass, Pass};
+use bnff_graph::Graph;
+use bnff_tensor::Tensor;
+
+/// The divergence between a baseline graph and its MVF-restructured twin on
+/// one mini-batch: identical parameters, identical input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvfDivergence {
+    /// Baseline (two-pass statistics) loss.
+    pub baseline_loss: f32,
+    /// One-pass (`E[X²]−E[X]²`) loss.
+    pub one_pass_loss: f32,
+    /// Absolute loss difference.
+    pub loss_diff: f32,
+    /// Largest absolute difference across all parameter-gradient tensors.
+    pub max_grad_diff: f32,
+}
+
+/// Measures the loss / gradient divergence introduced by MVF on one batch.
+///
+/// The MVF pass rewrites attributes only, so node ids (and therefore
+/// parameters) are shared one-to-one between the two graphs.
+///
+/// # Errors
+/// Returns an error if the graphs cannot be executed.
+pub fn mvf_divergence(graph: &Graph, data: &Tensor, labels: &[usize], seed: u64) -> Result<MvfDivergence> {
+    let baseline = Executor::new(graph.clone(), seed)?;
+    let one_pass_graph = MvfPass::new().run(graph)?;
+    let one_pass = Executor::with_params(one_pass_graph, baseline.params().clone());
+
+    let fwd_base = baseline.forward(data, labels)?;
+    let fwd_mvf = one_pass.forward(data, labels)?;
+    let grads_base = baseline.backward(&fwd_base)?;
+    let grads_mvf = one_pass.backward(&fwd_mvf)?;
+
+    let mut max_grad_diff = 0.0f32;
+    for (idx, g_base) in &grads_base.per_node {
+        let Some(g_mvf) = grads_mvf.per_node.get(idx) else { continue };
+        use crate::params::NodeParamGrads as G;
+        let diff = match (g_base, g_mvf) {
+            (G::Conv { d_weights: a, .. }, G::Conv { d_weights: b, .. }) => {
+                a.max_abs_diff(b).unwrap_or(f32::INFINITY)
+            }
+            (G::Fc { d_weights: a, .. }, G::Fc { d_weights: b, .. }) => {
+                a.max_abs_diff(b).unwrap_or(f32::INFINITY)
+            }
+            (G::Bn { d_gamma: ga, d_beta: ba }, G::Bn { d_gamma: gb, d_beta: bb }) => ga
+                .iter()
+                .zip(gb)
+                .chain(ba.iter().zip(bb))
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f32::max),
+            (G::ConvBn { d_weights: a, .. }, G::ConvBn { d_weights: b, .. }) => {
+                a.max_abs_diff(b).unwrap_or(f32::INFINITY)
+            }
+            _ => f32::INFINITY,
+        };
+        max_grad_diff = max_grad_diff.max(diff);
+    }
+
+    Ok(MvfDivergence {
+        baseline_loss: fwd_base.loss,
+        one_pass_loss: fwd_mvf.loss,
+        loss_diff: (fwd_base.loss - fwd_mvf.loss).abs(),
+        max_grad_diff,
+    })
+}
+
+/// Result of training two graph variants on the same synthetic task.
+#[derive(Debug, Clone)]
+pub struct TrainingComparison {
+    /// Final-window average loss of the first variant.
+    pub loss_a: f32,
+    /// Final-window average loss of the second variant.
+    pub loss_b: f32,
+    /// Final evaluation accuracy of the first variant.
+    pub accuracy_a: f32,
+    /// Final evaluation accuracy of the second variant.
+    pub accuracy_b: f32,
+}
+
+fn tail_loss(history: &[crate::trainer::StepMetrics]) -> f32 {
+    let window = history.len().min(5).max(1);
+    history[history.len() - window..].iter().map(|m| m.loss).sum::<f32>() / window as f32
+}
+
+/// Trains two graph variants (e.g. baseline and BNFF-restructured) on the
+/// same synthetic dataset and reports their final losses and accuracies.
+///
+/// # Errors
+/// Returns an error if either training run fails.
+pub fn compare_training(
+    graph_a: &Graph,
+    graph_b: &Graph,
+    dataset: &SyntheticDataset,
+    config: &TrainConfig,
+) -> Result<TrainingComparison> {
+    let mut trainer_a = Trainer::new(graph_a.clone(), dataset.clone(), config.clone())?;
+    let mut trainer_b = Trainer::new(graph_b.clone(), dataset.clone(), config.clone())?;
+    let history_a = trainer_a.run()?;
+    let history_b = trainer_b.run()?;
+    let eval_a = trainer_a.evaluate(10_007)?;
+    let eval_b = trainer_b.evaluate(10_007)?;
+    Ok(TrainingComparison {
+        loss_a: tail_loss(&history_a),
+        loss_b: tail_loss(&history_b),
+        accuracy_a: eval_a.accuracy,
+        accuracy_b: eval_b.accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::builder::GraphBuilder;
+    use bnff_graph::op::Conv2dAttrs;
+    use bnff_graph::passes::BnffPass;
+    use bnff_tensor::init::Initializer;
+    use bnff_tensor::Shape;
+
+    fn cpl_classifier(batch: usize, classes: usize) -> Graph {
+        let mut b = GraphBuilder::new("cpl-classifier");
+        let x = b.input("data", Shape::nchw(batch, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(batch)).unwrap();
+        let c0 = b.conv2d(x, Conv2dAttrs::same_3x3(8), "stem").unwrap();
+        let c1 = b.bn_relu_conv(c0, Conv2dAttrs::pointwise(16), "cpl/a").unwrap();
+        let c2 = b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(8), "cpl/b").unwrap();
+        let cat = b.concat(vec![c0, c2], "concat").unwrap();
+        let gap = b.global_avg_pool(cat, "gap").unwrap();
+        let fc = b.fully_connected(gap, classes, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn mvf_changes_nothing_measurable() {
+        let g = cpl_classifier(6, 3);
+        let mut init = Initializer::seeded(21);
+        let data = init.uniform(Shape::nchw(6, 3, 8, 8), -1.0, 1.0);
+        let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let div = mvf_divergence(&g, &data, &labels, 17).unwrap();
+        assert!(div.loss_diff < 1e-4, "loss diverged by {}", div.loss_diff);
+        assert!(div.max_grad_diff < 1e-2, "gradients diverged by {}", div.max_grad_diff);
+        assert!(div.baseline_loss.is_finite() && div.one_pass_loss.is_finite());
+    }
+
+    #[test]
+    fn bnff_restructured_network_trains_like_the_baseline() {
+        let baseline = cpl_classifier(8, 3);
+        let restructured = BnffPass::new().run(&baseline).unwrap();
+        let dataset = SyntheticDataset::new(3, 3, 8, 0.05, 33).unwrap();
+        let config = TrainConfig {
+            batch_size: 8,
+            steps: 30,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            seed: 5,
+        };
+        let cmp = compare_training(&baseline, &restructured, &dataset, &config).unwrap();
+        // Both must clearly learn the synthetic task...
+        assert!(cmp.accuracy_a > 0.5, "baseline accuracy {}", cmp.accuracy_a);
+        assert!(cmp.accuracy_b > 0.5, "restructured accuracy {}", cmp.accuracy_b);
+        // ...and end up at comparable loss scales.
+        assert!(
+            (cmp.loss_a - cmp.loss_b).abs() < 0.5 * cmp.loss_a.max(cmp.loss_b).max(0.2),
+            "final losses diverged: {} vs {}",
+            cmp.loss_a,
+            cmp.loss_b
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Reproduce the paper's Figure 3 view interactively: print the
+//! bandwidth-utilization timeline of one DenseNet-121 training iteration,
+//! before and after BN Fission-n-Fusion, as an ASCII strip chart.
+//!
+//! Run with `cargo run --release --example memory_timeline -- [batch]`.
+
+use bnff::core::{BnffOptimizer, FusionLevel};
+use bnff::memsim::timeline::{bandwidth_series, simulate_timeline};
+use bnff::memsim::MachineProfile;
+use bnff::models::densenet121;
+
+fn strip(series: &[f64]) -> String {
+    const LEVELS: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    series
+        .iter()
+        .map(|u| LEVELS[((u * (LEVELS.len() - 1) as f64).round() as usize).min(LEVELS.len() - 1)])
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let machine = MachineProfile::skylake_xeon_2s();
+    let baseline = densenet121(batch)?;
+    let restructured = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline)?;
+
+    println!("DenseNet-121 @ batch {batch} on {}", machine.name);
+    println!("(each character is one time bucket; darker = closer to peak bandwidth)\n");
+    for (name, graph) in [("baseline", &baseline), ("BNFF", &restructured)] {
+        let events = simulate_timeline(graph, &machine)?;
+        let total: f64 = events.iter().map(|e| e.duration).sum();
+        let series = bandwidth_series(&events, 100);
+        println!("{name:9} ({:6.1} ms/iteration): |{}|", total * 1e3, strip(&series));
+    }
+    println!("\nThe BNFF strip is both shorter (fewer, fused layers) and less saturated:");
+    println!("the dedicated BN/ReLU sweeps that pinned the memory bus are gone.");
+    Ok(())
+}

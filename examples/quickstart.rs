@@ -1,0 +1,40 @@
+//! Quickstart: build DenseNet-121 at the paper's mini-batch size, apply BN
+//! Fission-n-Fusion, and estimate the training-iteration speedup on the
+//! paper's 2-socket Skylake system.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use bnff::core::{BnffOptimizer, FusionLevel};
+use bnff::graph::analysis;
+use bnff::memsim::MachineProfile;
+use bnff::models::densenet121;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = 120;
+    let graph = densenet121(batch)?;
+    println!(
+        "DenseNet-121 @ batch {batch}: {} layers, {:.2} M parameters",
+        graph.node_count(),
+        graph.parameter_count() as f64 / 1e6
+    );
+
+    let machine = MachineProfile::skylake_xeon_2s();
+    for level in [FusionLevel::Rcf, FusionLevel::RcfMvf, FusionLevel::Bnff, FusionLevel::BnffIcf] {
+        let optimizer = BnffOptimizer::new(level);
+        let restructured = optimizer.apply(&graph)?;
+        let report = optimizer.compare(&graph, &restructured, &machine)?;
+        let sweeps_before = analysis::activation_sweep_count(&graph)?;
+        let sweeps_after = analysis::activation_sweep_count(&restructured)?;
+        println!(
+            "{:9} -> {:4} layers, {:4} -> {:4} feature-map sweeps, speedup {:.2}x ({:.1}% faster, {:.1}% less DRAM traffic)",
+            level.label(),
+            restructured.node_count(),
+            sweeps_before,
+            sweeps_after,
+            report.speedup(),
+            report.improvement() * 100.0,
+            report.traffic_reduction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # bnff — Restructuring Batch Normalization to Accelerate CNN Training
+//!
+//! This is the facade crate of the `bnff` workspace, a Rust reproduction of
+//! the MLSys 2019 paper *"Restructuring Batch Normalization to Accelerate CNN
+//! Training"* (Jung et al.). It re-exports the public API of every workspace
+//! crate so downstream users and the bundled examples can depend on a single
+//! crate.
+//!
+//! The headline idea of the paper is **BN Fission-n-Fusion (BNFF)**: split a
+//! training-time Batch Normalization layer into a statistics sub-layer and a
+//! normalization sub-layer, then fuse the former into the preceding
+//! convolution and the latter into the following ReLU + convolution, removing
+//! whole-feature-map main-memory sweeps.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use bnff::core::{BnffOptimizer, FusionLevel};
+//! use bnff::memsim::MachineProfile;
+//! use bnff::models::densenet121;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build DenseNet-121 at the paper's mini-batch size.
+//! let graph = densenet121(120)?;
+//!
+//! // Apply the full BN Fission-n-Fusion pipeline.
+//! let optimizer = BnffOptimizer::new(FusionLevel::Bnff);
+//! let restructured = optimizer.apply(&graph)?;
+//!
+//! // Estimate the training-iteration speedup on the paper's Skylake system.
+//! let machine = MachineProfile::skylake_xeon_2s();
+//! let report = optimizer.compare(&graph, &restructured, &machine)?;
+//! assert!(report.speedup() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the crate-level docs of each re-exported module for the details:
+//! [`tensor`], [`graph`], [`kernels`], [`memsim`], [`models`], [`train`] and
+//! [`core`].
+
+pub use bnff_core as core;
+pub use bnff_graph as graph;
+pub use bnff_kernels as kernels;
+pub use bnff_memsim as memsim;
+pub use bnff_models as models;
+pub use bnff_tensor as tensor;
+pub use bnff_train as train;
+
+/// The version of the bnff workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace integration tests: numerical equivalence of the restructured
+//! training graphs, spanning the models, graph, kernels and train crates.
+
+use bnff::core::{BnffOptimizer, FusionLevel};
+use bnff::models::{densenet_cifar, resnet_cifar};
+use bnff::tensor::init::Initializer;
+use bnff::tensor::Shape;
+use bnff::train::data::SyntheticDataset;
+use bnff::train::validate::{compare_training, mvf_divergence};
+use bnff::train::{Executor, TrainConfig};
+
+#[test]
+fn mvf_is_numerically_harmless_on_a_small_densenet() {
+    let batch = 8;
+    let graph = densenet_cifar(batch, 8, 2, 4).unwrap();
+    let mut init = Initializer::seeded(3);
+    let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 4).collect();
+    let div = mvf_divergence(&graph, &data, &labels, 11).unwrap();
+    assert!(div.loss_diff < 1e-3, "MVF changed the loss by {}", div.loss_diff);
+    assert!(div.max_grad_diff < 5e-2, "MVF changed gradients by {}", div.max_grad_diff);
+}
+
+#[test]
+fn bnff_restructured_densenet_produces_finite_training_signals() {
+    let batch = 8;
+    let baseline = densenet_cifar(batch, 8, 2, 4).unwrap();
+    let restructured = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline).unwrap();
+    // The restructuring merges layers but never drops a convolution.
+    let convs = |g: &bnff::graph::Graph| g.nodes().filter(|n| n.op.contains_conv()).count();
+    assert_eq!(convs(&baseline), convs(&restructured));
+
+    let exec = Executor::new(restructured, 5).unwrap();
+    let mut init = Initializer::seeded(9);
+    let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 4).collect();
+    let fwd = exec.forward(&data, &labels).unwrap();
+    assert!(fwd.loss.is_finite() && fwd.loss > 0.0);
+    let grads = exec.backward(&fwd).unwrap();
+    assert!(grads.global_norm().is_finite());
+    assert!(grads.global_norm() > 0.0);
+}
+
+#[test]
+fn baseline_and_bnff_training_reach_similar_losses() {
+    let batch = 8;
+    let classes = 3;
+    let baseline = densenet_cifar(batch, 6, 1, classes).unwrap();
+    let restructured = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline).unwrap();
+    let dataset = SyntheticDataset::new(classes, 3, 32, 0.05, 77).unwrap();
+    let config = TrainConfig {
+        batch_size: batch,
+        steps: 12,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        seed: 2,
+    };
+    let cmp = compare_training(&baseline, &restructured, &dataset, &config).unwrap();
+    assert!(cmp.loss_a.is_finite() && cmp.loss_b.is_finite());
+    assert!(cmp.accuracy_a > 1.0 / classes as f32);
+    assert!(cmp.accuracy_b > 1.0 / classes as f32);
+}
+
+#[test]
+fn resnet_style_graphs_survive_the_full_pipeline_too() {
+    let batch = 4;
+    let baseline = resnet_cifar(batch, 1, 4).unwrap();
+    let restructured = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline).unwrap();
+    assert!(restructured.validate().is_ok());
+    let exec = Executor::new(restructured, 1).unwrap();
+    let mut init = Initializer::seeded(13);
+    let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 4).collect();
+    let fwd = exec.forward(&data, &labels).unwrap();
+    assert!(fwd.loss.is_finite());
+}

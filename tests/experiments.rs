@@ -1,0 +1,76 @@
+//! Workspace integration tests over the experiment drivers: the headline
+//! claims of the paper must hold in the reproduction, end to end.
+
+use bnff::core::experiments as exp;
+use bnff::core::{BnffOptimizer, FusionLevel};
+use bnff::memsim::MachineProfile;
+use bnff::models::{densenet121, resnet50};
+
+/// Batch large enough that mini-batch feature maps exceed the LLC, as in the
+/// paper (the analytical model is shape-driven, so this is cheap).
+const BATCH: usize = 120;
+
+#[test]
+fn headline_densenet_speedup_is_reproduced_in_shape() {
+    let graph = densenet121(BATCH).unwrap();
+    let machine = MachineProfile::skylake_xeon_2s();
+    let optimizer = BnffOptimizer::new(FusionLevel::Bnff);
+    let restructured = optimizer.apply(&graph).unwrap();
+    let report = optimizer.compare(&graph, &restructured, &machine).unwrap();
+    // Paper: 25.7% overall, 47.9% forward, 15.4% backward, 19.1% less traffic.
+    assert!(
+        (0.15..=0.45).contains(&report.improvement()),
+        "DenseNet-121 BNFF improvement {} out of band",
+        report.improvement()
+    );
+    assert!(report.forward_improvement() > report.backward_improvement());
+    assert!(report.traffic_reduction() > 0.1);
+}
+
+#[test]
+fn resnet_gains_are_present_but_smaller() {
+    let machine = MachineProfile::skylake_xeon_2s();
+    let dense = {
+        let g = densenet121(BATCH).unwrap();
+        let o = BnffOptimizer::new(FusionLevel::Bnff);
+        let r = o.apply(&g).unwrap();
+        o.compare(&g, &r, &machine).unwrap().improvement()
+    };
+    let res = {
+        let g = resnet50(BATCH).unwrap();
+        let o = BnffOptimizer::new(FusionLevel::Bnff);
+        let r = o.apply(&g).unwrap();
+        o.compare(&g, &r, &machine).unwrap().improvement()
+    };
+    assert!(res > 0.05, "ResNet-50 gain {res}");
+    assert!(dense > res, "DenseNet gain {dense} should exceed ResNet gain {res}");
+}
+
+#[test]
+fn figure_drivers_produce_complete_row_sets() {
+    assert_eq!(exp::table1().len(), 3);
+    assert_eq!(exp::figure1(BATCH).unwrap().len(), 4);
+    assert_eq!(exp::figure4(BATCH).unwrap().len(), 2);
+    assert_eq!(exp::figure6(1.0).unwrap().len(), 3);
+    let fig7 = exp::figure7(BATCH).unwrap();
+    assert_eq!(fig7.len(), 9); // 5 DenseNet scenarios + 4 ResNet scenarios
+    assert_eq!(exp::figure8(BATCH).unwrap().len(), 4);
+    assert_eq!(exp::gpu_cutlass(28).unwrap().len(), 6);
+}
+
+#[test]
+fn icf_extends_bnff_on_densenet() {
+    let graph = densenet121(BATCH).unwrap();
+    let machine = MachineProfile::skylake_xeon_2s();
+    let bnff = {
+        let o = BnffOptimizer::new(FusionLevel::Bnff);
+        let r = o.apply(&graph).unwrap();
+        o.compare(&graph, &r, &machine).unwrap().improvement()
+    };
+    let icf = {
+        let o = BnffOptimizer::new(FusionLevel::BnffIcf);
+        let r = o.apply(&graph).unwrap();
+        o.compare(&graph, &r, &machine).unwrap().improvement()
+    };
+    assert!(icf > bnff, "ICF ({icf}) must extend BNFF ({bnff})");
+}
