@@ -53,7 +53,7 @@ pub fn gpu_cutlass(batch: usize) -> Result<Vec<GpuRow>> {
 mod tests {
     use super::*;
 
-    fn improvement<'a>(rows: &'a [GpuRow], model: &str, scenario: &str) -> f64 {
+    fn improvement(rows: &[GpuRow], model: &str, scenario: &str) -> f64 {
         rows.iter()
             .find(|r| r.model == model && r.scenario == scenario)
             .unwrap()

@@ -79,8 +79,8 @@ mod tests {
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
         // No unfissioned BN, no standalone ReLU remains.
-        assert!(hist.get("BatchNorm").is_none());
-        assert!(hist.get("ReLU").is_none());
+        assert!(!hist.contains_key("BatchNorm"));
+        assert!(!hist.contains_key("ReLU"));
         // The two interior BNs (those preceded by the 1x1 convs) are fully
         // fused on both sides; because the 1x1 convolutions both absorb the
         // next BN's statistics *and* the previous BN's normalization they
@@ -90,8 +90,8 @@ mod tests {
         assert_eq!(hist["NormReluConvStats"], 2);
         assert_eq!(hist["NormReluConv"], 2);
         assert_eq!(hist["SubBnStats"], 2);
-        assert!(hist.get("ConvStats").is_none());
-        assert!(hist.get("SubBnNorm").is_none());
+        assert!(!hist.contains_key("ConvStats"));
+        assert!(!hist.contains_key("SubBnNorm"));
     }
 
     #[test]
@@ -140,7 +140,7 @@ mod tests {
         let out = BnffPass::new().run(&g).unwrap();
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
-        assert!(hist.get("BatchNorm").is_none());
+        assert!(!hist.contains_key("BatchNorm"));
         // All four BN statistics sub-layers ride on their preceding convs;
         // the two interior convolutions are additionally fused with the
         // previous BN's normalization + ReLU.
@@ -151,7 +151,7 @@ mod tests {
         assert_eq!(hist["SubBnNorm"], 2);
         // The post-EWS ReLU fuses with next_conv through RCF.
         assert_eq!(hist["ReluConv"], 1);
-        assert!(hist.get("ReLU").is_none());
+        assert!(!hist.contains_key("ReLU"));
     }
 
     #[test]

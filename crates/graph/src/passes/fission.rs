@@ -85,7 +85,7 @@ mod tests {
         let out = FissionPass::new().run(&g).unwrap();
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
-        assert!(hist.get("BatchNorm").is_none());
+        assert!(!hist.contains_key("BatchNorm"));
         assert_eq!(hist["SubBnStats"], 1);
         assert_eq!(hist["SubBnNorm"], 1);
         // One extra node: BN became two.

@@ -189,7 +189,7 @@ mod tests {
         let out = FuseStatsIntoConvPass::new().run(&g).unwrap();
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
-        assert!(hist.get("SubBnStats").is_none());
+        assert!(!hist.contains_key("SubBnStats"));
         assert_eq!(hist["ConvStats"], 1);
         // The normalization node now reads its statistics from the fused conv.
         let norm = out.nodes().find(|n| matches!(n.op, OpKind::SubBnNorm(_))).unwrap();
@@ -204,8 +204,8 @@ mod tests {
         let out = FuseNormReluConvPass::new().run(&g).unwrap();
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
-        assert!(hist.get("SubBnNorm").is_none());
-        assert!(hist.get("ReLU").is_none());
+        assert!(!hist.contains_key("SubBnNorm"));
+        assert!(!hist.contains_key("ReLU"));
         assert_eq!(hist["NormReluConv"], 1);
         assert_eq!(hist["ConvStats"], 1);
         // Input, ConvStats, NormReluConv: 3 nodes.
@@ -253,8 +253,8 @@ mod tests {
         assert!(out.validate().is_ok());
         let hist = out.op_histogram();
         assert_eq!(hist["NormRelu"], 1);
-        assert!(hist.get("ReLU").is_none());
-        assert!(hist.get("SubBnNorm").is_none());
+        assert!(!hist.contains_key("ReLU"));
+        assert!(!hist.contains_key("SubBnNorm"));
     }
 
     #[test]

@@ -102,7 +102,7 @@ mod tests {
         let icf = IcfPass::new().run(&bnff).unwrap();
         assert!(icf.validate().is_ok());
         let hist = icf.op_histogram();
-        assert!(hist.get("SubBnStats").is_none());
+        assert!(!hist.contains_key("SubBnStats"));
         assert_eq!(hist["ConcatStats"], 1);
         assert_eq!(hist["Concat"], 1);
     }

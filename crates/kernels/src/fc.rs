@@ -85,8 +85,8 @@ pub fn fc_backward(
     // d_b = column sums of d_y.
     let mut d_bias = vec![0.0f32; out_features];
     for row in 0..n {
-        for j in 0..out_features {
-            d_bias[j] += d_y.as_slice()[row * out_features + j];
+        for (j, b) in d_bias.iter_mut().enumerate() {
+            *b += d_y.as_slice()[row * out_features + j];
         }
     }
     Ok((d_x, d_w, d_bias))

@@ -51,7 +51,7 @@ impl DramConfig {
     /// single-line bursts and full streaming efficiency for bursts of 64
     /// lines or more.
     pub fn bandwidth_for_burst(&self, burst_lines: usize) -> f64 {
-        let burst = burst_lines.max(1).min(64) as f64;
+        let burst = burst_lines.clamp(1, 64) as f64;
         let factor = 0.5 + 0.5 * (burst.log2() / 6.0);
         self.effective_bandwidth() * factor
     }

@@ -96,7 +96,7 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f64> {
 /// `N × K`.
 pub fn argmax_rows(scores: &Tensor, classes: usize) -> Result<Vec<usize>> {
     let volume = scores.len();
-    if classes == 0 || volume % classes != 0 {
+    if classes == 0 || !volume.is_multiple_of(classes) {
         return Err(TensorError::InvalidShape {
             reason: format!("cannot view {volume} elements as rows of {classes} classes"),
             shape: scores.shape().clone(),

@@ -198,9 +198,9 @@ pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
     let n = x.shape().n();
     let mut mean = vec![0.0f64; channels];
     for ni in 0..n {
-        for c in 0..channels {
+        for (c, m) in mean.iter_mut().enumerate() {
             let plane = x.channel_plane(ni, c);
-            mean[c] += plane.iter().map(|&v| f64::from(v)).sum::<f64>();
+            *m += plane.iter().map(|&v| f64::from(v)).sum::<f64>();
         }
     }
     for m in mean.iter_mut() {

@@ -590,7 +590,7 @@ impl Executor {
                                 .map(|i| self.graph.node(*i).map(|n| n.output_shape.clone()))
                                 .collect::<bnff_graph::Result<_>>()?;
                             let grads = concat_backward(&grad, &shapes)?;
-                            for (input, g) in node.inputs.iter().zip(grads.into_iter()) {
+                            for (input, g) in node.inputs.iter().zip(grads) {
                                 accumulate(&mut d_out, *input, g)?;
                             }
                         }

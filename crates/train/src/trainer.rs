@@ -165,8 +165,17 @@ mod tests {
             last < first * 0.8,
             "loss did not drop: first {first}, last {last}"
         );
-        let eval = trainer.evaluate(999).unwrap();
-        assert!(eval.accuracy > 1.0 / classes as f32, "accuracy {} at chance", eval.accuracy);
+        // The executor's BN runs in training mode (batch statistics), so a
+        // single held-out batch with a skewed label mix can distort the
+        // normalization and sink its accuracy; average a few batches so the
+        // check measures the model, not one batch's label draw.
+        let eval_seeds = [999u64, 1000, 1001, 1002];
+        let accuracy: f32 = eval_seeds
+            .iter()
+            .map(|&s| trainer.evaluate(s).unwrap().accuracy)
+            .sum::<f32>()
+            / eval_seeds.len() as f32;
+        assert!(accuracy > 1.0 / classes as f32, "accuracy {accuracy} at chance");
     }
 
     #[test]

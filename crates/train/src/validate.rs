@@ -100,7 +100,7 @@ pub struct TrainingComparison {
 }
 
 fn tail_loss(history: &[crate::trainer::StepMetrics]) -> f32 {
-    let window = history.len().min(5).max(1);
+    let window = history.len().clamp(1, 5);
     history[history.len() - window..].iter().map(|m| m.loss).sum::<f32>() / window as f32
 }
 

@@ -1,0 +1,41 @@
+//! The `Distribution` trait and the `Uniform` distribution.
+
+use crate::{RngCore, SampleUniform};
+
+/// Types that generate values of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[lo, hi)` or `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new: empty range");
+        Uniform { lo, hi, inclusive: false }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive: empty range");
+        Uniform { lo, hi, inclusive: true }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(self.lo, self.hi, rng)
+        } else {
+            T::sample_half_open(self.lo, self.hi, rng)
+        }
+    }
+}

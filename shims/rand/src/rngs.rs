@@ -1,0 +1,34 @@
+//! Concrete generators. Only [`StdRng`] is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic 64-bit generator (SplitMix64). API-compatible stand-in for
+/// `rand::rngs::StdRng`; the stream differs from the real implementation.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble the seed before using it as state. Callers derive seeds
+        // arithmetically (e.g. `step * 0x9E37_79B9_7F4A_7C15` in
+        // bnff-train's dataset), and that constant is exactly this
+        // generator's state increment — raw seeds would make consecutive
+        // steps' streams shifted copies of each other.
+        let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        StdRng { state: z ^ (z >> 33) }
+    }
+}

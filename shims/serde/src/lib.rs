@@ -1,0 +1,231 @@
+//! Offline shim for the subset of `serde` the bnff workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! an API-compatible stand-in: a [`Serialize`] trait that lowers values into
+//! the [`value::Value`] JSON data model, re-exported derive macros, and a
+//! no-op `Deserialize` derive (nothing in the workspace deserializes yet).
+//!
+//! The design intentionally deviates from real serde's visitor architecture:
+//! the workspace only ever serializes *to JSON*, so `Serialize` produces a
+//! `Value` tree directly and `serde_json` pretty-prints it. Swapping back to
+//! the real crates is a `[workspace.dependencies]` edit in the root manifest.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use value::Value;
+
+/// Types that can be lowered into the JSON [`Value`] data model.
+///
+/// The same-named derive macro implements this for structs and enums using
+/// serde's externally-tagged conventions (unit variants as strings, newtype
+/// variants as single-key objects, etc.).
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // Round-trip through the f32's own shortest decimal form so JSON
+        // shows e.g. 0.00001 rather than the 17-digit f64 expansion of the
+        // nearest-f32 bit pattern (what real serde_json emits for f32).
+        Value::Float(self.to_string().parse::<f64>().unwrap_or(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Map keys must render as JSON strings.
+pub trait SerializeKey {
+    /// The JSON object key for this value.
+    fn to_key(&self) -> String;
+}
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for &str {
+    fn to_key(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+macro_rules! impl_serialize_key_int {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+impl_serialize_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: SerializeKey + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort on the original key, not its string form, so integer keys
+        // come out in numeric order — matching the BTreeMap impl below.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(entries.into_iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".to_string()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn hashmap_keys_are_sorted() {
+        let mut m = HashMap::new();
+        m.insert(2usize, "b");
+        m.insert(1usize, "a");
+        match m.to_value() {
+            Value::Object(entries) => {
+                assert_eq!(entries[0].0, "1");
+                assert_eq!(entries[1].0, "2");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

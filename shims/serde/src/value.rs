@@ -1,0 +1,171 @@
+//! The JSON value tree that [`crate::Serialize`] lowers into, plus its
+//! compact and pretty printers.
+
+use std::fmt;
+
+/// A JSON value. Object entries keep insertion order so struct fields print
+/// in declaration order, like real `serde_json` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number. Non-finite values print as `null`.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl Value {
+    /// Renders the value as compact single-line JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Renders the value as 2-space-indented pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => out.push_str(&float_repr(*f)),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(v.to_json(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\n".into());
+        assert_eq!(v.to_json(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Value::Float(2.0).to_json(), "2.0");
+        assert_eq!(Value::Float(2.5).to_json(), "2.5");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+    }
+}

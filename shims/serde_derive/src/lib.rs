@@ -1,0 +1,258 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim. Parses the item token stream directly (no `syn` /
+//! `quote` available offline) and emits an `impl serde::Serialize` that
+//! lowers the type into the shim's `Value` tree using serde's
+//! externally-tagged enum conventions.
+//!
+//! Supported shapes — everything the bnff workspace derives on:
+//! structs with named fields, tuple structs (newtype and wider), unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let parsed = parse_item(&tokens);
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => named_fields_value(fields, "self.", "&"),
+        Shape::TupleStruct(arity) => tuple_value_self(*arity),
+        Shape::UnitStruct => "serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => enum_match(&parsed.name, variants),
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::value::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+        body = body,
+    );
+    out.parse().expect("serde_derive: generated impl failed to parse")
+}
+
+/// No-op `Deserialize` derive: the workspace never deserializes, but the
+/// derive must exist so `#[derive(Deserialize)]` and
+/// `use serde::Deserialize` compile.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` attributes (including doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`, etc.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_str(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Parsed {
+    let mut i = skip_attrs(tokens, 0);
+    i = skip_vis(tokens, i);
+    let kind = ident_str(&tokens[i]).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_str(&tokens[i]).expect("serde_derive: expected type name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                Parsed { name, shape: Shape::NamedStruct(fields) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(&g.stream().into_iter().collect::<Vec<_>>());
+                Parsed { name, shape: Shape::TupleStruct(arity) }
+            }
+            _ => Parsed { name, shape: Shape::UnitStruct },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&g.stream().into_iter().collect::<Vec<_>>());
+                Parsed { name, shape: Shape::Enum(variants) }
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Splits a field/variant list on top-level commas, treating `<...>` angle
+/// brackets as nesting (groups are single tokens already).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(tokens)
+        .iter()
+        .map(|part| {
+            let i = skip_vis(part, skip_attrs(part, 0));
+            ident_str(&part[i]).expect("serde_derive: expected field name")
+        })
+        .collect()
+}
+
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    split_top_level(tokens).len()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(tokens)
+        .iter()
+        .map(|part| {
+            let i = skip_attrs(part, 0);
+            let name = ident_str(&part[i]).expect("serde_derive: expected variant name");
+            let shape = match part.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+/// `Value::Object(vec![("field", field_expr.to_value()), ...])` where each
+/// field expression is `{prefix}{field}` (e.g. `self.x` or a binding `x`).
+fn named_fields_value(fields: &[String], prefix: &str, borrow: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), serde::Serialize::to_value({borrow}{prefix}{f}))",
+            )
+        })
+        .collect();
+    format!("serde::value::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn tuple_value_self(arity: usize) -> String {
+    if arity == 1 {
+        "serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> =
+            (0..arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+        format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+fn enum_match(type_name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => format!(
+                    "{type_name}::{vname} => serde::value::Value::String(\"{vname}\".to_string())",
+                ),
+                VariantShape::Tuple(1) => format!(
+                    "{type_name}::{vname}(f0) => serde::value::Value::Object(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(f0))])",
+                ),
+                VariantShape::Tuple(arity) => {
+                    let bindings: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{type_name}::{vname}({binds}) => serde::value::Value::Object(vec![(\"{vname}\".to_string(), serde::value::Value::Array(vec![{items}]))])",
+                        binds = bindings.join(", "),
+                        items = items.join(", "),
+                    )
+                }
+                VariantShape::Named(fields) => {
+                    let inner = named_fields_value(fields, "", "");
+                    format!(
+                        "{type_name}::{vname} {{ {binds} }} => serde::value::Value::Object(vec![(\"{vname}\".to_string(), {inner})])",
+                        binds = fields.join(", "),
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}

@@ -1,0 +1,85 @@
+//! Offline shim for the subset of `serde_json` the bnff workspace uses:
+//! [`to_string`], [`to_string_pretty`], the [`json!`] macro, and the
+//! [`Value`] tree (re-exported from the serde shim).
+
+pub use serde::value::Value;
+
+use std::fmt;
+
+/// Serialization error. The shim's tree-based serializer is infallible, but
+/// the real `serde_json` API returns `Result`, so call sites use `?`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes a value as compact single-line JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes a value as 2-space-indented pretty JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Builds a [`Value`] from object/array/expression syntax.
+///
+/// Supports the flat forms the workspace uses: `json!({ "k": expr, ... })`,
+/// `json!([expr, ...])` and `json!(expr)`. Values are anything implementing
+/// the shim's `Serialize` (including `Value` itself, so calls compose).
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    (null) => { $crate::Value::Null };
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        score: f64,
+    }
+
+    #[test]
+    fn derived_struct_serializes_in_field_order() {
+        let row = Row { name: "a\"b".into(), score: 1.5 };
+        assert_eq!(super::to_string(&row).unwrap(), r#"{"name":"a\"b","score":1.5}"#);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![Row { name: "x".into(), score: 2.0 }];
+        let v = json!({ "batch": 4usize, "rows": rows });
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(s, r#"{"batch":4,"rows":[{"name":"x","score":2.0}]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": 1u32 });
+        assert_eq!(super::to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
