@@ -6,9 +6,15 @@
 //! handles the paper-scale projection); it demonstrates that the fused
 //! executor path is functional and not slower than the baseline at equal
 //! arithmetic.
+//!
+//! Every variant runs twice: pinned to one worker (`serial`) and with the
+//! machine's full worker count (`parallel`, i.e. whatever `BNFF_THREADS`
+//! resolves to), so the multi-core speedup of the kernel subsystem is
+//! *measured* by the same harness that measures the fusion win.
 
 use bnff_core::{BnffOptimizer, FusionLevel};
 use bnff_models::densenet_cifar;
+use bnff_parallel::{current_threads, with_threads};
 use bnff_tensor::init::Initializer;
 use bnff_tensor::Shape;
 use bnff_train::Executor;
@@ -25,20 +31,27 @@ fn bench_training_step(c: &mut Criterion) {
     let mut init = Initializer::seeded(5);
     let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
     let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+    let full_threads = current_threads();
 
     let mut group = c.benchmark_group("training_step_densenet_cifar");
-    group.bench_function("baseline_graph", |b| {
-        b.iter(|| {
-            let fwd = baseline.forward(black_box(&data), &labels).unwrap();
-            black_box(baseline.backward(&fwd).unwrap())
-        })
-    });
-    group.bench_function("bnff_graph", |b| {
-        b.iter(|| {
-            let fwd = restructured.forward(black_box(&data), &labels).unwrap();
-            black_box(restructured.backward(&fwd).unwrap())
-        })
-    });
+    for (threads, suffix) in [(1usize, "serial"), (full_threads, "parallel")] {
+        group.bench_function(format!("baseline_graph_{suffix}_t{threads}"), |b| {
+            b.iter(|| {
+                with_threads(threads, || {
+                    let fwd = baseline.forward(black_box(&data), &labels).unwrap();
+                    black_box(baseline.backward(&fwd).unwrap())
+                })
+            })
+        });
+        group.bench_function(format!("bnff_graph_{suffix}_t{threads}"), |b| {
+            b.iter(|| {
+                with_threads(threads, || {
+                    let fwd = restructured.forward(black_box(&data), &labels).unwrap();
+                    black_box(restructured.backward(&fwd).unwrap())
+                })
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,10 +1,22 @@
 //! # bnff-bench — benchmark harness and figure regeneration binaries
 //!
 //! The Criterion benches (in `benches/`) measure the *real* CPU cost of the
-//! fused vs unfused kernels at reduced scale; the binaries (in `src/bin/`)
-//! regenerate every table and figure of the paper from the analytical
-//! machine model at the paper's scale. This library only hosts the small
-//! table-printing helpers the binaries share.
+//! fused vs unfused kernels at reduced scale — `training_step` additionally
+//! pins the `bnff-parallel` pool to one worker and re-measures, so the
+//! multi-core speedup is reported alongside the fusion win. The binaries
+//! (in `src/bin/`) regenerate every table and figure of the paper from the
+//! analytical machine model at the paper's scale. This library only hosts
+//! the small table-printing helpers the binaries share.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bnff_bench::{ms, pct, print_table};
+//!
+//! assert_eq!(pct(0.257), "25.7%");
+//! assert_eq!(ms(0.0123), "12.3 ms");
+//! print_table("speedups", &["model", "bnff"], &[vec!["densenet121".into(), pct(0.24)]]);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

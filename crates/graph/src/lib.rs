@@ -9,11 +9,11 @@
 //!
 //! This crate provides:
 //!
-//! * an [`OpKind`](op::OpKind) vocabulary covering every layer type in
+//! * an [`OpKind`] vocabulary covering every layer type in
 //!   DenseNet / ResNet training plus the fused operators BNFF introduces,
-//! * a [`Graph`](graph::Graph) of layer nodes with shape inference,
+//! * a [`Graph`] of layer nodes with shape inference,
 //!   topological ordering and validation,
-//! * a [`GraphBuilder`](builder::GraphBuilder) used by the model zoo,
+//! * a [`GraphBuilder`] used by the model zoo,
 //! * the restructuring passes of the paper — Fission, RCF, MVF, BNFF and ICF
 //!   — in [`passes`],
 //! * a machine-independent cost analysis ([`analysis`]) that reports FLOPs

@@ -7,8 +7,17 @@
 
 use crate::error::KernelError;
 use crate::Result;
+use bnff_parallel::{
+    min_items_per_thread, parallel_map_collect, parallel_rows_mut, parallel_rows_mut2,
+};
 use bnff_tensor::stats::{channel_stats_one_pass, channel_stats_two_pass, ChannelStats};
 use bnff_tensor::Tensor;
+
+/// Minimum `(sample, channel)` planes per worker for planes of `plane_len`
+/// activations (each costing a few floating-point operations).
+pub(crate) fn min_planes_per_thread(plane_len: usize) -> usize {
+    min_items_per_thread(plane_len.saturating_mul(4))
+}
 
 /// Learnable per-channel parameters of a BN layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,27 +117,38 @@ pub fn bn_normalize(
     if epsilon <= 0.0 {
         return Err(KernelError::InvalidArgument("epsilon must be positive".to_string()));
     }
-    let n = x.shape().n();
     let mut y = Tensor::zeros(x.shape().clone());
     let mut x_hat = Tensor::zeros(x.shape().clone());
-    for ni in 0..n {
-        for ci in 0..c {
-            let mean = stats.mean[ci];
-            let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
-            let gamma = params.gamma[ci];
-            let beta = params.beta[ci];
-            let src = x.channel_plane(ni, ci).to_vec();
-            let hat_plane = x_hat.channel_plane_mut(ni, ci);
-            for (h, &v) in hat_plane.iter_mut().zip(src.iter()) {
-                *h = (v - mean) * inv_std;
+    let plane_len = x.shape().h() * x.shape().w();
+    let src = x.as_slice();
+    // One task per `(sample, channel)` plane; `x̂` and `y` are written in
+    // lockstep so the feature map is swept once.
+    parallel_rows_mut2(
+        x_hat.as_mut_slice(),
+        plane_len.max(1),
+        y.as_mut_slice(),
+        plane_len.max(1),
+        min_planes_per_thread(plane_len),
+        |first_plane, hat_block, y_block| {
+            for (p_local, (hat_plane, y_plane)) in hat_block
+                .chunks_mut(plane_len.max(1))
+                .zip(y_block.chunks_mut(plane_len.max(1)))
+                .enumerate()
+            {
+                let p = first_plane + p_local;
+                let ci = p % c;
+                let mean = stats.mean[ci];
+                let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
+                let gamma = params.gamma[ci];
+                let beta = params.beta[ci];
+                let src_plane = &src[p * plane_len..(p + 1) * plane_len];
+                for ((h, o), &v) in hat_plane.iter_mut().zip(y_plane.iter_mut()).zip(src_plane) {
+                    *h = (v - mean) * inv_std;
+                    *o = gamma * *h + beta;
+                }
             }
-            let hat_copy = hat_plane.to_vec();
-            let y_plane = y.channel_plane_mut(ni, ci);
-            for (o, &h) in y_plane.iter_mut().zip(hat_copy.iter()) {
-                *o = gamma * h + beta;
-            }
-        }
-    }
+        },
+    );
     Ok((y, x_hat))
 }
 
@@ -168,36 +188,51 @@ pub fn bn_backward(
     let n = d_y.shape().n();
     let per_channel = (n * d_y.shape().h() * d_y.shape().w()) as f64;
 
-    // First reduction: ∂β = Σ d_y, ∂γ = Σ d_y · x̂ (per channel).
-    let mut d_beta = vec![0.0f64; c];
-    let mut d_gamma = vec![0.0f64; c];
-    for ni in 0..n {
-        for ci in 0..c {
-            let dy = d_y.channel_plane(ni, ci);
-            let xh = state.x_hat.channel_plane(ni, ci);
-            for (&g, &h) in dy.iter().zip(xh.iter()) {
-                d_beta[ci] += f64::from(g);
-                d_gamma[ci] += f64::from(g) * f64::from(h);
+    // First reduction: ∂β = Σ d_y, ∂γ = Σ d_y · x̂. One worker partial per
+    // channel, each accumulating its planes in mini-batch order, so the
+    // result matches a serial sweep bit-for-bit.
+    let plane_len = d_y.shape().h() * d_y.shape().w();
+    let partials: Vec<(f64, f64)> =
+        parallel_map_collect(c, min_planes_per_thread(n * plane_len), |ci| {
+            let mut beta_acc = 0.0f64;
+            let mut gamma_acc = 0.0f64;
+            for ni in 0..n {
+                let dy = d_y.channel_plane(ni, ci);
+                let xh = state.x_hat.channel_plane(ni, ci);
+                for (&g, &h) in dy.iter().zip(xh.iter()) {
+                    beta_acc += f64::from(g);
+                    gamma_acc += f64::from(g) * f64::from(h);
+                }
             }
-        }
-    }
+            (beta_acc, gamma_acc)
+        });
+    let d_beta: Vec<f64> = partials.iter().map(|&(b, _)| b).collect();
+    let d_gamma: Vec<f64> = partials.iter().map(|&(_, g)| g).collect();
 
-    // Second pass: ∂x.
+    // Second pass: ∂x, one task per `(sample, channel)` plane.
     let mut d_x = Tensor::zeros(d_y.shape().clone());
-    for ni in 0..n {
-        for ci in 0..c {
-            let inv_std = 1.0 / (state.stats.var[ci] + epsilon).sqrt();
-            let scale = f64::from(params.gamma[ci]) * f64::from(inv_std);
-            let mean_dy = d_beta[ci] / per_channel;
-            let mean_dy_xhat = d_gamma[ci] / per_channel;
-            let dy = d_y.channel_plane(ni, ci).to_vec();
-            let xh = state.x_hat.channel_plane(ni, ci).to_vec();
-            let dx_plane = d_x.channel_plane_mut(ni, ci);
-            for ((dst, &g), &h) in dx_plane.iter_mut().zip(dy.iter()).zip(xh.iter()) {
-                *dst = (scale * (f64::from(g) - mean_dy - f64::from(h) * mean_dy_xhat)) as f32;
+    let dy_all = d_y.as_slice();
+    let xh_all = state.x_hat.as_slice();
+    parallel_rows_mut(
+        d_x.as_mut_slice(),
+        plane_len.max(1),
+        min_planes_per_thread(plane_len),
+        |first_plane, block| {
+            for (p_local, dx_plane) in block.chunks_mut(plane_len.max(1)).enumerate() {
+                let p = first_plane + p_local;
+                let ci = p % c;
+                let inv_std = 1.0 / (state.stats.var[ci] + epsilon).sqrt();
+                let scale = f64::from(params.gamma[ci]) * f64::from(inv_std);
+                let mean_dy = d_beta[ci] / per_channel;
+                let mean_dy_xhat = d_gamma[ci] / per_channel;
+                let dy = &dy_all[p * plane_len..(p + 1) * plane_len];
+                let xh = &xh_all[p * plane_len..(p + 1) * plane_len];
+                for ((dst, &g), &h) in dx_plane.iter_mut().zip(dy.iter()).zip(xh.iter()) {
+                    *dst = (scale * (f64::from(g) - mean_dy - f64::from(h) * mean_dy_xhat)) as f32;
+                }
             }
-        }
-    }
+        },
+    );
 
     Ok((
         d_x,

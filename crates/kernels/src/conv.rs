@@ -1,11 +1,18 @@
 //! 2-D convolution kernels: direct and im2col+GEMM forward paths, plus the
 //! backward passes with respect to the inputs and the weights.
+//!
+//! The direct path partitions work over `(sample, out_channel)` output
+//! planes, the lowered path inherits the GEMM's row-block partitioning, and
+//! the weight gradient reduces per-sample partials with a deterministic
+//! tree — so all paths scale across `BNFF_THREADS` cores while producing
+//! thread-count-independent results.
 
 use crate::error::KernelError;
 use crate::gemm::{gemm, gemm_tn};
 use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col};
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
+use bnff_parallel::{chunk_ranges, min_items_per_thread, parallel_reduce, parallel_rows_mut};
 use bnff_tensor::{Shape, Tensor};
 
 /// Validates the weight tensor layout `(Cout, Cin, Kh, Kw)` against the
@@ -60,8 +67,16 @@ pub fn conv2d_forward_direct(
     let n = input.shape().n();
     let (h, w) = (input.shape().h(), input.shape().w());
     let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
-    for ni in 0..n {
-        for oc in 0..attrs.out_channels {
+    // One task per `(sample, out_channel)` output plane; every plane is a
+    // disjoint contiguous run of the NCHW output buffer.
+    let plane_len = out_h * out_w;
+    let plane_macs = plane_len * in_c * attrs.kernel_h * attrs.kernel_w;
+    let min_planes = min_items_per_thread(plane_macs);
+    parallel_rows_mut(out.as_mut_slice(), plane_len, min_planes, |first_plane, block| {
+        for (p_local, out_plane) in block.chunks_mut(plane_len).enumerate() {
+            let p = first_plane + p_local;
+            let ni = p / attrs.out_channels;
+            let oc = p % attrs.out_channels;
             let bias_v = bias.map(|b| b[oc]).unwrap_or(0.0);
             for oh in 0..out_h {
                 for ow in 0..out_w {
@@ -83,11 +98,11 @@ pub fn conv2d_forward_direct(
                             }
                         }
                     }
-                    *out.at_mut(ni, oc, oh, ow) = acc;
+                    out_plane[oh * out_w + ow] = acc;
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -179,24 +194,69 @@ pub fn conv2d_backward_weights(
     let (rows, cols) = col_shape(input.shape(), attrs)?;
     let mut d_w =
         Tensor::zeros(Shape::nchw(attrs.out_channels, in_c, attrs.kernel_h, attrs.kernel_w));
-    let mut d_bias = vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }];
-    let mut d_w_flat = vec![0.0f32; attrs.out_channels * rows];
-    for ni in 0..n {
-        let col = im2col(input, ni, attrs)?;
-        let start = d_out.shape().offset4(ni, 0, 0, 0);
-        let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
-        // d_W (Cout x rows) += d_out_sample (Cout x cols) · colᵀ (cols x rows)
-        crate::gemm::gemm_nt(attrs.out_channels, rows, cols, d_out_slice, &col, &mut d_w_flat)?;
-        for (acc, v) in d_w.as_mut_slice().iter_mut().zip(d_w_flat.iter()) {
-            *acc += *v;
-        }
-        if with_bias {
-            for oc in 0..attrs.out_channels {
-                d_bias[oc] += d_out_slice[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+    // Samples are grouped into a bounded number of chunks fixed by the
+    // problem (never by the thread count): each chunk accumulates its
+    // samples serially in batch order into one (d_W, d_bias) partial, and
+    // the partials combine with a deterministic tree. Bounding the chunk
+    // count caps transient memory at MAX_WGRAD_PARTIALS weight buffers
+    // whatever the batch size. The im2col + GEMM inside each partial run
+    // serially when this level already fans out, and in parallel when it
+    // does not (single chunk).
+    const MAX_WGRAD_PARTIALS: usize = 8;
+    let sample_macs = attrs.out_channels * rows * cols;
+    let min_samples = min_items_per_thread(sample_macs);
+    let groups = chunk_ranges(n, n.div_ceil(min_samples).min(MAX_WGRAD_PARTIALS));
+    let reduced = parallel_reduce(
+        groups.len(),
+        1,
+        |gi| -> Result<(Vec<f32>, Vec<f32>)> {
+            let mut d_w_flat = vec![0.0f32; attrs.out_channels * rows];
+            let mut d_bias = vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }];
+            let mut sample_buf = vec![0.0f32; attrs.out_channels * rows];
+            for ni in groups[gi].clone() {
+                let col = im2col(input, ni, attrs)?;
+                let start = d_out.shape().offset4(ni, 0, 0, 0);
+                let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
+                // d_W (Cout x rows) += d_out_sample (Cout x cols) · colᵀ (cols x rows)
+                crate::gemm::gemm_nt(
+                    attrs.out_channels,
+                    rows,
+                    cols,
+                    d_out_slice,
+                    &col,
+                    &mut sample_buf,
+                )?;
+                for (acc, v) in d_w_flat.iter_mut().zip(sample_buf.iter()) {
+                    *acc += *v;
+                }
+                for (oc, db) in d_bias.iter_mut().enumerate() {
+                    *db += d_out_slice[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+                }
             }
+            Ok((d_w_flat, d_bias))
+        },
+        |a, b| match (a, b) {
+            (Ok((mut w1, mut b1)), Ok((w2, b2))) => {
+                for (x, y) in w1.iter_mut().zip(&w2) {
+                    *x += *y;
+                }
+                for (x, y) in b1.iter_mut().zip(&b2) {
+                    *x += *y;
+                }
+                Ok((w1, b1))
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        },
+    );
+    match reduced {
+        Some(partials) => {
+            let (d_w_flat, d_bias) = partials?;
+            d_w.as_mut_slice().copy_from_slice(&d_w_flat);
+            Ok((d_w, d_bias))
         }
+        // Empty batch: zero gradients.
+        None => Ok((d_w, vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }])),
     }
-    Ok((d_w, d_bias))
 }
 
 #[cfg(test)]

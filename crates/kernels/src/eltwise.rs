@@ -2,9 +2,12 @@
 
 use crate::error::KernelError;
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 use bnff_tensor::Tensor;
 
-/// Element-wise sum of any number of equally shaped tensors.
+/// Element-wise sum of any number of equally shaped tensors, computed in a
+/// single parallel sweep over the output (each worker accumulates all
+/// inputs for its chunk, in input order).
 ///
 /// # Errors
 /// Returns an error when no inputs are given or shapes differ.
@@ -12,10 +15,18 @@ pub fn eltwise_sum_forward(inputs: &[&Tensor]) -> Result<Tensor> {
     let first = inputs
         .first()
         .ok_or_else(|| KernelError::InvalidArgument("element-wise sum needs inputs".to_string()))?;
-    let mut out = (*first).clone();
     for t in &inputs[1..] {
-        bnff_tensor::ops::add_assign(&mut out, t)?;
+        first.shape().expect_same(t.shape())?;
     }
+    let mut out = (*first).clone();
+    parallel_rows_mut(out.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
+        let len = chunk.len();
+        for t in &inputs[1..] {
+            for (o, &v) in chunk.iter_mut().zip(&t.as_slice()[offset..offset + len]) {
+                *o += v;
+            }
+        }
+    });
     Ok(out)
 }
 

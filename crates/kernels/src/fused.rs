@@ -15,12 +15,13 @@
 //!   same arithmetic as the unfused layers (the memory benefit is modelled
 //!   by `bnff-memsim`; numerically the result must be identical).
 
-use crate::batchnorm::{BnParamGrads, BnParams};
+use crate::batchnorm::{min_planes_per_thread, BnParamGrads, BnParams};
 use crate::conv::{conv2d_backward_input, conv2d_backward_weights, conv2d_forward_direct};
 use crate::error::KernelError;
 use crate::relu::relu_backward;
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
+use bnff_parallel::parallel_rows_mut2;
 use bnff_tensor::stats::{ChannelAccumulator, ChannelStats};
 use bnff_tensor::{Shape, Tensor};
 
@@ -39,16 +40,9 @@ pub fn conv2d_forward_with_stats(
     let out = conv2d_forward_direct(input, weights, bias, attrs)?;
     // The accumulation rides along the output write: every value written is
     // pushed into its channel's accumulator (here expressed as a per-plane
-    // pass over the freshly produced output, which stays cache-resident).
-    let mut acc = ChannelAccumulator::new(attrs.out_channels);
-    let n = out.shape().n();
-    for ni in 0..n {
-        for ci in 0..attrs.out_channels {
-            acc.push_plane(ci, out.channel_plane(ni, ci));
-        }
-    }
-    acc.add_count(n * out.shape().h() * out.shape().w());
-    let stats = acc.finalize()?;
+    // pass over the freshly produced output, which stays cache-resident;
+    // the per-channel partials reduce across worker threads).
+    let stats = ChannelAccumulator::from_tensor(&out)?.finalize()?;
     Ok((out, stats))
 }
 
@@ -62,7 +56,7 @@ pub fn relu_conv_forward(
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor> {
-    let clipped = input.map(|v| v.max(0.0));
+    let clipped = crate::relu::relu_forward(input);
     conv2d_forward_direct(&clipped, weights, bias, attrs)
 }
 
@@ -105,27 +99,38 @@ pub fn norm_relu_conv_forward(
     if epsilon <= 0.0 {
         return Err(KernelError::InvalidArgument("epsilon must be positive".to_string()));
     }
-    let n = raw.shape().n();
     let mut x_hat = Tensor::zeros(raw.shape().clone());
     let mut conv_input = Tensor::zeros(raw.shape().clone());
-    for ni in 0..n {
-        for ci in 0..c {
-            let mean = stats.mean[ci];
-            let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
-            let gamma = bn.gamma[ci];
-            let beta = bn.beta[ci];
-            let src = raw.channel_plane(ni, ci).to_vec();
-            let hat = x_hat.channel_plane_mut(ni, ci);
-            for (h, &v) in hat.iter_mut().zip(src.iter()) {
-                *h = (v - mean) * inv_std;
+    let plane_len = raw.shape().h() * raw.shape().w();
+    let src = raw.as_slice();
+    // One task per `(sample, channel)` plane; `x̂` and the clipped conv
+    // input are produced in the same sweep of the raw activations.
+    parallel_rows_mut2(
+        x_hat.as_mut_slice(),
+        plane_len.max(1),
+        conv_input.as_mut_slice(),
+        plane_len.max(1),
+        min_planes_per_thread(plane_len),
+        |first_plane, hat_block, in_block| {
+            for (p_local, (hat_plane, ci_plane)) in hat_block
+                .chunks_mut(plane_len.max(1))
+                .zip(in_block.chunks_mut(plane_len.max(1)))
+                .enumerate()
+            {
+                let p = first_plane + p_local;
+                let ci = p % c;
+                let mean = stats.mean[ci];
+                let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
+                let gamma = bn.gamma[ci];
+                let beta = bn.beta[ci];
+                let src_plane = &src[p * plane_len..(p + 1) * plane_len];
+                for ((h, o), &v) in hat_plane.iter_mut().zip(ci_plane.iter_mut()).zip(src_plane) {
+                    *h = (v - mean) * inv_std;
+                    *o = (gamma * *h + beta).max(0.0);
+                }
             }
-            let hat_copy = hat.to_vec();
-            let ci_plane = conv_input.channel_plane_mut(ni, ci);
-            for (o, &h) in ci_plane.iter_mut().zip(hat_copy.iter()) {
-                *o = (gamma * h + beta).max(0.0);
-            }
-        }
-    }
+        },
+    );
     let out = conv2d_forward_direct(&conv_input, weights, bias, attrs)?;
     Ok((out, NormReluConvState { x_hat, conv_input, stats: stats.clone() }))
 }
@@ -182,16 +187,8 @@ pub fn norm_relu_conv_backward(
 /// Returns an error if the inputs are incompatible.
 pub fn concat_forward_with_stats(inputs: &[&Tensor]) -> Result<(Tensor, ChannelStats)> {
     let out = crate::concat::concat_forward(inputs)?;
-    let c = out.shape().c();
-    let n = out.shape().n();
-    let mut acc = ChannelAccumulator::new(c);
-    for ni in 0..n {
-        for ci in 0..c {
-            acc.push_plane(ci, out.channel_plane(ni, ci));
-        }
-    }
-    acc.add_count(n * out.shape().h() * out.shape().w());
-    Ok((out.clone(), acc.finalize()?))
+    let stats = ChannelAccumulator::from_tensor(&out)?.finalize()?;
+    Ok((out, stats))
 }
 
 /// Convenience: the shape of the output produced by a fused convolution with

@@ -3,13 +3,25 @@
 //! The im2col convolution path and the fully-connected layer are lowered to
 //! this GEMM, mirroring how MKL-DNN / CUTLASS execute them in the paper's
 //! reference implementations.
+//!
+//! All three entry points partition the output matrix into contiguous
+//! row blocks executed across the `bnff-parallel` pool. Each output row is
+//! computed with the same loop structure whatever block it lands in, so
+//! results are bit-identical for any `BNFF_THREADS`.
 
 use crate::error::KernelError;
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 
 /// Cache-blocking tile edge (elements). Chosen so that three `TILE × TILE`
 /// f32 tiles fit comfortably in a typical 32 KiB L1 data cache.
 const TILE: usize = 48;
+
+/// Rows of the output each worker must own at minimum, given the
+/// per-row cost `n * k` multiply-accumulates.
+fn min_rows_per_thread(n: usize, k: usize) -> usize {
+    min_items_per_thread(n.saturating_mul(k))
+}
 
 /// `c = alpha * a·b + beta * c` where `a` is `m×k`, `b` is `k×n` and `c` is
 /// `m×n`, all row-major.
@@ -53,26 +65,46 @@ pub fn gemm(
         )));
     }
 
+    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
+        gemm_row_block(first_row, n, k, alpha, a, b, beta, c_block);
+    });
+    Ok(())
+}
+
+/// The tiled GEMM loop nest over one contiguous block of output rows.
+/// Accumulation order per output element (ascending `k0`, then `kk`) is
+/// independent of how the rows were partitioned.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block(
+    first_row: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c_block: &mut [f32],
+) {
     if beta != 1.0 {
-        for v in c.iter_mut() {
+        for v in c_block.iter_mut() {
             *v *= beta;
         }
     }
-
-    for i0 in (0..m).step_by(TILE) {
-        let i_max = (i0 + TILE).min(m);
+    let rows = c_block.len() / n;
+    for i0 in (0..rows).step_by(TILE) {
+        let i_max = (i0 + TILE).min(rows);
         for k0 in (0..k).step_by(TILE) {
             let k_max = (k0 + TILE).min(k);
             for j0 in (0..n).step_by(TILE) {
                 let j_max = (j0 + TILE).min(n);
                 for i in i0..i_max {
                     for kk in k0..k_max {
-                        let aik = alpha * a[i * k + kk];
+                        let aik = alpha * a[(first_row + i) * k + kk];
                         if aik == 0.0 {
                             continue;
                         }
                         let brow = &b[kk * n + j0..kk * n + j_max];
-                        let crow = &mut c[i * n + j0..i * n + j_max];
+                        let crow = &mut c_block[i * n + j0..i * n + j_max];
                         for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
                             *cv += aik * *bv;
                         }
@@ -81,7 +113,6 @@ pub fn gemm(
             }
         }
     }
-    Ok(())
 }
 
 /// `c = a·bᵀ` convenience wrapper where `a` is `m×k` and `b` is `n×k`.
@@ -94,15 +125,18 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             "gemm_nt operand sizes do not match the given dimensions".to_string(),
         ));
     }
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += a[i * k + kk] * b[j * k + kk];
+    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
+        for (i_local, crow) in c_block.chunks_mut(n).enumerate() {
+            let arow = &a[(first_row + i_local) * k..(first_row + i_local + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(&b[j * k..(j + 1) * k]) {
+                    acc += av * bv;
+                }
+                *cv = acc;
             }
-            c[i * n + j] = acc;
         }
-    }
+    });
     Ok(())
 }
 
@@ -116,20 +150,27 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             "gemm_tn operand sizes do not match the given dimensions".to_string(),
         ));
     }
-    for v in c.iter_mut() {
-        *v = 0.0;
-    }
-    for kk in 0..k {
-        for i in 0..m {
-            let aki = a[kk * m + i];
-            if aki == 0.0 {
-                continue;
-            }
-            for j in 0..n {
-                c[i * n + j] += aki * b[kk * n + j];
+    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
+        for v in c_block.iter_mut() {
+            *v = 0.0;
+        }
+        let rows = c_block.len() / n;
+        // `kk` stays the outer loop so each element accumulates in the same
+        // order as a whole-matrix sweep.
+        for kk in 0..k {
+            for i_local in 0..rows {
+                let aki = a[kk * m + first_row + i_local];
+                if aki == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let crow = &mut c_block[i_local * n..(i_local + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aki * *bv;
+                }
             }
         }
-    }
+    });
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 use crate::error::KernelError;
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 use bnff_tensor::{Shape, Tensor};
 
 /// Computes the output spatial size of a convolution dimension.
@@ -38,27 +39,29 @@ pub fn im2col(input: &Tensor, sample: usize, attrs: &Conv2dAttrs) -> Result<Vec<
     let rows = c * attrs.kernel_h * attrs.kernel_w;
     let cols = ho * wo;
     let mut out = vec![0.0f32; rows * cols];
-    for ci in 0..c {
-        let plane = input.channel_plane(sample, ci);
-        for kh in 0..attrs.kernel_h {
-            for kw in 0..attrs.kernel_w {
-                let row = (ci * attrs.kernel_h + kh) * attrs.kernel_w + kw;
-                for oh in 0..ho {
-                    let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
-                    for ow in 0..wo {
-                        let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
-                        let value = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
-                        {
-                            plane[ih as usize * w + iw as usize]
-                        } else {
-                            0.0
-                        };
-                        out[row * cols + oh * wo + ow] = value;
-                    }
+    // One task per output row `(ci, kh, kw)`; rows are disjoint in `out`.
+    let min_rows = min_items_per_thread(cols.saturating_mul(4));
+    parallel_rows_mut(&mut out, cols, min_rows, |first_row, block| {
+        for (row_local, row_slice) in block.chunks_mut(cols).enumerate() {
+            let row = first_row + row_local;
+            let kw_off = row % attrs.kernel_w;
+            let kh_off = (row / attrs.kernel_w) % attrs.kernel_h;
+            let ci = row / (attrs.kernel_w * attrs.kernel_h);
+            let plane = input.channel_plane(sample, ci);
+            for oh in 0..ho {
+                let ih = (oh * attrs.stride + kh_off) as isize - attrs.pad as isize;
+                for ow in 0..wo {
+                    let iw = (ow * attrs.stride + kw_off) as isize - attrs.pad as isize;
+                    let value = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w {
+                        plane[ih as usize * w + iw as usize]
+                    } else {
+                        0.0
+                    };
+                    row_slice[oh * wo + ow] = value;
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -88,27 +91,37 @@ pub fn col2im_accumulate(
             rows * cols
         )));
     }
-    for ci in 0..c {
-        for kh in 0..attrs.kernel_h {
-            for kw in 0..attrs.kernel_w {
-                let row = (ci * attrs.kernel_h + kh) * attrs.kernel_w + kw;
-                for oh in 0..ho {
-                    let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
-                    if ih < 0 || ih as usize >= h {
-                        continue;
-                    }
-                    for ow in 0..wo {
-                        let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
-                        if iw < 0 || iw as usize >= w {
+    // All rows of channel `ci` scatter into that channel's plane only, so
+    // the per-sample region splits cleanly into one task per channel.
+    let plane_len = h * w;
+    let start = shape.offset4(sample, 0, 0, 0);
+    let sample_region = &mut target.as_mut_slice()[start..start + c * plane_len];
+    let min_channels =
+        min_items_per_thread((attrs.kernel_h * attrs.kernel_w * cols).saturating_mul(4));
+    parallel_rows_mut(sample_region, plane_len, min_channels, |first_c, block| {
+        for (ci_local, plane) in block.chunks_mut(plane_len).enumerate() {
+            let ci = first_c + ci_local;
+            for kh in 0..attrs.kernel_h {
+                for kw in 0..attrs.kernel_w {
+                    let row = (ci * attrs.kernel_h + kh) * attrs.kernel_w + kw;
+                    for oh in 0..ho {
+                        let ih = (oh * attrs.stride + kh) as isize - attrs.pad as isize;
+                        if ih < 0 || ih as usize >= h {
                             continue;
                         }
-                        let v = cols_data[row * cols + oh * wo + ow];
-                        *target.at_mut(sample, ci, ih as usize, iw as usize) += v;
+                        for ow in 0..wo {
+                            let iw = (ow * attrs.stride + kw) as isize - attrs.pad as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            let v = cols_data[row * cols + oh * wo + ow];
+                            plane[ih as usize * w + iw as usize] += v;
+                        }
                     }
                 }
             }
         }
-    }
+    });
     Ok(())
 }
 

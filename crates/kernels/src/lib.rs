@@ -19,6 +19,34 @@
 //! restructuring legal during training. The test-suites in this crate check
 //! that equivalence, and the Criterion benches in `bnff-bench` measure the
 //! actual memory-traffic benefit on the host CPU.
+//!
+//! Every kernel partitions its hot loops across the `bnff-parallel` pool
+//! (convolutions by output plane, GEMMs by output row, BN reductions by
+//! channel), honouring `BNFF_THREADS` and producing thread-count-independent
+//! results — the `parallel_determinism` integration suite locks that in.
+//!
+//! ## Example
+//!
+//! A fused convolution produces the same output as the unfused one while
+//! its mini-batch statistics ride along with the output write:
+//!
+//! ```rust
+//! use bnff_graph::op::Conv2dAttrs;
+//! use bnff_kernels::conv::conv2d_forward_direct;
+//! use bnff_kernels::fused::conv2d_forward_with_stats;
+//! use bnff_tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), bnff_kernels::KernelError> {
+//! let attrs = Conv2dAttrs::pointwise(2);
+//! let x = Tensor::ones(Shape::nchw(1, 3, 4, 4));
+//! let w = Tensor::ones(Shape::nchw(2, 3, 1, 1));
+//! let plain = conv2d_forward_direct(&x, &w, None, &attrs)?;
+//! let (fused, stats) = conv2d_forward_with_stats(&x, &w, None, &attrs)?;
+//! assert_eq!(plain.as_slice(), fused.as_slice());
+//! assert!((stats.mean[0] - 3.0).abs() < 1e-6); // all-ones 1x1 conv over 3 channels
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

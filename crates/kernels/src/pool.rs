@@ -1,9 +1,11 @@
 //! Spatial pooling layers: max, average and global average pooling.
 
+use crate::batchnorm::min_planes_per_thread;
 use crate::error::KernelError;
 use crate::im2col::conv_out_dim;
 use crate::Result;
 use bnff_graph::op::PoolAttrs;
+use bnff_parallel::{parallel_rows_mut, parallel_rows_mut2};
 use bnff_tensor::{Shape, Tensor};
 
 /// Result of a max-pooling forward pass: the pooled output plus the argmax
@@ -34,38 +36,52 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<MaxPoolState> {
     let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
     let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
     let mut argmax = vec![0usize; n * c * oh * ow];
-    let mut out_idx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = x.channel_plane(ni, ci);
-            for po in 0..oh {
-                for qo in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for kh in 0..attrs.kernel {
-                        let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
-                        if ih < 0 || ih as usize >= h {
-                            continue;
-                        }
-                        for kw in 0..attrs.kernel {
-                            let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
-                            if iw < 0 || iw as usize >= w {
+    // One task per `(sample, channel)` plane; output values and argmax
+    // indices for a plane occupy matching contiguous runs.
+    let plane_out = oh * ow;
+    let min_planes = min_planes_per_thread(plane_out * attrs.kernel * attrs.kernel);
+    parallel_rows_mut2(
+        output.as_mut_slice(),
+        plane_out,
+        &mut argmax,
+        plane_out,
+        min_planes,
+        |first_plane, out_block, arg_block| {
+            for (p_local, (out_plane, arg_plane)) in out_block
+                .chunks_mut(plane_out)
+                .zip(arg_block.chunks_mut(plane_out))
+                .enumerate()
+            {
+                let p = first_plane + p_local;
+                let plane = x.channel_plane(p / c, p % c);
+                for po in 0..oh {
+                    for qo in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kh in 0..attrs.kernel {
+                            let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
+                            if ih < 0 || ih as usize >= h {
                                 continue;
                             }
-                            let idx = ih as usize * w + iw as usize;
-                            if plane[idx] > best {
-                                best = plane[idx];
-                                best_idx = idx;
+                            for kw in 0..attrs.kernel {
+                                let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
+                                if iw < 0 || iw as usize >= w {
+                                    continue;
+                                }
+                                let idx = ih as usize * w + iw as usize;
+                                if plane[idx] > best {
+                                    best = plane[idx];
+                                    best_idx = idx;
+                                }
                             }
                         }
+                        out_plane[po * ow + qo] = best;
+                        arg_plane[po * ow + qo] = best_idx;
                     }
-                    *output.at_mut(ni, ci, po, qo) = best;
-                    argmax[out_idx] = best_idx;
-                    out_idx += 1;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(MaxPoolState { output, argmax })
 }
 
@@ -81,22 +97,26 @@ pub fn max_pool_backward(
 ) -> Result<Tensor> {
     d_y.shape().expect_same(state.output.shape()).map_err(KernelError::Tensor)?;
     input_shape.expect_nchw()?;
-    let (n, c) = (d_y.shape().n(), d_y.shape().c());
+    let c = d_y.shape().c();
     let (oh, ow) = (d_y.shape().h(), d_y.shape().w());
     let mut d_x = Tensor::zeros(input_shape.clone());
-    let mut out_idx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let grads = d_y.channel_plane(ni, ci).to_vec();
-            let plane = d_x.channel_plane_mut(ni, ci);
-            for po in 0..oh {
-                for qo in 0..ow {
-                    plane[state.argmax[out_idx]] += grads[po * ow + qo];
-                    out_idx += 1;
+    let plane_in = input_shape.h() * input_shape.w();
+    let plane_out = oh * ow;
+    parallel_rows_mut(
+        d_x.as_mut_slice(),
+        plane_in.max(1),
+        min_planes_per_thread(plane_out),
+        |first_plane, block| {
+            for (p_local, plane) in block.chunks_mut(plane_in.max(1)).enumerate() {
+                let p = first_plane + p_local;
+                let grads = d_y.channel_plane(p / c, p % c);
+                let args = &state.argmax[p * plane_out..(p + 1) * plane_out];
+                for (&arg, &g) in args.iter().zip(grads.iter()) {
+                    plane[arg] += g;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(d_x)
 }
 
@@ -109,9 +129,12 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
     let (oh, ow) = pooled_shape(x, attrs)?;
     let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
     let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = x.channel_plane(ni, ci);
+    let plane_out = oh * ow;
+    let min_planes = min_planes_per_thread(plane_out * attrs.kernel * attrs.kernel);
+    parallel_rows_mut(output.as_mut_slice(), plane_out, min_planes, |first_plane, block| {
+        for (p_local, out_plane) in block.chunks_mut(plane_out).enumerate() {
+            let p = first_plane + p_local;
+            let plane = x.channel_plane(p / c, p % c);
             for po in 0..oh {
                 for qo in 0..ow {
                     let mut acc = 0.0f32;
@@ -130,11 +153,11 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
                             count += 1;
                         }
                     }
-                    *output.at_mut(ni, ci, po, qo) = if count > 0 { acc / count as f32 } else { 0.0 };
+                    out_plane[po * ow + qo] = if count > 0 { acc / count as f32 } else { 0.0 };
                 }
             }
         }
-    }
+    });
     Ok(output)
 }
 
@@ -145,13 +168,15 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
 pub fn avg_pool_backward(d_y: &Tensor, input_shape: &Shape, attrs: &PoolAttrs) -> Result<Tensor> {
     d_y.shape().expect_nchw()?;
     input_shape.expect_nchw()?;
-    let (n, c, h, w) = (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    let (c, h, w) = (input_shape.c(), input_shape.h(), input_shape.w());
     let (oh, ow) = (d_y.shape().h(), d_y.shape().w());
     let mut d_x = Tensor::zeros(input_shape.clone());
-    for ni in 0..n {
-        for ci in 0..c {
-            let grads = d_y.channel_plane(ni, ci).to_vec();
-            let plane = d_x.channel_plane_mut(ni, ci);
+    let plane_in = h * w;
+    let min_planes = min_planes_per_thread(oh * ow * attrs.kernel * attrs.kernel);
+    parallel_rows_mut(d_x.as_mut_slice(), plane_in.max(1), min_planes, |first_plane, block| {
+        for (p_local, plane) in block.chunks_mut(plane_in.max(1)).enumerate() {
+            let p = first_plane + p_local;
+            let grads = d_y.channel_plane(p / c, p % c);
             for po in 0..oh {
                 for qo in 0..ow {
                     // Recompute the number of valid positions of this window.
@@ -179,7 +204,7 @@ pub fn avg_pool_backward(d_y: &Tensor, input_shape: &Shape, attrs: &PoolAttrs) -
                 }
             }
         }
-    }
+    });
     Ok(d_x)
 }
 
@@ -193,12 +218,14 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
     let (n, c) = (x.shape().n(), x.shape().c());
     let plane_len = (x.shape().h() * x.shape().w()) as f32;
     let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
-    for ni in 0..n {
-        for ci in 0..c {
-            let sum: f32 = x.channel_plane(ni, ci).iter().sum();
-            *out.at_mut(ni, ci, 0, 0) = sum / plane_len;
+    let min_planes = min_planes_per_thread(x.shape().h() * x.shape().w());
+    parallel_rows_mut(out.as_mut_slice(), 1, min_planes, |first_plane, block| {
+        for (p_local, slot) in block.iter_mut().enumerate() {
+            let p = first_plane + p_local;
+            let sum: f32 = x.channel_plane(p / c, p % c).iter().sum();
+            *slot = sum / plane_len;
         }
-    }
+    });
     Ok(out)
 }
 
@@ -209,17 +236,24 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
 pub fn global_avg_pool_backward(d_y: &Tensor, input_shape: &Shape) -> Result<Tensor> {
     d_y.shape().expect_nchw()?;
     input_shape.expect_nchw()?;
-    let (n, c) = (input_shape.n(), input_shape.c());
+    let c = input_shape.c();
     let plane_len = (input_shape.h() * input_shape.w()) as f32;
     let mut d_x = Tensor::zeros(input_shape.clone());
-    for ni in 0..n {
-        for ci in 0..c {
-            let share = d_y.at(ni, ci, 0, 0) / plane_len;
-            for v in d_x.channel_plane_mut(ni, ci) {
-                *v = share;
+    let plane_in = input_shape.h() * input_shape.w();
+    parallel_rows_mut(
+        d_x.as_mut_slice(),
+        plane_in.max(1),
+        min_planes_per_thread(plane_in),
+        |first_plane, block| {
+            for (p_local, plane) in block.chunks_mut(plane_in.max(1)).enumerate() {
+                let p = first_plane + p_local;
+                let share = d_y.at(p / c, p % c, 0, 0) / plane_len;
+                for v in plane {
+                    *v = share;
+                }
             }
-        }
-    }
+        },
+    );
     Ok(d_x)
 }
 

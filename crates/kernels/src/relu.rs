@@ -1,16 +1,23 @@
 //! Rectified linear unit.
 
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 use bnff_tensor::Tensor;
 
 /// ReLU forward pass: `y = max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    let mut y = x.clone();
+    relu_forward_inplace(&mut y);
+    y
 }
 
 /// ReLU forward pass in place.
 pub fn relu_forward_inplace(x: &mut Tensor) {
-    x.map_inplace(|v| v.max(0.0));
+    parallel_rows_mut(x.as_mut_slice(), 1, min_items_per_thread(1), |_, chunk| {
+        for v in chunk {
+            *v = v.max(0.0);
+        }
+    });
 }
 
 /// ReLU backward pass: `d_x = d_y ⊙ 1[x > 0]`.
@@ -21,7 +28,22 @@ pub fn relu_forward_inplace(x: &mut Tensor) {
 /// # Errors
 /// Returns an error if the shapes differ.
 pub fn relu_backward(d_y: &Tensor, x: &Tensor) -> Result<Tensor> {
-    Ok(d_y.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })?)
+    d_y.shape().expect_same(x.shape())?;
+    let mask = x.as_slice();
+    let mut d_x = d_y.clone();
+    parallel_rows_mut(d_x.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
+        let len = chunk.len();
+        for (g, &v) in chunk.iter_mut().zip(&mask[offset..offset + len]) {
+            // Gradient passes only where v > 0.0; NaN activations fail the
+            // test and block the gradient, matching the forward clip
+            // (NaN.max(0.0) == 0.0).
+            let passes = v > 0.0;
+            if !passes {
+                *g = 0.0;
+            }
+        }
+    });
+    Ok(d_x)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::error::KernelError;
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 use bnff_tensor::{Shape, Tensor};
 
 /// Result of the softmax cross-entropy forward pass.
@@ -36,25 +37,33 @@ pub fn softmax_loss_forward(scores: &Tensor, labels: &[usize]) -> Result<Softmax
             labels.len()
         )));
     }
-    let data = scores.as_slice();
-    let mut probs = Tensor::zeros(Shape::matrix(n, k));
-    let mut loss = 0.0f64;
-    for row in 0..n {
-        let label = labels[row];
+    for &label in labels {
         if label >= k {
             return Err(KernelError::InvalidArgument(format!(
                 "label {label} out of range for {k} classes"
             )));
         }
-        let logits = &data[row * k..(row + 1) * k];
-        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exp: Vec<f64> = logits.iter().map(|&v| f64::from(v - max).exp()).collect();
-        let denom: f64 = exp.iter().sum();
-        let prow = &mut probs.as_mut_slice()[row * k..(row + 1) * k];
-        for (p, e) in prow.iter_mut().zip(exp.iter()) {
-            *p = (*e / denom) as f32;
+    }
+    let data = scores.as_slice();
+    let mut probs = Tensor::zeros(Shape::matrix(n, k));
+    // Per-sample rows are independent: normalize them across workers, then
+    // pick out the (cheap, O(N)) label losses serially in row order.
+    let min_rows = min_items_per_thread(k.saturating_mul(4));
+    parallel_rows_mut(probs.as_mut_slice(), k, min_rows, |first_row, block| {
+        for (row_local, prow) in block.chunks_mut(k).enumerate() {
+            let row = first_row + row_local;
+            let logits = &data[row * k..(row + 1) * k];
+            let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp: Vec<f64> = logits.iter().map(|&v| f64::from(v - max).exp()).collect();
+            let denom: f64 = exp.iter().sum();
+            for (p, e) in prow.iter_mut().zip(exp.iter()) {
+                *p = (*e / denom) as f32;
+            }
         }
-        loss += -(f64::from(prow[label]).max(1e-12)).ln();
+    });
+    let mut loss = 0.0f64;
+    for (row, &label) in labels.iter().enumerate() {
+        loss += -f64::from(probs.as_slice()[row * k + label]).max(1e-12).ln();
     }
     Ok(SoftmaxLossState { loss: (loss / n as f64) as f32, probs })
 }

@@ -13,6 +13,18 @@
 //! Every builder returns a [`bnff_graph::Graph`] that ends in a softmax
 //! cross-entropy head, so the same graph drives both the performance model
 //! (`bnff-memsim`) and the numerical executor (`bnff-train`).
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> bnff_models::Result<()> {
+//! // A CIFAR-scale DenseNet-BC: growth rate 12, 4 layers per dense block.
+//! let graph = bnff_models::densenet_cifar(8, 12, 4, 10)?;
+//! assert!(graph.node_count() > 20);
+//! graph.validate()?; // shapes infer and the topology is a DAG
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

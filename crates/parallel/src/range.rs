@@ -1,0 +1,92 @@
+//! Balanced chunked-range partitioning.
+
+use std::ops::Range;
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty ranges whose
+/// concatenation covers every index exactly once.
+///
+/// The naive `len / chunks` chunk size silently drops the `len % chunks`
+/// tail items (or forces an unbalanced final chunk); this implementation
+/// instead hands the first `len % chunks` ranges one extra item each, so
+/// all ranges differ in length by at most one and nothing is lost.
+///
+/// Edge cases: `len == 0` or `chunks == 0` yields no ranges; `chunks > len`
+/// yields `len` single-item ranges.
+///
+/// ```rust
+/// use bnff_parallel::chunk_ranges;
+/// let ranges = chunk_ranges(10, 4);
+/// assert_eq!(ranges.len(), 4);
+/// let covered: usize = ranges.iter().map(|r| r.len()).sum();
+/// assert_eq!(covered, 10); // no silent drop when 10 % 4 != 0
+/// assert_eq!(ranges[0], 0..3);
+/// assert_eq!(ranges[3], 8..10);
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Concatenated ranges must cover `0..len` exactly, in order, for every
+    /// combination — including the `len % chunks != 0` cases that a
+    /// truncating `len / chunks` split silently drops.
+    #[test]
+    fn ranges_partition_exactly() {
+        for len in 0..64usize {
+            for chunks in 0..17usize {
+                let ranges = chunk_ranges(len, chunks);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap/overlap at len={len} chunks={chunks}");
+                    assert!(!r.is_empty(), "empty range at len={len} chunks={chunks}");
+                    next = r.end;
+                }
+                if len == 0 || chunks == 0 {
+                    assert!(ranges.is_empty());
+                } else {
+                    assert_eq!(next, len, "tail dropped at len={len} chunks={chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        for len in 1..100usize {
+            for chunks in 1..12usize {
+                let ranges = chunk_ranges(len, chunks);
+                let min = ranges.iter().map(Range::len).min().unwrap();
+                let max = ranges.iter().map(Range::len).max().unwrap();
+                assert!(max - min <= 1, "imbalance at len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_items_yields_singletons() {
+        let ranges = chunk_ranges(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(chunk_ranges(1, 4), vec![0..1]);
+    }
+}

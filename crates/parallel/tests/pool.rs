@@ -1,0 +1,160 @@
+//! Behavioural tests of the pool itself: panic propagation, zero-length
+//! inputs, nested use, and the `len % threads != 0` chunking edges.
+
+use bnff_parallel::{
+    chunk_ranges, is_nested, parallel_for, parallel_map_collect, parallel_reduce,
+    parallel_rows_mut, parallel_rows_mut2, with_threads,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn worker_panic_propagates_to_caller() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(4, || {
+            parallel_for(8, 1, |range| {
+                if range.contains(&5) {
+                    panic!("worker exploded");
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "a panic on a worker thread must reach the caller");
+}
+
+#[test]
+fn caller_chunk_panic_propagates_too() {
+    // Chunk 0 runs on the calling thread; its panic must also surface (and
+    // the scope must still join the workers first).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(4, || {
+            parallel_for(8, 1, |range| {
+                if range.contains(&0) {
+                    panic!("caller chunk exploded");
+                }
+            });
+        });
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn pool_is_usable_after_a_panic() {
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(2, || parallel_for(4, 1, |_| panic!("boom")));
+    }));
+    // The nesting flag and the thread override must have been restored.
+    assert!(!is_nested());
+    let sum = parallel_reduce(10, 1, |i| i, |a, b| a + b).unwrap();
+    assert_eq!(sum, 45);
+}
+
+#[test]
+fn zero_length_input_never_invokes_the_closure() {
+    parallel_for(0, 1, |_| panic!("must not run"));
+    parallel_rows_mut(&mut [] as &mut [f32], 4, 1, |_, _| panic!("must not run"));
+    assert!(parallel_map_collect(0, 1, |i| i).is_empty());
+    assert_eq!(parallel_reduce(0, 1, |i| i, |a, b| a + b), None);
+}
+
+#[test]
+fn single_element_works() {
+    let mut data = [41.0f32];
+    parallel_rows_mut(&mut data, 1, 1, |first, block| {
+        assert_eq!(first, 0);
+        block[0] += 1.0;
+    });
+    assert_eq!(data, [42.0]);
+}
+
+#[test]
+fn more_threads_than_work_items() {
+    let mut data = vec![0usize; 3];
+    with_threads(16, || {
+        parallel_rows_mut(&mut data, 1, 1, |first, block| {
+            for (offset, v) in block.iter_mut().enumerate() {
+                *v = first + offset + 1;
+            }
+        });
+    });
+    assert_eq!(data, vec![1, 2, 3]);
+}
+
+#[test]
+fn non_divisible_row_counts_lose_nothing() {
+    // 7 rows over 3 threads: 3 + 2 + 2. Every row must be visited once.
+    let mut data = vec![0u8; 7 * 5];
+    with_threads(3, || {
+        parallel_rows_mut(&mut data, 5, 1, |_, block| {
+            for v in block.iter_mut() {
+                *v += 1;
+            }
+        });
+    });
+    assert!(data.iter().all(|&v| v == 1));
+}
+
+#[test]
+fn nested_dispatch_runs_serially_and_correctly() {
+    let inner_parallel = AtomicUsize::new(0);
+    let results = with_threads(4, || {
+        parallel_map_collect(6, 1, |i| {
+            // A dispatch from inside a worker must not spawn again…
+            let nested_sum = parallel_reduce(100, 1, |j| j as u64, |a, b| a + b).unwrap();
+            if is_nested() {
+                inner_parallel.fetch_add(1, Ordering::Relaxed);
+            }
+            // …but it must still compute the right answer.
+            assert_eq!(nested_sum, 4950);
+            i * 10
+        })
+    });
+    assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+    // With 4 workers over 6 items every chunk executes under the nesting
+    // flag (including the caller's own chunk).
+    assert_eq!(inner_parallel.load(Ordering::Relaxed), 6);
+}
+
+#[test]
+fn rows_mut2_blocks_stay_in_lockstep() {
+    // 5 rows; a has rows of 2, b rows of 3. Blocks handed to the closure
+    // must always correspond to the same row range.
+    let mut a = vec![0usize; 5 * 2];
+    let mut b = vec![0usize; 5 * 3];
+    with_threads(2, || {
+        parallel_rows_mut2(&mut a, 2, &mut b, 3, 1, |first_row, block_a, block_b| {
+            assert_eq!(block_a.len() / 2, block_b.len() / 3);
+            for (offset, v) in block_a.iter_mut().enumerate() {
+                *v = first_row + offset / 2;
+            }
+            for (offset, v) in block_b.iter_mut().enumerate() {
+                *v = first_row + offset / 3;
+            }
+        });
+    });
+    for row in 0..5 {
+        assert!(a[row * 2..(row + 1) * 2].iter().all(|&v| v == row));
+        assert!(b[row * 3..(row + 1) * 3].iter().all(|&v| v == row));
+    }
+}
+
+#[test]
+#[should_panic(expected = "whole number of rows")]
+fn ragged_rows_are_rejected_loudly() {
+    // 10 elements cannot be rows of 4 — this must panic, not silently drop
+    // the 2-element tail.
+    let mut data = vec![0.0f32; 10];
+    parallel_rows_mut(&mut data, 4, 1, |_, _| {});
+}
+
+#[test]
+fn chunk_ranges_edge_cases() {
+    assert!(chunk_ranges(0, 4).is_empty());
+    assert!(chunk_ranges(4, 0).is_empty());
+    assert_eq!(chunk_ranges(1, 100), vec![0..1]);
+    // len % chunks != 0: all indices covered, sizes within one of each other.
+    let ranges = chunk_ranges(11, 4);
+    assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 11);
+    assert_eq!(ranges.first().unwrap().start, 0);
+    assert_eq!(ranges.last().unwrap().end, 11);
+}

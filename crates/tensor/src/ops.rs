@@ -7,6 +7,7 @@
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
 
 /// `out = a + b`, element-wise.
 ///
@@ -38,9 +39,13 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
     a.shape().expect_same(b.shape())?;
-    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += *y;
-    }
+    let src = b.as_slice();
+    parallel_rows_mut(a.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
+        let len = chunk.len();
+        for (x, y) in chunk.iter_mut().zip(&src[offset..offset + len]) {
+            *x += *y;
+        }
+    });
     Ok(())
 }
 
@@ -50,9 +55,13 @@ pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
     y.shape().expect_same(x.shape())?;
-    for (yi, xi) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *yi += alpha * *xi;
-    }
+    let src = x.as_slice();
+    parallel_rows_mut(y.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
+        let len = chunk.len();
+        for (yi, xi) in chunk.iter_mut().zip(&src[offset..offset + len]) {
+            *yi += alpha * *xi;
+        }
+    });
     Ok(())
 }
 

@@ -16,6 +16,13 @@ use crate::error::TensorError;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_map_collect};
+
+/// How many channels each worker should take for planes of `per_channel`
+/// activations (each costing a few f64 operations).
+fn channels_per_thread(per_channel: usize) -> usize {
+    min_items_per_thread(per_channel.saturating_mul(4))
+}
 
 /// Per-channel mean and biased variance over a mini-batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +133,44 @@ impl ChannelAccumulator {
         self.sq_sum[c] += q;
     }
 
+    /// Accumulates every channel of an NCHW tensor, with the per-channel
+    /// sums computed across worker threads (one partial Σx/Σx² per channel,
+    /// combined in channel order — the two-pass tree reduction that mirrors
+    /// the paper's per-thread-block reduction on GPU). The result is
+    /// identical for any `BNFF_THREADS` because each channel's planes are
+    /// accumulated in the same mini-batch order a serial sweep uses.
+    ///
+    /// # Errors
+    /// Returns an error for non-4-D or empty inputs.
+    pub fn from_tensor(x: &Tensor) -> Result<Self> {
+        let (channels, per_channel) = per_channel_count(x.shape())?;
+        let n = x.shape().n();
+        let partials = parallel_map_collect(channels, channels_per_thread(per_channel), |c| {
+            let mut sum = 0.0f64;
+            let mut sq_sum = 0.0f64;
+            for ni in 0..n {
+                // Per-plane subtotals first, matching `push_plane`.
+                let mut s = 0.0f64;
+                let mut q = 0.0f64;
+                for &v in x.channel_plane(ni, c) {
+                    let v = f64::from(v);
+                    s += v;
+                    q += v * v;
+                }
+                sum += s;
+                sq_sum += q;
+            }
+            (sum, sq_sum)
+        });
+        let mut acc = ChannelAccumulator::new(channels);
+        for (c, (s, q)) in partials.into_iter().enumerate() {
+            acc.sum[c] = s;
+            acc.sq_sum[c] = q;
+        }
+        acc.count = per_channel;
+        Ok(acc)
+    }
+
     /// Merges another accumulator into this one (used when per-thread
     /// accumulators are reduced, mirroring the paper's per-thread-block
     /// reduction on GPU).
@@ -196,27 +241,28 @@ fn per_channel_count(shape: &Shape) -> Result<(usize, usize)> {
 pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
     let (channels, per_channel) = per_channel_count(x.shape())?;
     let n = x.shape().n();
-    let mut mean = vec![0.0f64; channels];
-    for ni in 0..n {
-        for (c, m) in mean.iter_mut().enumerate() {
-            let plane = x.channel_plane(ni, c);
-            *m += plane.iter().map(|&v| f64::from(v)).sum::<f64>();
+    let grain = channels_per_thread(per_channel);
+    // First sweep: per-channel mean, one worker partial per channel.
+    let mean: Vec<f64> = parallel_map_collect(channels, grain, |c| {
+        let mut m = 0.0f64;
+        for ni in 0..n {
+            m += x.channel_plane(ni, c).iter().map(|&v| f64::from(v)).sum::<f64>();
         }
-    }
-    for m in mean.iter_mut() {
-        *m /= per_channel as f64;
-    }
-    let mut var = vec![0.0f64; channels];
-    for ni in 0..n {
-        for c in 0..channels {
-            let plane = x.channel_plane(ni, c);
-            let m = mean[c];
-            var[c] += plane.iter().map(|&v| (f64::from(v) - m) * (f64::from(v) - m)).sum::<f64>();
+        m / per_channel as f64
+    });
+    // Second sweep: per-channel variance around the finished mean.
+    let var: Vec<f64> = parallel_map_collect(channels, grain, |c| {
+        let m = mean[c];
+        let mut v_acc = 0.0f64;
+        for ni in 0..n {
+            v_acc += x
+                .channel_plane(ni, c)
+                .iter()
+                .map(|&v| (f64::from(v) - m) * (f64::from(v) - m))
+                .sum::<f64>();
         }
-    }
-    for v in var.iter_mut() {
-        *v /= per_channel as f64;
-    }
+        v_acc / per_channel as f64
+    });
     Ok(ChannelStats {
         mean: mean.into_iter().map(|m| m as f32).collect(),
         var: var.into_iter().map(|v| v as f32).collect(),
@@ -229,16 +275,7 @@ pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
 /// # Errors
 /// Returns an error for non-4-D or empty inputs.
 pub fn channel_stats_one_pass(x: &Tensor) -> Result<ChannelStats> {
-    let (channels, _) = per_channel_count(x.shape())?;
-    let n = x.shape().n();
-    let mut acc = ChannelAccumulator::new(channels);
-    for ni in 0..n {
-        for c in 0..channels {
-            acc.push_plane(c, x.channel_plane(ni, c));
-        }
-    }
-    acc.add_count(n * x.shape().h() * x.shape().w());
-    acc.finalize()
+    ChannelAccumulator::from_tensor(x)?.finalize()
 }
 
 /// Numerically robust single-pass statistics using Welford's online
@@ -250,27 +287,27 @@ pub fn channel_stats_one_pass(x: &Tensor) -> Result<ChannelStats> {
 pub fn channel_stats_welford(x: &Tensor) -> Result<ChannelStats> {
     let (channels, per_channel) = per_channel_count(x.shape())?;
     let n = x.shape().n();
-    let mut mean = vec![0.0f64; channels];
-    let mut m2 = vec![0.0f64; channels];
-    let mut count = vec![0.0f64; channels];
-    for ni in 0..n {
-        for c in 0..channels {
-            for &v in x.channel_plane(ni, c) {
-                count[c] += 1.0;
-                let value = f64::from(v);
-                let delta = value - mean[c];
-                mean[c] += delta / count[c];
-                m2[c] += delta * (value - mean[c]);
+    // Welford's recurrence is sequential in its update order, so each
+    // channel stays a serial chain; channels are independent and fan out.
+    let per_channel_stats: Vec<(f64, f64)> =
+        parallel_map_collect(channels, channels_per_thread(per_channel), |c| {
+            let mut mean = 0.0f64;
+            let mut m2 = 0.0f64;
+            let mut count = 0.0f64;
+            for ni in 0..n {
+                for &v in x.channel_plane(ni, c) {
+                    count += 1.0;
+                    let value = f64::from(v);
+                    let delta = value - mean;
+                    mean += delta / count;
+                    m2 += delta * (value - mean);
+                }
             }
-        }
-    }
+            (mean, if count > 0.0 { m2 / count } else { 0.0 })
+        });
     Ok(ChannelStats {
-        mean: mean.iter().map(|&m| m as f32).collect(),
-        var: m2
-            .iter()
-            .zip(count.iter())
-            .map(|(&m2c, &n)| if n > 0.0 { (m2c / n) as f32 } else { 0.0 })
-            .collect(),
+        mean: per_channel_stats.iter().map(|&(m, _)| m as f32).collect(),
+        var: per_channel_stats.iter().map(|&(_, v)| v as f32).collect(),
         count: per_channel,
     })
 }

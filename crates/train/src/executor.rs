@@ -1,6 +1,14 @@
 //! The numeric graph executor: forward and backward passes over a model
 //! graph, dispatching to the kernels crate, including the fused BNFF
 //! operators.
+//!
+//! Nodes execute in topological order (layer dependencies are sequential),
+//! but every dispatched kernel fans its per-sample / per-channel / per-row
+//! work out across the `bnff-parallel` pool, so one training step saturates
+//! `BNFF_THREADS` cores: convolutions partition output planes, GEMMs
+//! partition output rows, BN reduces its mini-batch statistics with one
+//! partial per channel, and the gradient accumulation between branches
+//! (`ops::add_assign`) sweeps in parallel chunks.
 
 use crate::error::TrainError;
 use crate::params::{NodeParamGrads, NodeParams, ParamSet};

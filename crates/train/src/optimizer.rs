@@ -4,6 +4,7 @@ use crate::error::TrainError;
 use crate::executor::Gradients;
 use crate::params::{NodeParamGrads, NodeParams, ParamSet};
 use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut2};
 use bnff_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -61,11 +62,18 @@ impl SgdOptimizer {
             .velocity
             .entry(key)
             .or_insert_with(|| vec![0.0; values.len()]);
-        for ((v, g), vel) in values.iter_mut().zip(grads.iter()).zip(velocity.iter_mut()) {
-            let grad = g + decay * *v;
-            *vel = momentum * *vel + grad;
-            *v -= lr * *vel;
-        }
+        // Per-parameter updates are independent; large layers split across
+        // workers, with parameter and velocity chunks walked in lockstep.
+        parallel_rows_mut2(values, 1, velocity, 1, min_items_per_thread(4), |offset, vals, vels| {
+            let len = vals.len();
+            for ((v, vel), g) in
+                vals.iter_mut().zip(vels.iter_mut()).zip(&grads[offset..offset + len])
+            {
+                let grad = g + decay * *v;
+                *vel = momentum * *vel + grad;
+                *v -= lr * *vel;
+            }
+        });
     }
 
     fn update_tensor(

@@ -181,7 +181,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Length specification accepted by [`vec`].
+        /// Length specification accepted by [`vec()`](fn@vec).
         pub struct SizeRange {
             lo: usize,
             hi: usize,
