@@ -20,9 +20,7 @@ fn bench_fig1(c: &mut Criterion) {
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_timeline", |b| {
-        b.iter(|| black_box(exp::figure3(BATCH, 64).unwrap()))
-    });
+    c.bench_function("fig3_timeline", |b| b.iter(|| black_box(exp::figure3(BATCH, 64).unwrap())));
 }
 
 fn bench_fig4(c: &mut Criterion) {

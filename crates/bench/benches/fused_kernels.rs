@@ -64,8 +64,16 @@ fn bench_norm_relu_conv(c: &mut Criterion) {
     group.bench_function("fused_norm_relu_conv", |b| {
         b.iter(|| {
             black_box(
-                norm_relu_conv_forward(black_box(&conv1_out), &stats, &bn, 1e-5, &w2, None, &attrs2)
-                    .unwrap(),
+                norm_relu_conv_forward(
+                    black_box(&conv1_out),
+                    &stats,
+                    &bn,
+                    1e-5,
+                    &w2,
+                    None,
+                    &attrs2,
+                )
+                .unwrap(),
             )
         })
     });

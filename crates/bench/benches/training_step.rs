@@ -1,56 +1,65 @@
 //! End-to-end training-step bench: one forward + backward pass of a
-//! CIFAR-scale DenseNet, executed numerically with the baseline graph and
-//! with its BNFF-restructured twin.
+//! CIFAR-scale DenseNet, executed numerically at every CPU-measured fusion
+//! level (Baseline, RCF, RCF+MVF, BNFF).
 //!
 //! This measures the real arithmetic on the host CPU (the analytical model
 //! handles the paper-scale projection); it demonstrates that the fused
 //! executor path is functional and not slower than the baseline at equal
 //! arithmetic.
 //!
-//! Every variant runs twice: pinned to one worker (`serial`) and with the
-//! machine's full worker count (`parallel`, i.e. whatever `BNFF_THREADS`
-//! resolves to), so the multi-core speedup of the kernel subsystem is
-//! *measured* by the same harness that measures the fusion win.
+//! Every level runs through the memory-planned executor twice: pinned to one
+//! worker (`serial`) and with the machine's full worker count (`parallel`,
+//! i.e. whatever `BNFF_THREADS` resolves to), so the multi-core speedup of
+//! the kernel subsystem is *measured* by the same harness that measures the
+//! fusion win. For the baseline and BNFF graphs a reference entry pairs the
+//! naive (one-buffer-per-node, retain-everything) forward with the shared
+//! backward pass, so the planned forward's cost relative to the old
+//! allocation behaviour is a bench result, not an assumption. (The backward
+//! pass is common to both paths — its gradient buffers always recycle
+//! through the executor pool — so the `*_naive_*` delta isolates the
+//! forward-side planning.)
 
-use bnff_core::{BnffOptimizer, FusionLevel};
-use bnff_models::densenet_cifar;
+use bnff_bench::{level_bench_name, training_step_executors};
+use bnff_core::FusionLevel;
 use bnff_parallel::{current_threads, with_threads};
 use bnff_tensor::init::Initializer;
 use bnff_tensor::Shape;
-use bnff_train::Executor;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_training_step(c: &mut Criterion) {
     let batch = 8;
-    let baseline_graph = densenet_cifar(batch, 8, 2, 10).unwrap();
-    let bnff_graph = BnffOptimizer::new(FusionLevel::Bnff).apply(&baseline_graph).unwrap();
-    let baseline = Executor::new(baseline_graph, 3).unwrap();
-    let restructured = Executor::new(bnff_graph, 3).unwrap();
+    let execs = training_step_executors(batch, 3).unwrap();
     let mut init = Initializer::seeded(5);
     let data = init.uniform(Shape::nchw(batch, 3, 32, 32), -1.0, 1.0);
     let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
     let full_threads = current_threads();
 
     let mut group = c.benchmark_group("training_step_densenet_cifar");
-    for (threads, suffix) in [(1usize, "serial"), (full_threads, "parallel")] {
-        group.bench_function(format!("baseline_graph_{suffix}_t{threads}"), |b| {
-            b.iter(|| {
-                with_threads(threads, || {
-                    let fwd = baseline.forward(black_box(&data), &labels).unwrap();
-                    black_box(baseline.backward(&fwd).unwrap())
+    for (level, exec) in &execs {
+        let name = level_bench_name(*level);
+        for (threads, suffix) in [(1usize, "serial"), (full_threads, "parallel")] {
+            group.bench_function(format!("{name}_graph_{suffix}_t{threads}"), |b| {
+                b.iter(|| {
+                    with_threads(threads, || {
+                        let fwd = exec.forward(black_box(&data), &labels).unwrap();
+                        black_box(exec.backward(&fwd).unwrap())
+                    })
                 })
-            })
-        });
-        group.bench_function(format!("bnff_graph_{suffix}_t{threads}"), |b| {
-            b.iter(|| {
-                with_threads(threads, || {
-                    let fwd = restructured.forward(black_box(&data), &labels).unwrap();
-                    black_box(restructured.backward(&fwd).unwrap())
+            });
+        }
+        // Planned vs naive executor comparison for the endpoint levels.
+        if matches!(level, FusionLevel::Baseline | FusionLevel::Bnff) {
+            group.bench_function(format!("{name}_graph_naive_t{full_threads}"), |b| {
+                b.iter(|| {
+                    with_threads(full_threads, || {
+                        let fwd = exec.forward_naive(black_box(&data), &labels).unwrap();
+                        black_box(exec.backward(&fwd).unwrap())
+                    })
                 })
-            })
-        });
+            });
+        }
     }
     group.finish();
 }

@@ -7,10 +7,8 @@ use bnff_core::experiments as exp;
 use serde_json::json;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(exp::PAPER_CPU_BATCH);
+    let batch =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(exp::PAPER_CPU_BATCH);
 
     let table1 = exp::table1();
     print_table(
@@ -18,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["architecture", "TFLOPS", "BW (GB/s)"],
         &table1
             .iter()
-            .map(|r| vec![r.machine.clone(), format!("{:.2}", r.tflops), format!("{:.1}", r.bandwidth_gbs)])
+            .map(|r| {
+                vec![
+                    r.machine.clone(),
+                    format!("{:.2}", r.tflops),
+                    format!("{:.1}", r.bandwidth_gbs),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 

@@ -5,10 +5,7 @@ use bnff_bench::{ms, pct, print_table};
 use bnff_core::experiments::{figure1, PAPER_CPU_BATCH};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(PAPER_CPU_BATCH);
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(PAPER_CPU_BATCH);
     let rows = figure1(batch)?;
     let table: Vec<Vec<String>> = rows
         .iter()

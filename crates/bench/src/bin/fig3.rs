@@ -4,10 +4,7 @@
 use bnff_core::experiments::{figure3, PAPER_CPU_BATCH};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(PAPER_CPU_BATCH);
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(PAPER_CPU_BATCH);
     let series = figure3(batch, 96)?;
     println!("== Figure 3 — bandwidth utilization over time (batch {batch}) ==");
     println!(

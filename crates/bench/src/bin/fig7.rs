@@ -6,10 +6,7 @@ use bnff_bench::{ms, pct, print_table};
 use bnff_core::experiments::{figure7, PAPER_CPU_BATCH};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(PAPER_CPU_BATCH);
+    let batch = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(PAPER_CPU_BATCH);
     let rows = figure7(batch)?;
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -25,6 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 pct(r.fwd_improvement),
                 pct(r.bwd_improvement),
                 pct(r.traffic_reduction),
+                format!("{:.2} GB", r.planned_peak_gb),
+                format!("{:.2} GB", r.naive_activation_gb),
+                pct(r.planner_reduction),
             ]
         })
         .collect();
@@ -41,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "fwd improv",
             "bwd improv",
             "traffic -",
+            "plan peak",
+            "naive act",
+            "plan -",
         ],
         &table,
     );

@@ -21,6 +21,37 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use bnff_core::{BnffOptimizer, FusionLevel};
+use bnff_models::densenet_cifar;
+use bnff_train::Executor;
+
+/// Builds the memory-planned executors the `training_step` bench measures:
+/// one CIFAR-scale DenseNet per CPU-measured fusion level (Baseline, RCF,
+/// RCF+MVF, BNFF), each carrying the [`bnff_graph::plan::ExecutionPlan`] its
+/// forward/backward passes are driven by.
+///
+/// # Errors
+/// Returns an error if a graph cannot be built, restructured or planned.
+pub fn training_step_executors(
+    batch: usize,
+    seed: u64,
+) -> Result<Vec<(FusionLevel, Executor)>, Box<dyn std::error::Error>> {
+    let baseline = densenet_cifar(batch, 8, 2, 10)?;
+    FusionLevel::measured()
+        .into_iter()
+        .map(|level| {
+            let graph = BnffOptimizer::new(level).apply(&baseline)?;
+            let exec = Executor::new(graph, seed)?;
+            Ok((level, exec))
+        })
+        .collect()
+}
+
+/// A bench-id-friendly name for a fusion level (`rcf+mvf` → `rcf_mvf`).
+pub fn level_bench_name(level: FusionLevel) -> String {
+    level.label().to_lowercase().replace('+', "_")
+}
+
 /// Renders rows as a fixed-width text table with the given headers.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -32,8 +63,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:width$}", h, width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
     println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
     for row in rows {
@@ -69,5 +103,27 @@ mod tests {
     #[test]
     fn print_table_does_not_panic() {
         print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn training_step_harness_plans_every_measured_fusion_level() {
+        let execs = training_step_executors(4, 3).unwrap();
+        assert_eq!(execs.len(), FusionLevel::measured().len());
+        for (level, exec) in &execs {
+            let plan = exec.plan();
+            assert!(
+                plan.planned_peak_bytes() < plan.naive_total_bytes(),
+                "{level}: planned {} not below naive {}",
+                plan.planned_peak_bytes(),
+                plan.naive_total_bytes()
+            );
+            assert!(plan.slot_count() >= 1, "{level}: no reusable slots");
+        }
+    }
+
+    #[test]
+    fn level_bench_names_are_identifier_friendly() {
+        assert_eq!(level_bench_name(FusionLevel::RcfMvf), "rcf_mvf");
+        assert_eq!(level_bench_name(FusionLevel::Baseline), "baseline");
     }
 }

@@ -33,10 +33,8 @@ fn seconds_for(report: &IterationReport, op: &str) -> f64 {
 pub fn figure4(batch: usize) -> Result<Vec<Fig4Row>> {
     let graph = densenet121(batch)?;
     let finite = simulate_iteration(&graph, &MachineProfile::skylake_xeon_2s())?;
-    let infinite = simulate_iteration(
-        &graph,
-        &MachineProfile::skylake_xeon_2s().with_infinite_bandwidth(),
-    )?;
+    let infinite =
+        simulate_iteration(&graph, &MachineProfile::skylake_xeon_2s().with_infinite_bandwidth())?;
     let mut rows = Vec::new();
     for layer in ["BatchNorm", "ReLU"] {
         let f = seconds_for(&finite, layer);

@@ -41,18 +41,9 @@ pub fn figure6(scale: f64) -> Result<Vec<Fig6Row>> {
         let graph = densenet121(batch)?;
         let report = simulate_iteration(&graph, machine)?;
         let by_cat = report.seconds_by_category();
-        let conv = by_cat
-            .get(&bnff_graph::op::LayerCategory::ConvFc)
-            .copied()
-            .unwrap_or(0.0)
-            + by_cat
-                .get(&bnff_graph::op::LayerCategory::FusedConv)
-                .copied()
-                .unwrap_or(0.0);
-        let non_conv = by_cat
-            .get(&bnff_graph::op::LayerCategory::NonConv)
-            .copied()
-            .unwrap_or(0.0);
+        let conv = by_cat.get(&bnff_graph::op::LayerCategory::ConvFc).copied().unwrap_or(0.0)
+            + by_cat.get(&bnff_graph::op::LayerCategory::FusedConv).copied().unwrap_or(0.0);
+        let non_conv = by_cat.get(&bnff_graph::op::LayerCategory::NonConv).copied().unwrap_or(0.0);
         rows.push(Fig6Row {
             machine: machine.name.clone(),
             batch,

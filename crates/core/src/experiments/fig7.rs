@@ -31,6 +31,14 @@ pub struct Fig7Row {
     pub bwd_improvement: f64,
     /// Relative DRAM-traffic reduction over the baseline.
     pub traffic_reduction: f64,
+    /// Peak activation bytes (GB) the memory planner needs for this
+    /// scenario's graph.
+    pub planned_peak_gb: f64,
+    /// Activation bytes (GB) a naive one-buffer-per-node executor holds.
+    pub naive_activation_gb: f64,
+    /// Fraction of activation memory the planner saves over the naive
+    /// executor for this scenario (`1 − planned/naive`).
+    pub planner_reduction: f64,
 }
 
 /// Runs the Figure 7 scenario sweep for one model.
@@ -44,7 +52,8 @@ pub fn figure7_for_model(model: Model, batch: usize) -> Result<Vec<Fig7Row>> {
     for level in FusionLevel::all() {
         // ICF only applies to DenseNet's composite-layer boundaries; the
         // paper evaluates it for DenseNet only.
-        if level == FusionLevel::BnffIcf && !matches!(model, Model::DenseNet121 | Model::DenseNet169 | Model::DenseNetCifar)
+        if level == FusionLevel::BnffIcf
+            && !matches!(model, Model::DenseNet121 | Model::DenseNet169 | Model::DenseNetCifar)
         {
             continue;
         }
@@ -60,6 +69,9 @@ pub fn figure7_for_model(model: Model, batch: usize) -> Result<Vec<Fig7Row>> {
             fwd_improvement: report.forward_improvement(),
             bwd_improvement: report.backward_improvement(),
             traffic_reduction: report.traffic_reduction(),
+            planned_peak_gb: report.restructured.planned_peak_activation_bytes as f64 / 1e9,
+            naive_activation_gb: report.restructured.naive_activation_bytes as f64 / 1e9,
+            planner_reduction: report.restructured.planned_memory_reduction(),
         });
     }
     Ok(rows)
@@ -123,6 +135,19 @@ mod tests {
         // Memory traffic drops (19.1% in the paper for BNFF).
         assert!(bnff.traffic_reduction > 0.10);
         assert!(bnff.dram_gb < baseline.dram_gb);
+
+        // The memory planner beats naive per-node allocation at every
+        // fusion level.
+        for r in &rows {
+            assert!(
+                r.planned_peak_gb < r.naive_activation_gb,
+                "{}: planned {} GB vs naive {} GB",
+                r.scenario,
+                r.planned_peak_gb,
+                r.naive_activation_gb
+            );
+            assert!(r.planner_reduction > 0.0);
+        }
     }
 
     #[test]

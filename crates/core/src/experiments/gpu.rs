@@ -54,10 +54,7 @@ mod tests {
     use super::*;
 
     fn improvement(rows: &[GpuRow], model: &str, scenario: &str) -> f64 {
-        rows.iter()
-            .find(|r| r.model == model && r.scenario == scenario)
-            .unwrap()
-            .improvement
+        rows.iter().find(|r| r.model == model && r.scenario == scenario).unwrap().improvement
     }
 
     #[test]

@@ -52,13 +52,13 @@ impl FusionLevel {
         match self {
             FusionLevel::Baseline => PassPipeline::new(),
             FusionLevel::Rcf => PassPipeline::new().with(Box::new(RcfPass::new())),
-            FusionLevel::RcfMvf => PassPipeline::new()
-                .with(Box::new(MvfPass::new()))
-                .with(Box::new(RcfPass::new())),
+            FusionLevel::RcfMvf => {
+                PassPipeline::new().with(Box::new(MvfPass::new())).with(Box::new(RcfPass::new()))
+            }
             FusionLevel::Bnff => PassPipeline::new().with(Box::new(BnffPass::new())),
-            FusionLevel::BnffIcf => PassPipeline::new()
-                .with(Box::new(BnffPass::new()))
-                .with(Box::new(IcfPass::new())),
+            FusionLevel::BnffIcf => {
+                PassPipeline::new().with(Box::new(BnffPass::new())).with(Box::new(IcfPass::new()))
+            }
         }
     }
 }

@@ -74,7 +74,12 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    fn new(bytes: usize, direction: SweepDirection, class: TensorClass, label: &'static str) -> Self {
+    fn new(
+        bytes: usize,
+        direction: SweepDirection,
+        class: TensorClass,
+        label: &'static str,
+    ) -> Self {
         Sweep { bytes, direction, class, label }
     }
 
@@ -167,16 +172,14 @@ pub fn node_cost(graph: &Graph, node: &Node) -> Result<NodeCost> {
     let in_bytes = input_shapes.first().map(|s| s.bytes_f32()).unwrap_or(0);
     let in_elems = input_shapes.first().map(|s| s.volume()).unwrap_or(0) as f64;
     let out_elems = out.volume() as f64;
-    let in_channels = input_shapes.first().map(|s| if s.is_nchw() { s.c() } else { 0 }).unwrap_or(0);
+    let in_channels =
+        input_shapes.first().map(|s| if s.is_nchw() { s.c() } else { 0 }).unwrap_or(0);
     let consumers = graph.consumers(node.id).len().max(1);
 
     let cost = match &node.op {
-        OpKind::Input => NodeCost {
-            flops_fwd: 0.0,
-            flops_bwd: 0.0,
-            sweeps_fwd: vec![],
-            sweeps_bwd: vec![],
-        },
+        OpKind::Input => {
+            NodeCost { flops_fwd: 0.0, flops_bwd: 0.0, sweeps_fwd: vec![], sweeps_bwd: vec![] }
+        }
         OpKind::Conv2d(a) | OpKind::ReluConv(a) => {
             let wbytes = conv_weight_bytes(a, in_channels);
             let flops = conv_flops(a, in_channels, out);
@@ -404,12 +407,11 @@ pub fn node_cost(graph: &Graph, node: &Node) -> Result<NodeCost> {
             ],
         },
         OpKind::Concat | OpKind::ConcatStats(_) => {
-            let mut sweeps_fwd: Vec<Sweep> = input_shapes
-                .iter()
-                .map(|s| Sweep::read_act(s.bytes_f32(), "ifmap"))
-                .collect();
+            let mut sweeps_fwd: Vec<Sweep> =
+                input_shapes.iter().map(|s| Sweep::read_act(s.bytes_f32(), "ifmap")).collect();
             sweeps_fwd.push(Sweep::write_act(out_bytes, "ofmap"));
-            let flops_fwd = if matches!(node.op, OpKind::ConcatStats(_)) { 3.0 * out_elems } else { 0.0 };
+            let flops_fwd =
+                if matches!(node.op, OpKind::ConcatStats(_)) { 3.0 * out_elems } else { 0.0 };
             let mut sweeps_bwd = vec![Sweep::read_grad(out_bytes, "d_ofmap")];
             for s in &input_shapes {
                 sweeps_bwd.push(Sweep::write_grad(s.bytes_f32(), "d_ifmap slice"));
@@ -432,10 +434,8 @@ pub fn node_cost(graph: &Graph, node: &Node) -> Result<NodeCost> {
             }
         }
         OpKind::EltwiseSum => {
-            let mut sweeps_fwd: Vec<Sweep> = input_shapes
-                .iter()
-                .map(|s| Sweep::read_act(s.bytes_f32(), "ifmap"))
-                .collect();
+            let mut sweeps_fwd: Vec<Sweep> =
+                input_shapes.iter().map(|s| Sweep::read_act(s.bytes_f32(), "ifmap")).collect();
             sweeps_fwd.push(Sweep::write_act(out_bytes, "ofmap"));
             let mut sweeps_bwd = vec![Sweep::read_grad(out_bytes, "d_ofmap")];
             for s in &input_shapes {
@@ -583,11 +583,7 @@ mod tests {
         let g = fragment();
         let bn = find(&g, "bn");
         let cost = node_cost(&g, &bn).unwrap();
-        let reads = cost
-            .sweeps_fwd
-            .iter()
-            .filter(|s| s.direction == SweepDirection::Read)
-            .count();
+        let reads = cost.sweeps_fwd.iter().filter(|s| s.direction == SweepDirection::Read).count();
         assert_eq!(reads, 3);
         assert_eq!(cost.sweeps_fwd.len(), 4);
         assert_eq!(cost.sweeps_bwd.len(), 5);
@@ -600,11 +596,7 @@ mod tests {
         g.set_op(bn.id, OpKind::BatchNorm(BatchNormAttrs::one_pass())).unwrap();
         let bn = find(&g, "bn");
         let cost = node_cost(&g, &bn).unwrap();
-        let reads = cost
-            .sweeps_fwd
-            .iter()
-            .filter(|s| s.direction == SweepDirection::Read)
-            .count();
+        let reads = cost.sweeps_fwd.iter().filter(|s| s.direction == SweepDirection::Read).count();
         assert_eq!(reads, 2);
     }
 

@@ -184,31 +184,19 @@ impl Graph {
 
     /// The ids of the nodes that consume `id`'s output.
     pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.inputs.contains(&id))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.inputs.contains(&id)).map(|n| n.id).collect()
     }
 
     /// All [`OpKind::Input`] nodes.
     pub fn input_nodes(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.op, OpKind::Input))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| matches!(n.op, OpKind::Input)).map(|n| n.id).collect()
     }
 
     /// All nodes whose output is not consumed by any other node.
     pub fn output_nodes(&self) -> Vec<NodeId> {
         let consumed: HashSet<NodeId> =
             self.nodes.iter().flat_map(|n| n.inputs.iter().copied()).collect();
-        self.nodes
-            .iter()
-            .filter(|n| !consumed.contains(&n.id))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| !consumed.contains(&n.id)).map(|n| n.id).collect()
     }
 
     /// Topological order of the graph (inputs first).
@@ -218,12 +206,8 @@ impl Graph {
     pub fn topo_order(&self) -> Result<Vec<NodeId>> {
         let mut in_degree: Vec<usize> = self.nodes.iter().map(|n| n.inputs.len()).collect();
         let consumer_map = self.consumer_map();
-        let mut queue: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|n| n.inputs.is_empty())
-            .map(|n| n.id)
-            .collect();
+        let mut queue: Vec<NodeId> =
+            self.nodes.iter().filter(|n| n.inputs.is_empty()).map(|n| n.id).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         let mut head = 0usize;
         while head < queue.len() {
@@ -317,10 +301,7 @@ impl Graph {
             for input in node.inputs.iter_mut() {
                 *input = *mapping.get(input).ok_or_else(|| GraphError::PassError {
                     pass: "compact".to_string(),
-                    reason: format!(
-                        "node '{}' references removed node {}",
-                        node.name, input
-                    ),
+                    reason: format!("node '{}' references removed node {}", node.name, input),
                 })?;
             }
         }
@@ -351,11 +332,8 @@ impl Graph {
 
     /// Number of learnable parameters owned by one node.
     pub fn node_parameter_count(&self, node: &Node) -> usize {
-        let in_shape = node
-            .inputs
-            .first()
-            .and_then(|id| self.node(*id).ok())
-            .map(|n| n.output_shape.clone());
+        let in_shape =
+            node.inputs.first().and_then(|id| self.node(*id).ok()).map(|n| n.output_shape.clone());
         match &node.op {
             OpKind::Conv2d(a) | OpKind::ReluConv(a) => {
                 let in_c = in_shape.map(|s| s.c()).unwrap_or(0);
@@ -377,9 +355,8 @@ impl Graph {
                 2 * in_c
             }
             OpKind::FullyConnected { out_features } => {
-                let in_features = in_shape
-                    .map(|s| s.volume() / s.dim(0).unwrap_or(1).max(1))
-                    .unwrap_or(0);
+                let in_features =
+                    in_shape.map(|s| s.volume() / s.dim(0).unwrap_or(1).max(1)).unwrap_or(0);
                 in_features * out_features + out_features
             }
             OpKind::BatchNorm(_) | OpKind::SubBnNorm(_) => {
@@ -399,16 +376,13 @@ mod tests {
     fn chain_graph() -> (Graph, Vec<NodeId>) {
         let mut g = Graph::new("chain");
         let input = g.add_input("in", Shape::nchw(4, 16, 8, 8));
-        let conv1 = g
-            .add_node("conv1", OpKind::Conv2d(Conv2dAttrs::pointwise(32)), vec![input])
-            .unwrap();
-        let bn = g
-            .add_node("bn", OpKind::BatchNorm(BatchNormAttrs::default()), vec![conv1])
-            .unwrap();
+        let conv1 =
+            g.add_node("conv1", OpKind::Conv2d(Conv2dAttrs::pointwise(32)), vec![input]).unwrap();
+        let bn =
+            g.add_node("bn", OpKind::BatchNorm(BatchNormAttrs::default()), vec![conv1]).unwrap();
         let relu = g.add_node("relu", OpKind::Relu, vec![bn]).unwrap();
-        let conv2 = g
-            .add_node("conv2", OpKind::Conv2d(Conv2dAttrs::same_3x3(8)), vec![relu])
-            .unwrap();
+        let conv2 =
+            g.add_node("conv2", OpKind::Conv2d(Conv2dAttrs::same_3x3(8)), vec![relu]).unwrap();
         (g, vec![input, conv1, bn, relu, conv2])
     }
 

@@ -56,6 +56,7 @@ pub mod graph;
 pub mod node;
 pub mod op;
 pub mod passes;
+pub mod plan;
 pub mod shape_infer;
 
 pub use builder::GraphBuilder;
@@ -63,6 +64,7 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use node::{Node, NodeId};
 pub use op::OpKind;
+pub use plan::{ExecutionPlan, MemoryPlanSummary};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -314,9 +314,9 @@ impl OpKind {
             OpKind::Input => Some(0),
             OpKind::Concat | OpKind::ConcatStats(_) | OpKind::EltwiseSum => None,
             OpKind::SubBnNorm(_) => Some(2),
-            OpKind::NormReluConv { .. } | OpKind::NormReluConvStats { .. } | OpKind::NormRelu(_) => {
-                Some(2)
-            }
+            OpKind::NormReluConv { .. }
+            | OpKind::NormReluConvStats { .. }
+            | OpKind::NormRelu(_) => Some(2),
             OpKind::SoftmaxLoss => Some(2),
             _ => Some(1),
         }
@@ -327,19 +327,39 @@ impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OpKind::Conv2d(a) => {
-                write!(f, "Conv2d({}x{}, s{}, oc{})", a.kernel_h, a.kernel_w, a.stride, a.out_channels)
+                write!(
+                    f,
+                    "Conv2d({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
             }
             OpKind::ReluConv(a) => {
-                write!(f, "ReluConv({}x{}, s{}, oc{})", a.kernel_h, a.kernel_w, a.stride, a.out_channels)
+                write!(
+                    f,
+                    "ReluConv({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
             }
             OpKind::ConvStats { conv: a, .. } => {
-                write!(f, "ConvStats({}x{}, s{}, oc{})", a.kernel_h, a.kernel_w, a.stride, a.out_channels)
+                write!(
+                    f,
+                    "ConvStats({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
             }
             OpKind::NormReluConv { conv: a, .. } => {
-                write!(f, "NormReluConv({}x{}, s{}, oc{})", a.kernel_h, a.kernel_w, a.stride, a.out_channels)
+                write!(
+                    f,
+                    "NormReluConv({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
             }
             OpKind::NormReluConvStats { conv: a, .. } => {
-                write!(f, "NormReluConvStats({}x{}, s{}, oc{})", a.kernel_h, a.kernel_w, a.stride, a.out_channels)
+                write!(
+                    f,
+                    "NormReluConvStats({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
             }
             OpKind::FullyConnected { out_features } => write!(f, "FullyConnected({out_features})"),
             other => write!(f, "{}", other.name()),
@@ -368,11 +388,8 @@ mod tests {
         assert_eq!(OpKind::Relu.category(), LayerCategory::NonConv);
         assert_eq!(OpKind::BatchNorm(BatchNormAttrs::default()).category(), LayerCategory::NonConv);
         assert_eq!(
-            OpKind::NormReluConv {
-                conv: Conv2dAttrs::same_3x3(8),
-                bn: BatchNormAttrs::default()
-            }
-            .category(),
+            OpKind::NormReluConv { conv: Conv2dAttrs::same_3x3(8), bn: BatchNormAttrs::default() }
+                .category(),
             LayerCategory::FusedConv
         );
     }
@@ -412,8 +429,14 @@ mod tests {
         let attrs = Conv2dAttrs::new(64, 3, 2, 1);
         assert_eq!(OpKind::Conv2d(attrs).to_string(), "Conv2d(3x3, s2, oc64)");
         assert_eq!(OpKind::Relu.to_string(), "ReLU");
-        assert_eq!(OpKind::FullyConnected { out_features: 1000 }.to_string(), "FullyConnected(1000)");
-        assert_eq!(OpKind::Pool { kind: PoolKind::Max, attrs: PoolAttrs::new(3, 2, 1) }.name(), "MaxPool");
+        assert_eq!(
+            OpKind::FullyConnected { out_features: 1000 }.to_string(),
+            "FullyConnected(1000)"
+        );
+        assert_eq!(
+            OpKind::Pool { kind: PoolKind::Max, attrs: PoolAttrs::new(3, 2, 1) }.name(),
+            "MaxPool"
+        );
     }
 
     #[test]

@@ -36,12 +36,9 @@ impl Pass for FissionPass {
         let bn_nodes: Vec<(NodeId, OpKind, NodeId, String)> = graph
             .nodes()
             .filter_map(|n| match &n.op {
-                OpKind::BatchNorm(attrs) => Some((
-                    n.id,
-                    OpKind::BatchNorm(*attrs),
-                    *n.inputs.first()?,
-                    n.name.clone(),
-                )),
+                OpKind::BatchNorm(attrs) => {
+                    Some((n.id, OpKind::BatchNorm(*attrs), *n.inputs.first()?, n.name.clone()))
+                }
                 _ => None,
             })
             .collect();

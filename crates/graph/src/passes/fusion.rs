@@ -40,11 +40,8 @@ impl Pass for FuseStatsIntoConvPass {
         let mut out = graph.clone();
         let mut removed: HashSet<NodeId> = HashSet::new();
 
-        let stats_nodes: Vec<NodeId> = graph
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::SubBnStats(_)))
-            .map(|n| n.id)
-            .collect();
+        let stats_nodes: Vec<NodeId> =
+            graph.nodes().filter(|n| matches!(n.op, OpKind::SubBnStats(_))).map(|n| n.id).collect();
 
         for stats_id in stats_nodes {
             let (bn_attrs, producer_id) = {
@@ -102,11 +99,8 @@ impl Pass for FuseNormReluConvPass {
         let mut out = graph.clone();
         let mut removed: HashSet<NodeId> = HashSet::new();
 
-        let norm_nodes: Vec<NodeId> = graph
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::SubBnNorm(_)))
-            .map(|n| n.id)
-            .collect();
+        let norm_nodes: Vec<NodeId> =
+            graph.nodes().filter(|n| matches!(n.op, OpKind::SubBnNorm(_))).map(|n| n.id).collect();
 
         for norm_id in norm_nodes {
             let (bn_attrs, norm_inputs) = {
@@ -130,9 +124,7 @@ impl Pass for FuseNormReluConvPass {
                 let conv_id = relu_consumers[0];
                 let fused_op = match out.node(conv_id)?.op.clone() {
                     // Full fusion: sub-BN2 + ReLU + CONV2.
-                    OpKind::Conv2d(conv) => {
-                        Some(OpKind::NormReluConv { conv, bn: bn_attrs })
-                    }
+                    OpKind::Conv2d(conv) => Some(OpKind::NormReluConv { conv, bn: bn_attrs }),
                     // The following convolution already accumulates the next
                     // BN's statistics: fuse on both sides.
                     OpKind::ConvStats { conv, bn } => {
@@ -220,10 +212,7 @@ mod tests {
         let g = FuseStatsIntoConvPass::new().run(&g).unwrap();
         let out = FuseNormReluConvPass::new().run(&g).unwrap();
         let after = analysis::activation_sweep_count(&out).unwrap();
-        assert!(
-            after < before,
-            "BNFF fusion must reduce sweeps ({after} vs {before})"
-        );
+        assert!(after < before, "BNFF fusion must reduce sweeps ({after} vs {before})");
     }
 
     #[test]

@@ -41,11 +41,8 @@ impl Pass for IcfPass {
         let mut removed: HashSet<NodeId> = HashSet::new();
         let mut claimed_concats: HashSet<NodeId> = HashSet::new();
 
-        let stats_nodes: Vec<NodeId> = graph
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::SubBnStats(_)))
-            .map(|n| n.id)
-            .collect();
+        let stats_nodes: Vec<NodeId> =
+            graph.nodes().filter(|n| matches!(n.op, OpKind::SubBnStats(_))).map(|n| n.id).collect();
 
         for stats_id in stats_nodes {
             let (bn_attrs, producer_id) = {

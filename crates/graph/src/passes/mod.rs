@@ -127,9 +127,8 @@ mod tests {
         b.conv2d(r, Conv2dAttrs::same_3x3(8), "conv2").unwrap();
         let g = b.finish();
 
-        let pipeline = PassPipeline::new()
-            .with(Box::new(MvfPass::new()))
-            .with(Box::new(RcfPass::new()));
+        let pipeline =
+            PassPipeline::new().with(Box::new(MvfPass::new())).with(Box::new(RcfPass::new()));
         assert_eq!(pipeline.len(), 2);
         let out = pipeline.run(&g).unwrap();
         assert!(out.validate().is_ok());

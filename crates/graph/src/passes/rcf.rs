@@ -37,11 +37,8 @@ impl Pass for RcfPass {
         let mut out = graph.clone();
         let mut removed: HashSet<NodeId> = HashSet::new();
 
-        let relu_nodes: Vec<NodeId> = graph
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::Relu))
-            .map(|n| n.id)
-            .collect();
+        let relu_nodes: Vec<NodeId> =
+            graph.nodes().filter(|n| matches!(n.op, OpKind::Relu)).map(|n| n.id).collect();
 
         for relu_id in relu_nodes {
             let consumers = out.consumers(relu_id);

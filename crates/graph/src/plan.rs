@@ -1,0 +1,448 @@
+//! Memory planning: liveness analysis over the topological order and greedy
+//! interval-based buffer-slot assignment.
+//!
+//! The cost analysis ([`crate::analysis`]) counts how many bytes a training
+//! iteration *sweeps*; this module plans how many bytes it must *hold*. A
+//! naive executor materializes one output buffer per node and keeps all of
+//! them until the backward pass finishes. Most of those tensors are dead
+//! long before that: once the last forward consumer has read an activation
+//! that the backward pass does not revisit, its buffer can be recycled.
+//!
+//! The planner walks the topological order and computes, per node output:
+//!
+//! 1. **Forward liveness** — the interval from the producing node to its
+//!    last forward consumer (Split outputs are aliases of their input and
+//!    extend the producer's interval instead of owning one).
+//! 2. **Backward retention** — whether the backward pass re-reads the
+//!    tensor. Convolutions, fully-connected layers and ReLU masks re-read
+//!    their saved inputs; BN-derived layers keep `x̂` in their own state and
+//!    do *not* retain their input; pooling and concat need only shapes.
+//!    Retained tensors stay live through the backward pass and are excluded
+//!    from reuse.
+//! 3. **Slot assignment** — transient tensors are packed into reusable
+//!    buffer slots with a greedy best-fit over their live intervals, giving
+//!    the arena capacity an executor needs and the planned peak bytes
+//!    reported next to the naive per-node-allocation total.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::op::OpKind;
+use crate::Result;
+use serde::Serialize;
+
+/// Liveness of one node's output tensor within a training step.
+#[derive(Debug, Clone, Serialize)]
+pub struct TensorLiveness {
+    /// Topological position at which the tensor is produced.
+    pub def: usize,
+    /// Topological position of the last forward read.
+    pub last_use: usize,
+    /// Size of the tensor in bytes.
+    pub bytes: usize,
+    /// Whether the backward pass re-reads the tensor (keeping it alive for
+    /// the whole step).
+    pub saved_for_backward: bool,
+}
+
+/// Compact, serializable view of a plan's memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryPlanSummary {
+    /// Peak bytes the planned execution holds at once: tensors retained for
+    /// the backward pass plus the reuse arena's slot capacities.
+    pub planned_peak_bytes: usize,
+    /// Bytes a naive one-buffer-per-node execution holds (the sum of every
+    /// node output, all alive simultaneously at the end of forward).
+    pub naive_total_bytes: usize,
+    /// Bytes retained for the backward pass.
+    pub saved_bytes: usize,
+    /// Total capacity of the reusable buffer slots.
+    pub arena_bytes: usize,
+    /// Number of reusable buffer slots.
+    pub slots: usize,
+    /// Number of planned (tensor-producing) nodes.
+    pub tensors: usize,
+}
+
+/// The memory plan of one graph: execution order, per-output liveness,
+/// buffer-slot assignment and release schedule.
+///
+/// Both metrics cover the node *output* tensors the executor materializes;
+/// auxiliary backward state (BN `x̂`, pooling argmax) is identical between
+/// the naive and the planned execution and is not part of the comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionPlan {
+    order: Vec<NodeId>,
+    /// Node index → topological position.
+    position: Vec<usize>,
+    /// Node index → alias target (Split nodes forward their input tensor).
+    alias_of: Vec<Option<usize>>,
+    /// Node index → liveness of its own output (None for non-producers and
+    /// aliases).
+    liveness: Vec<Option<TensorLiveness>>,
+    /// Node index → assigned reuse slot (None for saved / non-producers).
+    slot: Vec<Option<usize>>,
+    /// Topological position → producer node indices whose buffers die after
+    /// that position executes.
+    release_at: Vec<Vec<usize>>,
+    slot_bytes: Vec<usize>,
+    naive_bytes: usize,
+    saved_bytes: usize,
+}
+
+/// Whether a node materializes an output tensor at run time.
+///
+/// Label inputs carry no tensor and Split is a pointer pass (an alias of
+/// its input), so neither owns a buffer.
+fn produces_tensor(graph: &Graph, id: NodeId) -> bool {
+    match graph.node(id) {
+        Ok(node) => match &node.op {
+            OpKind::Input => node.output_shape.is_nchw(),
+            OpKind::Split { .. } => false,
+            _ => true,
+        },
+        Err(_) => false,
+    }
+}
+
+/// Whether `op`'s backward pass re-reads the output tensor of its first
+/// input (the saved ifmap of the cost analysis).
+fn backward_reads_first_input(op: &OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::Conv2d(_)
+            | OpKind::ConvStats { .. }
+            | OpKind::ReluConv(_)
+            | OpKind::Relu
+            | OpKind::FullyConnected { .. }
+    )
+}
+
+/// Whether `op`'s backward pass re-reads the node's *own* output tensor.
+fn backward_reads_own_output(op: &OpKind) -> bool {
+    // NormRelu recovers its ReLU mask from the forward output.
+    matches!(op, OpKind::NormRelu(_))
+}
+
+impl ExecutionPlan {
+    /// Plans buffer reuse for one graph.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is cyclic or references unknown nodes.
+    pub fn for_graph(graph: &Graph) -> Result<ExecutionPlan> {
+        let order = graph.topo_order()?;
+        let n = graph.node_count();
+        let mut position = vec![0usize; n];
+        for (pos, id) in order.iter().enumerate() {
+            position[id.index()] = pos;
+        }
+
+        // Split nodes alias their input's tensor (chains collapse to the
+        // first real producer).
+        let mut alias_of: Vec<Option<usize>> = vec![None; n];
+        for &id in &order {
+            let node = graph.node(id)?;
+            if let OpKind::Split { .. } = node.op {
+                let target = node.inputs[0].index();
+                alias_of[id.index()] = Some(alias_of[target].unwrap_or(target));
+            }
+        }
+        let resolve = |idx: usize| alias_of[idx].unwrap_or(idx);
+
+        // Liveness: producers start at their own position; every consumer
+        // edge extends the resolved producer's last forward use; backward
+        // retention pins the tensor for the whole step.
+        let mut liveness: Vec<Option<TensorLiveness>> = vec![None; n];
+        for &id in &order {
+            if alias_of[id.index()].is_some() || !produces_tensor(graph, id) {
+                continue;
+            }
+            let node = graph.node(id)?;
+            let pos = position[id.index()];
+            liveness[id.index()] = Some(TensorLiveness {
+                def: pos,
+                last_use: pos,
+                bytes: node.output_shape.bytes_f32(),
+                saved_for_backward: backward_reads_own_output(&node.op),
+            });
+        }
+        for &id in &order {
+            let node = graph.node(id)?;
+            let pos = position[id.index()];
+            for (slot, input) in node.inputs.iter().enumerate() {
+                let producer = resolve(input.index());
+                let Some(live) = liveness[producer].as_mut() else { continue };
+                live.last_use = live.last_use.max(pos);
+                if slot == 0 && backward_reads_first_input(&node.op) {
+                    live.saved_for_backward = true;
+                }
+            }
+        }
+
+        // Greedy best-fit interval packing of the transient tensors into
+        // reusable slots. A slot whose occupant died at position `p` is
+        // available to tensors defined strictly after `p`.
+        let mut slot: Vec<Option<usize>> = vec![None; n];
+        let mut slots: Vec<(usize, usize)> = Vec::new(); // (bytes, free_from)
+        let mut release_at: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+        let mut naive_bytes = 0usize;
+        let mut saved_bytes = 0usize;
+        for &id in &order {
+            let idx = id.index();
+            let Some(live) = liveness[idx].as_ref() else { continue };
+            naive_bytes += live.bytes;
+            if live.saved_for_backward {
+                saved_bytes += live.bytes;
+                continue;
+            }
+            release_at[live.last_use].push(idx);
+            let mut best: Option<usize> = None;
+            for (si, &(bytes, free_from)) in slots.iter().enumerate() {
+                if free_from >= live.def {
+                    continue;
+                }
+                best = match best {
+                    // A slot that already fits beats one that must grow;
+                    // among fitting slots take the smallest, among
+                    // non-fitting the largest (least growth).
+                    Some(b) => {
+                        let (bb, _) = slots[b];
+                        let better = if bytes >= live.bytes && bb >= live.bytes {
+                            bytes < bb
+                        } else if bytes >= live.bytes {
+                            true
+                        } else if bb >= live.bytes {
+                            false
+                        } else {
+                            bytes > bb
+                        };
+                        Some(if better { si } else { b })
+                    }
+                    None => Some(si),
+                };
+            }
+            let si = match best {
+                Some(si) => {
+                    slots[si].0 = slots[si].0.max(live.bytes);
+                    slots[si].1 = live.last_use;
+                    si
+                }
+                None => {
+                    slots.push((live.bytes, live.last_use));
+                    slots.len() - 1
+                }
+            };
+            slot[idx] = Some(si);
+        }
+
+        Ok(ExecutionPlan {
+            order,
+            position,
+            alias_of,
+            liveness,
+            slot,
+            release_at,
+            slot_bytes: slots.into_iter().map(|(bytes, _)| bytes).collect(),
+            naive_bytes,
+            saved_bytes,
+        })
+    }
+
+    /// The topological execution order the plan was computed over.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The topological position of a node.
+    pub fn position(&self, id: NodeId) -> usize {
+        self.position[id.index()]
+    }
+
+    /// Resolves Split aliases to the node whose tensor is actually read.
+    pub fn resolve(&self, id: NodeId) -> NodeId {
+        match self.alias_of[id.index()] {
+            Some(target) => NodeId::new(target),
+            None => id,
+        }
+    }
+
+    /// Whether a node's output tensor is an alias of another node's.
+    pub fn is_alias(&self, id: NodeId) -> bool {
+        self.alias_of[id.index()].is_some()
+    }
+
+    /// Liveness of a node's own output tensor, if it produces one.
+    pub fn liveness(&self, id: NodeId) -> Option<&TensorLiveness> {
+        self.liveness.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Whether a node's output must be retained for the backward pass.
+    pub fn is_saved(&self, id: NodeId) -> bool {
+        self.liveness(self.resolve(id)).map(|l| l.saved_for_backward).unwrap_or(false)
+    }
+
+    /// The reuse slot assigned to a transient node output.
+    pub fn slot(&self, id: NodeId) -> Option<usize> {
+        self.slot.get(id.index()).copied().flatten()
+    }
+
+    /// Producer node indices whose buffers die once the node at topological
+    /// position `pos` has executed.
+    pub fn released_after(&self, pos: usize) -> &[usize] {
+        self.release_at.get(pos).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of reusable buffer slots.
+    pub fn slot_count(&self) -> usize {
+        self.slot_bytes.len()
+    }
+
+    /// Capacity in bytes of each reusable buffer slot.
+    pub fn slot_sizes(&self) -> &[usize] {
+        &self.slot_bytes
+    }
+
+    /// Peak bytes of node outputs the planned execution holds at once.
+    pub fn planned_peak_bytes(&self) -> usize {
+        self.saved_bytes + self.slot_bytes.iter().sum::<usize>()
+    }
+
+    /// Bytes of node outputs a naive one-buffer-per-node execution holds.
+    pub fn naive_total_bytes(&self) -> usize {
+        self.naive_bytes
+    }
+
+    /// Bytes retained for the backward pass.
+    pub fn saved_bytes(&self) -> usize {
+        self.saved_bytes
+    }
+
+    /// The plan's memory accounting in one serializable record.
+    pub fn summary(&self) -> MemoryPlanSummary {
+        MemoryPlanSummary {
+            planned_peak_bytes: self.planned_peak_bytes(),
+            naive_total_bytes: self.naive_total_bytes(),
+            saved_bytes: self.saved_bytes,
+            arena_bytes: self.slot_bytes.iter().sum(),
+            slots: self.slot_bytes.len(),
+            tensors: self.liveness.iter().flatten().count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::{Conv2dAttrs, PoolAttrs};
+    use bnff_tensor::Shape;
+
+    fn conv_chain() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input("in", Shape::nchw(2, 8, 8, 8)).unwrap();
+        let c1 = b.conv2d(x, Conv2dAttrs::pointwise(16), "conv1").unwrap();
+        let bn = b.batch_norm_default(c1, "bn").unwrap();
+        let r = b.relu(bn, "relu").unwrap();
+        let c2 = b.conv2d(r, Conv2dAttrs::pointwise(8), "conv2").unwrap();
+        (b.finish(), vec![x, c1, bn, r, c2])
+    }
+
+    #[test]
+    fn backward_retention_follows_op_semantics() {
+        let (g, ids) = conv_chain();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        // The data input is re-read by conv1's weight-gradient pass.
+        assert!(plan.is_saved(ids[0]));
+        // conv1's output feeds only BN, whose backward uses its own state.
+        assert!(!plan.is_saved(ids[1]));
+        // bn's output is the ReLU mask; relu's output is conv2's saved ifmap.
+        assert!(plan.is_saved(ids[2]));
+        assert!(plan.is_saved(ids[3]));
+        // conv2's output has no consumer and no backward reader.
+        assert!(!plan.is_saved(ids[4]));
+    }
+
+    #[test]
+    fn transient_tensors_are_released_at_their_last_use() {
+        let (g, ids) = conv_chain();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        // conv1's output dies once bn has executed.
+        let bn_pos = plan.position(ids[2]);
+        assert!(plan.released_after(bn_pos).contains(&ids[1].index()));
+        // Saved tensors are never released during forward.
+        for pos in 0..g.node_count() {
+            assert!(!plan.released_after(pos).contains(&ids[3].index()));
+        }
+    }
+
+    #[test]
+    fn pool_chain_reuses_slots() {
+        // Average pooling keeps nothing for backward, so a chain of pools
+        // needs only two live buffers at any time (input + output).
+        let mut b = GraphBuilder::new("pools");
+        let mut prev = b.input("in", Shape::nchw(1, 4, 32, 32)).unwrap();
+        for i in 0..4 {
+            prev = b.avg_pool(prev, PoolAttrs::new(2, 2, 0), &format!("pool{i}")).unwrap();
+        }
+        let g = b.finish();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        assert!(plan.slot_count() <= 2, "pool chain used {} slots", plan.slot_count());
+        assert!(plan.planned_peak_bytes() < plan.naive_total_bytes());
+    }
+
+    #[test]
+    fn split_outputs_alias_their_producer() {
+        let mut b = GraphBuilder::new("split");
+        let x = b.input("in", Shape::nchw(1, 4, 8, 8)).unwrap();
+        let s = b.split(x, 2, "split").unwrap();
+        let r1 = b.relu(s, "r1").unwrap();
+        let _r2 = b.relu(s, "r2").unwrap();
+        let g = b.finish();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        assert!(plan.is_alias(s));
+        assert_eq!(plan.resolve(s), x);
+        assert!(plan.liveness(s).is_none());
+        // The ReLU consumers read the input through the alias, which also
+        // makes the input a saved ReLU mask.
+        assert!(plan.is_saved(x));
+        assert!(plan.is_saved(s));
+        let _ = r1;
+    }
+
+    #[test]
+    fn planned_peak_is_below_naive_for_a_composite_fragment() {
+        let mut b = GraphBuilder::new("frag");
+        let x = b.input("in", Shape::nchw(8, 32, 16, 16)).unwrap();
+        let c1 = b.bn_relu_conv(x, Conv2dAttrs::pointwise(64), "cpl/a").unwrap();
+        let c2 = b.bn_relu_conv(c1, Conv2dAttrs::same_3x3(16), "cpl/b").unwrap();
+        b.concat(vec![x, c2], "concat").unwrap();
+        let g = b.finish();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        assert!(
+            plan.planned_peak_bytes() < plan.naive_total_bytes(),
+            "planned {} vs naive {}",
+            plan.planned_peak_bytes(),
+            plan.naive_total_bytes()
+        );
+        let summary = plan.summary();
+        assert_eq!(summary.planned_peak_bytes, summary.saved_bytes + summary.arena_bytes);
+        assert!(summary.slots >= 1);
+        assert!(summary.tensors > 0);
+    }
+
+    #[test]
+    fn label_inputs_produce_no_tensor() {
+        let mut b = GraphBuilder::new("labelled");
+        let x = b.input("data", Shape::nchw(2, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(2)).unwrap();
+        let gap = b.global_avg_pool(x, "gap").unwrap();
+        let fc = b.fully_connected(gap, 4, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        let g = b.finish();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        assert!(plan.liveness(labels).is_none());
+        assert!(plan.liveness(x).is_some());
+        // GAP keeps nothing; FC saves its input.
+        assert!(!plan.is_saved(x));
+        assert!(plan.is_saved(gap));
+    }
+}

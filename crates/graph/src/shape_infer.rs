@@ -10,7 +10,9 @@ fn conv_spatial(dim: usize, kernel: usize, stride: usize, pad: usize) -> Result<
     if padded < kernel || stride == 0 {
         return Err(GraphError::ShapeInference {
             node: String::new(),
-            reason: format!("window {kernel} with stride {stride} does not fit extent {dim} (pad {pad})"),
+            reason: format!(
+                "window {kernel} with stride {stride} does not fit extent {dim} (pad {pad})"
+            ),
         });
     }
     Ok((padded - kernel) / stride + 1)
@@ -242,8 +244,8 @@ mod tests {
     #[test]
     fn fully_connected_and_softmax() {
         let feats = Shape::nchw(8, 1024, 1, 1);
-        let out = infer_output_shape(&OpKind::FullyConnected { out_features: 1000 }, &[&feats])
-            .unwrap();
+        let out =
+            infer_output_shape(&OpKind::FullyConnected { out_features: 1000 }, &[&feats]).unwrap();
         assert_eq!(out, Shape::matrix(8, 1000));
         let labels = Shape::vector(8);
         let loss = infer_output_shape(&OpKind::SoftmaxLoss, &[&out, &labels]).unwrap();
@@ -263,17 +265,15 @@ mod tests {
         let out = infer_output_shape(&op, &[&x, &stats]).unwrap();
         assert_eq!(out, Shape::nchw(2, 32, 28, 28));
 
-        let op = OpKind::ConvStats {
-            conv: Conv2dAttrs::pointwise(128),
-            bn: BatchNormAttrs::one_pass(),
-        };
+        let op =
+            OpKind::ConvStats { conv: Conv2dAttrs::pointwise(128), bn: BatchNormAttrs::one_pass() };
         let out = infer_output_shape(&op, &[&Shape::nchw(2, 256, 28, 28)]).unwrap();
         assert_eq!(out, Shape::nchw(2, 128, 28, 28));
 
         let a = Shape::nchw(2, 32, 8, 8);
         let b = Shape::nchw(2, 64, 8, 8);
-        let out =
-            infer_output_shape(&OpKind::ConcatStats(BatchNormAttrs::one_pass()), &[&a, &b]).unwrap();
+        let out = infer_output_shape(&OpKind::ConcatStats(BatchNormAttrs::one_pass()), &[&a, &b])
+            .unwrap();
         assert_eq!(out, Shape::nchw(2, 96, 8, 8));
     }
 

@@ -91,8 +91,7 @@ fn check_channels(x: &Tensor, params: &BnParams) -> Result<usize> {
 /// # Errors
 /// Returns an error for non-4-D inputs.
 pub fn bn_statistics(x: &Tensor, one_pass: bool) -> Result<ChannelStats> {
-    let stats =
-        if one_pass { channel_stats_one_pass(x)? } else { channel_stats_two_pass(x)? };
+    let stats = if one_pass { channel_stats_one_pass(x)? } else { channel_stats_two_pass(x)? };
     Ok(stats)
 }
 
@@ -107,6 +106,24 @@ pub fn bn_normalize(
     params: &BnParams,
     epsilon: f32,
 ) -> Result<(Tensor, Tensor)> {
+    let mut y = Tensor::zeros(x.shape().clone());
+    let x_hat = bn_normalize_into(x, stats, params, epsilon, &mut y)?;
+    Ok((y, x_hat))
+}
+
+/// [`bn_normalize`] into a caller-provided output tensor `y`, returning the
+/// (freshly allocated) normalized activations `x̂` that the backward pass
+/// retains. Every element of `y` is overwritten.
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn bn_normalize_into(
+    x: &Tensor,
+    stats: &ChannelStats,
+    params: &BnParams,
+    epsilon: f32,
+    y: &mut Tensor,
+) -> Result<Tensor> {
     let c = check_channels(x, params)?;
     if stats.channels() != c {
         return Err(KernelError::ShapeMismatch(format!(
@@ -117,7 +134,7 @@ pub fn bn_normalize(
     if epsilon <= 0.0 {
         return Err(KernelError::InvalidArgument("epsilon must be positive".to_string()));
     }
-    let mut y = Tensor::zeros(x.shape().clone());
+    x.shape().expect_same(y.shape())?;
     let mut x_hat = Tensor::zeros(x.shape().clone());
     let plane_len = x.shape().h() * x.shape().w();
     let src = x.as_slice();
@@ -149,7 +166,7 @@ pub fn bn_normalize(
             }
         },
     );
-    Ok((y, x_hat))
+    Ok(x_hat)
 }
 
 /// Full BN forward pass: statistics + normalization.
@@ -273,10 +290,8 @@ mod tests {
         let expected = state.x_hat.clone();
         for ni in 0..4 {
             for (ci, (g, b)) in [(2.0f32, 1.0f32), (0.5, -1.0)].iter().enumerate() {
-                for (yv, xv) in y
-                    .channel_plane(ni, ci)
-                    .iter()
-                    .zip(expected.channel_plane(ni, ci).iter())
+                for (yv, xv) in
+                    y.channel_plane(ni, ci).iter().zip(expected.channel_plane(ni, ci).iter())
                 {
                     assert!((yv - (g * xv + b)).abs() < 1e-5);
                 }
@@ -310,6 +325,20 @@ mod tests {
     }
 
     #[test]
+    fn normalize_into_matches_allocating_path() {
+        let x = random(Shape::nchw(2, 3, 4, 4), 9);
+        let params = BnParams::identity(3);
+        let stats = bn_statistics(&x, false).unwrap();
+        let (y_ref, xh_ref) = bn_normalize(&x, &stats, &params, 1e-5).unwrap();
+        let mut y = Tensor::filled(x.shape().clone(), f32::NAN);
+        let xh = bn_normalize_into(&x, &stats, &params, 1e-5, &mut y).unwrap();
+        assert_eq!(y.as_slice(), y_ref.as_slice());
+        assert_eq!(xh.as_slice(), xh_ref.as_slice());
+        let mut bad = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        assert!(bn_normalize_into(&x, &stats, &params, 1e-5, &mut bad).is_err());
+    }
+
+    #[test]
     fn backward_param_grads_match_reductions() {
         let x = random(Shape::nchw(3, 2, 4, 4), 5);
         let params = BnParams::new(vec![1.5, 0.7], vec![0.2, -0.3]).unwrap();
@@ -336,11 +365,7 @@ mod tests {
 
         let loss = |input: &Tensor| -> f64 {
             let (y, _) = bn_forward(input, &params, eps_bn, false).unwrap();
-            y.as_slice()
-                .iter()
-                .zip(g.as_slice())
-                .map(|(&a, &b)| f64::from(a) * f64::from(b))
-                .sum()
+            y.as_slice().iter().zip(g.as_slice()).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum()
         };
 
         let (_, state) = bn_forward(&x, &params, eps_bn, false).unwrap();

@@ -10,9 +10,20 @@ use bnff_tensor::{Shape, Tensor};
 /// Returns an error when no inputs are given or batch/spatial dimensions
 /// disagree.
 pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor> {
-    let first = inputs
-        .first()
-        .ok_or_else(|| KernelError::InvalidArgument("concat needs at least one input".to_string()))?;
+    let mut out = Tensor::zeros(concat_output_shape(inputs)?);
+    concat_forward_into(inputs, &mut out)?;
+    Ok(out)
+}
+
+/// The output shape of a channel-axis concatenation.
+///
+/// # Errors
+/// Returns an error when no inputs are given or batch/spatial dimensions
+/// disagree.
+pub fn concat_output_shape(inputs: &[&Tensor]) -> Result<Shape> {
+    let first = inputs.first().ok_or_else(|| {
+        KernelError::InvalidArgument("concat needs at least one input".to_string())
+    })?;
     first.shape().expect_nchw()?;
     let (n, h, w) = (first.shape().n(), first.shape().h(), first.shape().w());
     let mut channels = 0usize;
@@ -27,8 +38,25 @@ pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor> {
         }
         channels += t.shape().c();
     }
-    let mut out = Tensor::zeros(Shape::nchw(n, channels, h, w));
-    for ni in 0..n {
+    Ok(Shape::nchw(n, channels, h, w))
+}
+
+/// [`concat_forward`] into a caller-provided output tensor. Every element
+/// of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error when no inputs are given or shapes (including `out`'s)
+/// disagree.
+pub fn concat_forward_into(inputs: &[&Tensor], out: &mut Tensor) -> Result<()> {
+    let expected = concat_output_shape(inputs)?;
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "concat output tensor is {}, inputs produce {}",
+            out.shape(),
+            expected
+        )));
+    }
+    for ni in 0..expected.n() {
         let mut offset = 0usize;
         for t in inputs {
             for ci in 0..t.shape().c() {
@@ -37,7 +65,7 @@ pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor> {
             offset += t.shape().c();
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Splits the upstream gradient of a concatenation back into per-input
@@ -84,6 +112,18 @@ mod tests {
         assert_eq!(y.channel_plane(0, 0), &[1.0; 4]);
         assert_eq!(y.channel_plane(0, 1), &[2.0; 4]);
         assert_eq!(y.channel_plane(0, 2), &[2.0; 4]);
+    }
+
+    #[test]
+    fn into_variant_overwrites_recycled_buffers() {
+        let a = Tensor::filled(Shape::nchw(1, 1, 2, 2), 1.0);
+        let b = Tensor::filled(Shape::nchw(1, 2, 2, 2), 2.0);
+        let reference = concat_forward(&[&a, &b]).unwrap();
+        let mut out = Tensor::filled(Shape::nchw(1, 3, 2, 2), f32::NAN);
+        concat_forward_into(&[&a, &b], &mut out).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        let mut bad = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+        assert!(concat_forward_into(&[&a, &b], &mut bad).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::error::KernelError;
 use crate::gemm::{gemm, gemm_tn};
-use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col};
+use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col_into};
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
 use bnff_parallel::{chunk_ranges, min_items_per_thread, parallel_reduce, parallel_rows_mut};
@@ -54,6 +54,26 @@ pub fn conv2d_forward_direct(
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor> {
+    let (_, out_h, out_w) = check_conv(input, weights, attrs)?;
+    let mut out = Tensor::zeros(Shape::nchw(input.shape().n(), attrs.out_channels, out_h, out_w));
+    conv2d_forward_direct_into(input, weights, bias, attrs, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d_forward_direct`] into a caller-provided output tensor, so a
+/// plan-driven executor can hand the convolution a recycled buffer instead
+/// of allocating a fresh feature map per node per step. Every element of
+/// `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn conv2d_forward_direct_into(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<()> {
     let (in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
     if let Some(b) = bias {
         if b.len() != attrs.out_channels {
@@ -66,7 +86,14 @@ pub fn conv2d_forward_direct(
     }
     let n = input.shape().n();
     let (h, w) = (input.shape().h(), input.shape().w());
-    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
+    let expected = Shape::nchw(n, attrs.out_channels, out_h, out_w);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, convolution produces {}",
+            out.shape(),
+            expected
+        )));
+    }
     // One task per `(sample, out_channel)` output plane; every plane is a
     // disjoint contiguous run of the NCHW output buffer.
     let plane_len = out_h * out_w;
@@ -103,7 +130,7 @@ pub fn conv2d_forward_direct(
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// im2col + GEMM convolution forward pass (the layout the paper's reference
@@ -122,8 +149,10 @@ pub fn conv2d_forward_im2col(
     let (rows, cols) = col_shape(input.shape(), attrs)?;
     let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
     let w_mat = weights.as_slice(); // (Cout) x (Cin*Kh*Kw), row-major by construction
+                                    // One column matrix serves every sample: im2col overwrites it in place.
+    let mut col = Vec::new();
     for ni in 0..n {
-        let col = im2col(input, ni, attrs)?;
+        im2col_into(input, ni, attrs, &mut col)?;
         // out_sample = W (Cout x rows) · col (rows x cols)
         let start = out.shape().offset4(ni, 0, 0, 0);
         let out_slice = &mut out.as_mut_slice()[start..start + attrs.out_channels * cols];
@@ -149,10 +178,30 @@ pub fn conv2d_backward_input(
     input_shape: &Shape,
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor> {
+    let mut d_input = Tensor::zeros(input_shape.clone());
+    conv2d_backward_input_into(d_out, weights, attrs, &mut d_input)?;
+    Ok(d_input)
+}
+
+/// [`conv2d_backward_input`] accumulating into a caller-provided gradient
+/// tensor (whose shape is the convolution's input shape). The gradient is
+/// *added* to `d_input`, so callers wanting the plain gradient must pass a
+/// zero-filled tensor — e.g. one taken from a
+/// [`bnff_tensor::pool::BufferPool`].
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_backward_input_into(
+    d_out: &Tensor,
+    weights: &Tensor,
+    attrs: &Conv2dAttrs,
+    d_input: &mut Tensor,
+) -> Result<()> {
+    let input_shape = d_input.shape().clone();
     input_shape.expect_nchw()?;
     d_out.shape().expect_nchw()?;
     let n = input_shape.n();
-    let (rows, cols) = col_shape(input_shape, attrs)?;
+    let (rows, cols) = col_shape(&input_shape, attrs)?;
     if d_out.shape().c() != attrs.out_channels {
         return Err(KernelError::ShapeMismatch(format!(
             "d_out channels {} do not match out_channels {}",
@@ -160,17 +209,17 @@ pub fn conv2d_backward_input(
             attrs.out_channels
         )));
     }
-    let mut d_input = Tensor::zeros(input_shape.clone());
     let w_mat = weights.as_slice(); // Cout x rows
+                                    // One gradient column matrix serves every sample (gemm_tn overwrites it).
+    let mut d_col = vec![0.0f32; rows * cols];
     for ni in 0..n {
         // d_col (rows x cols) = Wᵀ (rows x Cout) · d_out_sample (Cout x cols)
         let start = d_out.shape().offset4(ni, 0, 0, 0);
         let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
-        let mut d_col = vec![0.0f32; rows * cols];
         gemm_tn(rows, cols, attrs.out_channels, w_mat, d_out_slice, &mut d_col)?;
-        col2im_accumulate(&d_col, &mut d_input, ni, attrs)?;
+        col2im_accumulate(&d_col, d_input, ni, attrs)?;
     }
-    Ok(d_input)
+    Ok(())
 }
 
 /// Gradient of the convolution with respect to its weights (and bias when
@@ -213,8 +262,11 @@ pub fn conv2d_backward_weights(
             let mut d_w_flat = vec![0.0f32; attrs.out_channels * rows];
             let mut d_bias = vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }];
             let mut sample_buf = vec![0.0f32; attrs.out_channels * rows];
+            // The column scratch is expanded in place per sample instead of
+            // reallocated (the adjoint of the forward path's reuse).
+            let mut col = Vec::new();
             for ni in groups[gi].clone() {
-                let col = im2col(input, ni, attrs)?;
+                im2col_into(input, ni, attrs, &mut col)?;
                 let start = d_out.shape().offset4(ni, 0, 0, 0);
                 let d_out_slice = &d_out.as_slice()[start..start + attrs.out_channels * cols];
                 // d_W (Cout x rows) += d_out_sample (Cout x cols) · colᵀ (cols x rows)
@@ -363,6 +415,21 @@ mod tests {
                 "d_weights[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn into_variant_overwrites_recycled_buffers() {
+        let attrs = Conv2dAttrs::same_3x3(4);
+        let x = random(Shape::nchw(2, 3, 6, 6), 21);
+        let w = random(Shape::nchw(4, 3, 3, 3), 22);
+        let reference = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+        // A dirty buffer of the right shape must give bit-identical results.
+        let mut out = Tensor::filled(Shape::nchw(2, 4, 6, 6), f32::NAN);
+        conv2d_forward_direct_into(&x, &w, None, &attrs, &mut out).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        // A wrong-shaped output tensor is rejected.
+        let mut bad = Tensor::zeros(Shape::nchw(2, 4, 5, 5));
+        assert!(conv2d_forward_direct_into(&x, &w, None, &attrs, &mut bad).is_err());
     }
 
     #[test]

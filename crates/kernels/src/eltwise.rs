@@ -15,19 +15,36 @@ pub fn eltwise_sum_forward(inputs: &[&Tensor]) -> Result<Tensor> {
     let first = inputs
         .first()
         .ok_or_else(|| KernelError::InvalidArgument("element-wise sum needs inputs".to_string()))?;
-    for t in &inputs[1..] {
+    let mut out = Tensor::zeros(first.shape().clone());
+    eltwise_sum_forward_into(inputs, &mut out)?;
+    Ok(out)
+}
+
+/// [`eltwise_sum_forward`] into a caller-provided output tensor (the first
+/// input is written, the rest accumulate, in one sweep — no intermediate
+/// copy). Every element of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error when no inputs are given or shapes differ.
+pub fn eltwise_sum_forward_into(inputs: &[&Tensor], out: &mut Tensor) -> Result<()> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| KernelError::InvalidArgument("element-wise sum needs inputs".to_string()))?;
+    for t in inputs {
         first.shape().expect_same(t.shape())?;
     }
-    let mut out = (*first).clone();
+    first.shape().expect_same(out.shape())?;
+    let base = first.as_slice();
     parallel_rows_mut(out.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
         let len = chunk.len();
+        chunk.copy_from_slice(&base[offset..offset + len]);
         for t in &inputs[1..] {
             for (o, &v) in chunk.iter_mut().zip(&t.as_slice()[offset..offset + len]) {
                 *o += v;
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Backward pass of the element-wise sum: each input receives the upstream
@@ -56,6 +73,18 @@ mod tests {
         let a = Tensor::zeros(Shape::vector(4));
         let b = Tensor::zeros(Shape::vector(5));
         assert!(eltwise_sum_forward(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn into_variant_overwrites_recycled_buffers() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let b = Tensor::from_slice(&[0.5, 0.5, 0.5]);
+        let mut out = Tensor::from_slice(&[9.0, 9.0, 9.0]);
+        eltwise_sum_forward_into(&[&a, &b], &mut out).unwrap();
+        assert_eq!(out.as_slice(), eltwise_sum_forward(&[&a, &b]).unwrap().as_slice());
+        let mut bad = Tensor::zeros(Shape::vector(4));
+        assert!(eltwise_sum_forward_into(&[&a, &b], &mut bad).is_err());
+        assert!(eltwise_sum_forward_into(&[], &mut out).is_err());
     }
 
     #[test]

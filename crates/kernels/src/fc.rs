@@ -75,7 +75,16 @@ pub fn fc_backward(
 
     // d_x (N x in) = d_y (N x out) · W (out x in)
     let mut d_x_flat = vec![0.0f32; n * in_features];
-    gemm(n, in_features, out_features, 1.0, d_y.as_slice(), weights.as_slice(), 0.0, &mut d_x_flat)?;
+    gemm(
+        n,
+        in_features,
+        out_features,
+        1.0,
+        d_y.as_slice(),
+        weights.as_slice(),
+        0.0,
+        &mut d_x_flat,
+    )?;
     let d_x = Tensor::from_vec(x.shape().clone(), d_x_flat)?;
 
     // d_W (out x in) = d_yᵀ (out x N) · x (N x in)
@@ -133,11 +142,7 @@ mod tests {
 
         let loss = |x: &Tensor, w: &Tensor, b: &[f32]| -> f64 {
             let y = fc_forward(x, w, b).unwrap();
-            y.as_slice()
-                .iter()
-                .zip(g.as_slice())
-                .map(|(&a, &b)| f64::from(a) * f64::from(b))
-                .sum()
+            y.as_slice().iter().zip(g.as_slice()).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum()
         };
 
         let (d_x, d_w, d_b) = fc_backward(&x, &w, &g).unwrap();

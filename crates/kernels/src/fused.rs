@@ -46,6 +46,22 @@ pub fn conv2d_forward_with_stats(
     Ok((out, stats))
 }
 
+/// [`conv2d_forward_with_stats`] into a caller-provided output tensor.
+/// Every element of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn conv2d_forward_with_stats_into(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<ChannelStats> {
+    crate::conv::conv2d_forward_direct_into(input, weights, bias, attrs, out)?;
+    Ok(ChannelAccumulator::from_tensor(out)?.finalize()?)
+}
+
 /// ReLU applied while reading the ifmaps of a convolution (RCF).
 ///
 /// # Errors
@@ -87,6 +103,29 @@ pub fn norm_relu_conv_forward(
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
 ) -> Result<(Tensor, NormReluConvState)> {
+    let mut out = Tensor::zeros(fused_conv_output_shape(raw.shape(), attrs)?);
+    let state =
+        norm_relu_conv_forward_into(raw, stats, bn, epsilon, weights, bias, attrs, &mut out)?;
+    Ok((out, state))
+}
+
+/// [`norm_relu_conv_forward`] into a caller-provided output tensor. Every
+/// element of `out` is overwritten; the returned state owns the (freshly
+/// allocated) `x̂` and clipped activations the backward pass retains.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn norm_relu_conv_forward_into(
+    raw: &Tensor,
+    stats: &ChannelStats,
+    bn: &BnParams,
+    epsilon: f32,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<NormReluConvState> {
     raw.shape().expect_nchw()?;
     let c = raw.shape().c();
     if stats.channels() != c || bn.channels() != c {
@@ -131,8 +170,8 @@ pub fn norm_relu_conv_forward(
             }
         },
     );
-    let out = conv2d_forward_direct(&conv_input, weights, bias, attrs)?;
-    Ok((out, NormReluConvState { x_hat, conv_input, stats: stats.clone() }))
+    crate::conv::conv2d_forward_direct_into(&conv_input, weights, bias, attrs, out)?;
+    Ok(NormReluConvState { x_hat, conv_input, stats: stats.clone() })
 }
 
 /// Gradients produced by [`norm_relu_conv_backward`].
@@ -167,15 +206,12 @@ pub fn norm_relu_conv_backward(
 ) -> Result<NormReluConvGrads> {
     // Convolution backward.
     let d_conv_input = conv2d_backward_input(d_out, weights, state.conv_input.shape(), attrs)?;
-    let (d_weights, d_bias) =
-        conv2d_backward_weights(&state.conv_input, d_out, attrs, with_bias)?;
+    let (d_weights, d_bias) = conv2d_backward_weights(&state.conv_input, d_out, attrs, with_bias)?;
     // ReLU backward (mask taken from the post-ReLU conv input).
     let d_post_bn = relu_backward(&d_conv_input, &state.conv_input)?;
     // BN backward using the saved normalized activations.
-    let bn_state = crate::batchnorm::BnForwardState {
-        stats: state.stats.clone(),
-        x_hat: state.x_hat.clone(),
-    };
+    let bn_state =
+        crate::batchnorm::BnForwardState { stats: state.stats.clone(), x_hat: state.x_hat.clone() };
     let (d_raw, d_bn) = crate::batchnorm::bn_backward(&d_post_bn, &bn_state, bn, epsilon)?;
     Ok(NormReluConvGrads { d_raw, d_weights, d_bias, d_bn })
 }
@@ -189,6 +225,19 @@ pub fn concat_forward_with_stats(inputs: &[&Tensor]) -> Result<(Tensor, ChannelS
     let out = crate::concat::concat_forward(inputs)?;
     let stats = ChannelAccumulator::from_tensor(&out)?.finalize()?;
     Ok((out, stats))
+}
+
+/// [`concat_forward_with_stats`] into a caller-provided output tensor.
+/// Every element of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the inputs (or `out`'s shape) are incompatible.
+pub fn concat_forward_with_stats_into(
+    inputs: &[&Tensor],
+    out: &mut Tensor,
+) -> Result<ChannelStats> {
+    crate::concat::concat_forward_into(inputs, out)?;
+    Ok(ChannelAccumulator::from_tensor(out)?.finalize()?)
 }
 
 /// Convenience: the shape of the output produced by a fused convolution with
@@ -270,8 +319,7 @@ mod tests {
             norm_relu_conv_forward(&raw, &stats, &bn, eps, &w, None, &attrs).unwrap();
         let d_out = random(out.shape().clone(), 9);
 
-        let fused =
-            norm_relu_conv_backward(&d_out, &state, &bn, eps, &w, &attrs, false).unwrap();
+        let fused = norm_relu_conv_backward(&d_out, &state, &bn, eps, &w, &attrs, false).unwrap();
 
         // Unfused reference.
         let (bn_out, bn_state) = bn_forward(&raw, &bn, eps, false).unwrap();
@@ -288,6 +336,31 @@ mod tests {
             assert!((fused.d_bn.d_gamma[c] - d_bn_ref.d_gamma[c]).abs() < 1e-3);
             assert!((fused.d_bn.d_beta[c] - d_bn_ref.d_beta[c]).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let attrs = Conv2dAttrs::same_3x3(4);
+        let x = random(Shape::nchw(2, 3, 6, 6), 31);
+        let w = random(Shape::nchw(4, 3, 3, 3), 32);
+        let (out_ref, stats_ref) = conv2d_forward_with_stats(&x, &w, None, &attrs).unwrap();
+        let mut out = Tensor::filled(out_ref.shape().clone(), f32::NAN);
+        let stats = conv2d_forward_with_stats_into(&x, &w, None, &attrs, &mut out).unwrap();
+        assert_eq!(out.as_slice(), out_ref.as_slice());
+        assert_eq!(stats.mean, stats_ref.mean);
+        assert_eq!(stats.var, stats_ref.var);
+
+        let bn = BnParams::identity(3);
+        let in_stats = bn_statistics(&x, false).unwrap();
+        let (nrc_ref, state_ref) =
+            norm_relu_conv_forward(&x, &in_stats, &bn, 1e-5, &w, None, &attrs).unwrap();
+        let mut nrc = Tensor::filled(nrc_ref.shape().clone(), f32::NAN);
+        let state =
+            norm_relu_conv_forward_into(&x, &in_stats, &bn, 1e-5, &w, None, &attrs, &mut nrc)
+                .unwrap();
+        assert_eq!(nrc.as_slice(), nrc_ref.as_slice());
+        assert_eq!(state.x_hat.as_slice(), state_ref.x_hat.as_slice());
+        assert_eq!(state.conv_input.as_slice(), state_ref.conv_input.as_slice());
     }
 
     #[test]

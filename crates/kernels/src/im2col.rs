@@ -31,6 +31,26 @@ pub(crate) fn conv_out_dim(dim: usize, kernel: usize, stride: usize, pad: usize)
 /// # Errors
 /// Returns an error if the input is not 4-D or the window does not fit.
 pub fn im2col(input: &Tensor, sample: usize, attrs: &Conv2dAttrs) -> Result<Vec<f32>> {
+    let mut out = Vec::new();
+    im2col_into(input, sample, attrs, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col`] into a caller-provided scratch buffer, so a loop over the
+/// mini-batch (or over training steps) expands every sample into the same
+/// allocation instead of building a fresh column matrix each time.
+///
+/// The buffer is resized to `(C·Kh·Kw) · (Ho·Wo)` and every element is
+/// overwritten.
+///
+/// # Errors
+/// Returns an error if the input is not 4-D or the window does not fit.
+pub fn im2col_into(
+    input: &Tensor,
+    sample: usize,
+    attrs: &Conv2dAttrs,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let shape = input.shape();
     shape.expect_nchw()?;
     let (c, h, w) = (shape.c(), shape.h(), shape.w());
@@ -38,10 +58,11 @@ pub fn im2col(input: &Tensor, sample: usize, attrs: &Conv2dAttrs) -> Result<Vec<
     let wo = conv_out_dim(w, attrs.kernel_w, attrs.stride, attrs.pad)?;
     let rows = c * attrs.kernel_h * attrs.kernel_w;
     let cols = ho * wo;
-    let mut out = vec![0.0f32; rows * cols];
+    out.clear();
+    out.resize(rows * cols, 0.0);
     // One task per output row `(ci, kh, kw)`; rows are disjoint in `out`.
     let min_rows = min_items_per_thread(cols.saturating_mul(4));
-    parallel_rows_mut(&mut out, cols, min_rows, |first_row, block| {
+    parallel_rows_mut(out, cols, min_rows, |first_row, block| {
         for (row_local, row_slice) in block.chunks_mut(cols).enumerate() {
             let row = first_row + row_local;
             let kw_off = row % attrs.kernel_w;
@@ -62,7 +83,7 @@ pub fn im2col(input: &Tensor, sample: usize, attrs: &Conv2dAttrs) -> Result<Vec<
             }
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Accumulates a `(C·Kh·Kw) × (Ho·Wo)` column matrix back into one sample of
@@ -143,11 +164,7 @@ mod tests {
 
     #[test]
     fn identity_kernel_copies_input() {
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let attrs = Conv2dAttrs::pointwise(1);
         let cols = im2col(&x, 0, &attrs).unwrap();
         assert_eq!(cols, vec![1.0, 2.0, 3.0, 4.0]);
@@ -191,6 +208,18 @@ mod tests {
         let mut back = Tensor::zeros(x.shape().clone());
         col2im_accumulate(&cols, &mut back, 0, &attrs).unwrap();
         assert!(back.all_close(&x, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn scratch_buffer_is_reusable_across_samples() {
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let x = Tensor::from_vec(Shape::nchw(2, 1, 4, 4), data).unwrap();
+        let attrs = Conv2dAttrs::same_3x3(1);
+        let mut scratch = Vec::new();
+        for sample in 0..2 {
+            im2col_into(&x, sample, &attrs, &mut scratch).unwrap();
+            assert_eq!(scratch, im2col(&x, sample, &attrs).unwrap());
+        }
     }
 
     #[test]

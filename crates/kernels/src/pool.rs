@@ -8,13 +8,14 @@ use bnff_graph::op::PoolAttrs;
 use bnff_parallel::{parallel_rows_mut, parallel_rows_mut2};
 use bnff_tensor::{Shape, Tensor};
 
-/// Result of a max-pooling forward pass: the pooled output plus the argmax
-/// indices (linear indices into each input channel plane) needed by the
-/// backward pass.
+/// What the max-pooling backward pass needs from the forward pass: the
+/// output shape plus the argmax indices (linear indices into each input
+/// channel plane). The pooled output itself is *not* retained, so the
+/// executor's liveness plan can release it at its last forward use.
 #[derive(Debug, Clone)]
 pub struct MaxPoolState {
-    /// Pooled output.
-    pub output: Tensor,
+    /// Shape of the pooled output.
+    pub output_shape: Shape,
     /// For every output element, the linear index (within its input plane)
     /// of the maximum that produced it.
     pub argmax: Vec<usize>,
@@ -27,11 +28,12 @@ fn pooled_shape(x: &Tensor, attrs: &PoolAttrs) -> Result<(usize, usize)> {
     Ok((oh, ow))
 }
 
-/// Max-pooling forward pass.
+/// Max-pooling forward pass, returning the pooled output and the backward
+/// state.
 ///
 /// # Errors
 /// Returns an error if the input is not 4-D or the window does not fit.
-pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<MaxPoolState> {
+pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<(Tensor, MaxPoolState)> {
     let (oh, ow) = pooled_shape(x, attrs)?;
     let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
     let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
@@ -47,10 +49,8 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<MaxPoolState> {
         plane_out,
         min_planes,
         |first_plane, out_block, arg_block| {
-            for (p_local, (out_plane, arg_plane)) in out_block
-                .chunks_mut(plane_out)
-                .zip(arg_block.chunks_mut(plane_out))
-                .enumerate()
+            for (p_local, (out_plane, arg_plane)) in
+                out_block.chunks_mut(plane_out).zip(arg_block.chunks_mut(plane_out)).enumerate()
             {
                 let p = first_plane + p_local;
                 let plane = x.channel_plane(p / c, p % c);
@@ -82,7 +82,8 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<MaxPoolState> {
             }
         },
     );
-    Ok(MaxPoolState { output, argmax })
+    let state = MaxPoolState { output_shape: output.shape().clone(), argmax };
+    Ok((output, state))
 }
 
 /// Max-pooling backward pass: routes each output gradient to the input
@@ -95,7 +96,7 @@ pub fn max_pool_backward(
     state: &MaxPoolState,
     input_shape: &Shape,
 ) -> Result<Tensor> {
-    d_y.shape().expect_same(state.output.shape()).map_err(KernelError::Tensor)?;
+    d_y.shape().expect_same(&state.output_shape).map_err(KernelError::Tensor)?;
     input_shape.expect_nchw()?;
     let c = d_y.shape().c();
     let (oh, ow) = (d_y.shape().h(), d_y.shape().w());
@@ -127,11 +128,31 @@ pub fn max_pool_backward(
 /// Returns an error if the input is not 4-D or the window does not fit.
 pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
     let (oh, ow) = pooled_shape(x, attrs)?;
-    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let (n, c) = (x.shape().n(), x.shape().c());
     let mut output = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    avg_pool_forward_into(x, attrs, &mut output)?;
+    Ok(output)
+}
+
+/// [`avg_pool_forward`] into a caller-provided output tensor. Every element
+/// of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn avg_pool_forward_into(x: &Tensor, attrs: &PoolAttrs, out: &mut Tensor) -> Result<()> {
+    let (oh, ow) = pooled_shape(x, attrs)?;
+    let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+    let expected = Shape::nchw(n, c, oh, ow);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "pool output tensor is {}, input pools to {}",
+            out.shape(),
+            expected
+        )));
+    }
     let plane_out = oh * ow;
     let min_planes = min_planes_per_thread(plane_out * attrs.kernel * attrs.kernel);
-    parallel_rows_mut(output.as_mut_slice(), plane_out, min_planes, |first_plane, block| {
+    parallel_rows_mut(out.as_mut_slice(), plane_out, min_planes, |first_plane, block| {
         for (p_local, out_plane) in block.chunks_mut(plane_out).enumerate() {
             let p = first_plane + p_local;
             let plane = x.channel_plane(p / c, p % c);
@@ -158,7 +179,7 @@ pub fn avg_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor> {
             }
         }
     });
-    Ok(output)
+    Ok(())
 }
 
 /// Average-pooling backward pass.
@@ -273,18 +294,15 @@ mod tests {
             ],
         )
         .unwrap();
-        let state = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
-        assert_eq!(state.output.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        let (output, state) = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
+        assert_eq!(output.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(state.output_shape, Shape::nchw(1, 1, 2, 2));
     }
 
     #[test]
     fn max_pool_backward_routes_to_argmax() {
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 1, 2, 2),
-            vec![1.0, 5.0, 3.0, 2.0],
-        )
-        .unwrap();
-        let state = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let (_, state) = max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
         let d_y = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![7.0]).unwrap();
         let d_x = max_pool_backward(&d_y, &state, x.shape()).unwrap();
         assert_eq!(d_x.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
@@ -292,16 +310,23 @@ mod tests {
 
     #[test]
     fn avg_pool_matches_mean() {
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = avg_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).unwrap();
         assert_eq!(y.as_slice(), &[2.5]);
         let d_y = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![4.0]).unwrap();
         let d_x = avg_pool_backward(&d_y, x.shape(), &PoolAttrs::new(2, 2, 0)).unwrap();
         assert_eq!(d_x.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_into_overwrites_recycled_buffers() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let attrs = PoolAttrs::new(2, 2, 0);
+        let mut out = Tensor::filled(Shape::nchw(1, 1, 1, 1), f32::NAN);
+        avg_pool_forward_into(&x, &attrs, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[2.5]);
+        let mut bad = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(avg_pool_forward_into(&x, &attrs, &mut bad).is_err());
     }
 
     #[test]
@@ -322,8 +347,9 @@ mod tests {
     #[test]
     fn padded_max_pool_shape() {
         let x = Tensor::ones(Shape::nchw(2, 3, 112, 112));
-        let state = max_pool_forward(&x, &PoolAttrs::new(3, 2, 1)).unwrap();
-        assert_eq!(state.output.shape(), &Shape::nchw(2, 3, 56, 56));
+        let (output, state) = max_pool_forward(&x, &PoolAttrs::new(3, 2, 1)).unwrap();
+        assert_eq!(output.shape(), &Shape::nchw(2, 3, 56, 56));
+        assert_eq!(state.output_shape, Shape::nchw(2, 3, 56, 56));
     }
 
     #[test]

@@ -6,9 +6,27 @@ use bnff_tensor::Tensor;
 
 /// ReLU forward pass: `y = max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    let mut y = x.clone();
-    relu_forward_inplace(&mut y);
+    let mut y = Tensor::zeros(x.shape().clone());
+    relu_forward_into(x, &mut y).expect("freshly allocated output matches the input shape");
     y
+}
+
+/// ReLU forward pass into a caller-provided output tensor (one read sweep,
+/// one write sweep, no intermediate copy). Every element of `out` is
+/// overwritten.
+///
+/// # Errors
+/// Returns an error if the shapes differ.
+pub fn relu_forward_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
+    x.shape().expect_same(out.shape())?;
+    let src = x.as_slice();
+    parallel_rows_mut(out.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
+        let len = chunk.len();
+        for (dst, &v) in chunk.iter_mut().zip(&src[offset..offset + len]) {
+            *dst = v.max(0.0);
+        }
+    });
+    Ok(())
 }
 
 /// ReLU forward pass in place.
@@ -74,6 +92,16 @@ mod tests {
         let x = Tensor::zeros(Shape::vector(4));
         let d_y = Tensor::zeros(Shape::vector(5));
         assert!(relu_backward(&d_y, &x).is_err());
+    }
+
+    #[test]
+    fn into_variant_overwrites_recycled_buffers() {
+        let x = Tensor::from_slice(&[-1.0, 0.5, -2.0, 3.0]);
+        let mut out = Tensor::from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        relu_forward_into(&x, &mut out).unwrap();
+        assert_eq!(out.as_slice(), relu_forward(&x).as_slice());
+        let mut bad = Tensor::zeros(Shape::vector(5));
+        assert!(relu_forward_into(&x, &mut bad).is_err());
     }
 
     #[test]

@@ -146,11 +146,9 @@ mod tests {
 
     #[test]
     fn backward_matches_numerical_gradient() {
-        let scores = Tensor::from_vec(
-            Shape::matrix(2, 4),
-            vec![0.5, -0.3, 0.8, 0.1, -1.0, 0.4, 0.2, 0.9],
-        )
-        .unwrap();
+        let scores =
+            Tensor::from_vec(Shape::matrix(2, 4), vec![0.5, -0.3, 0.8, 0.1, -1.0, 0.4, 0.2, 0.9])
+                .unwrap();
         let labels = vec![2usize, 1];
         let state = softmax_loss_forward(&scores, &labels).unwrap();
         let d_scores = softmax_loss_backward(&state, &labels).unwrap();
@@ -164,10 +162,7 @@ mod tests {
             let lm = softmax_loss_forward(&sm, &labels).unwrap().loss;
             let numeric = f64::from(lp - lm) / (2.0 * f64::from(h));
             let analytic = f64::from(d_scores.get(idx).unwrap());
-            assert!(
-                (numeric - analytic).abs() < 1e-3,
-                "d_scores[{idx}]: {numeric} vs {analytic}"
-            );
+            assert!((numeric - analytic).abs() < 1e-3, "d_scores[{idx}]: {numeric} vs {analytic}");
         }
     }
 
@@ -180,11 +175,8 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let scores = Tensor::from_vec(
-            Shape::matrix(3, 2),
-            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4],
-        )
-        .unwrap();
+        let scores =
+            Tensor::from_vec(Shape::matrix(3, 2), vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         assert!((accuracy(&scores, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
         assert!(accuracy(&scores, &[0, 1]).is_err());
     }

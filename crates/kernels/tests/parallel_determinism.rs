@@ -98,7 +98,8 @@ fn conv_forward_and_backward_match_serial() {
     for &(n, ic, oc, hw, seed) in
         &[(1usize, 1usize, 1usize, 1usize, 1u64), (1, 3, 5, 7, 2), (3, 4, 6, 9, 3), (2, 2, 8, 5, 4)]
     {
-        let attrs = Conv2dAttrs::new(oc, if hw >= 3 { 3 } else { 1 }, 1, if hw >= 3 { 1 } else { 0 });
+        let attrs =
+            Conv2dAttrs::new(oc, if hw >= 3 { 3 } else { 1 }, 1, if hw >= 3 { 1 } else { 0 });
         let x = random(Shape::nchw(n, ic, hw, hw), seed);
         let w = random(Shape::nchw(oc, ic, attrs.kernel_h, attrs.kernel_w), seed + 100);
         check(&format!("conv_direct n={n} ic={ic} oc={oc} hw={hw}"), || {
@@ -179,12 +180,12 @@ fn pool_relu_eltwise_match_serial() {
     let x = random(Shape::nchw(3, 5, 9, 9), 12);
     let pool = PoolAttrs::new(3, 2, 1);
     check("max_pool_forward", || {
-        let state = max_pool_forward(&x, &pool).unwrap();
-        state.output.into_vec()
+        let (output, _) = max_pool_forward(&x, &pool).unwrap();
+        output.into_vec()
     });
     check("max_pool_backward", || {
-        let state = max_pool_forward(&x, &pool).unwrap();
-        let d_y = random(state.output.shape().clone(), 13);
+        let (_, state) = max_pool_forward(&x, &pool).unwrap();
+        let d_y = random(state.output_shape.clone(), 13);
         max_pool_backward(&d_y, &state, x.shape()).unwrap().into_vec()
     });
     check("avg_pool_forward", || avg_pool_forward(&x, &pool).unwrap().into_vec());
@@ -216,8 +217,7 @@ fn fused_kernels_match_serial() {
     let bn = BnParams::new(vec![1.2, 0.8, 1.0, 0.9], vec![0.1, -0.1, 0.0, 0.2]).unwrap();
     check("norm_relu_conv", || {
         let stats = channel_stats_one_pass(&x).unwrap();
-        let (out, state) =
-            norm_relu_conv_forward(&x, &stats, &bn, 1e-5, &w, None, &attrs).unwrap();
+        let (out, state) = norm_relu_conv_forward(&x, &stats, &bn, 1e-5, &w, None, &attrs).unwrap();
         let mut flat = out.into_vec();
         flat.extend(state.x_hat.into_vec());
         flat

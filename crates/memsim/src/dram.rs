@@ -26,7 +26,12 @@ pub struct DramConfig {
 impl DramConfig {
     /// The paper's Skylake configuration: 12 × DDR4-2400, 8-byte channels.
     pub fn skylake_ddr4_2400() -> Self {
-        DramConfig { channels: 12, transfer_rate_mts: 2400.0, bus_bytes: 8, stream_efficiency: 0.85 }
+        DramConfig {
+            channels: 12,
+            transfer_rate_mts: 2400.0,
+            bus_bytes: 8,
+            stream_efficiency: 0.85,
+        }
     }
 
     /// The same configuration throttled to half data rate (Figure 8).

@@ -6,6 +6,7 @@ use crate::roofline::pass_time;
 use crate::Result;
 use bnff_graph::analysis::node_cost;
 use bnff_graph::op::LayerCategory;
+use bnff_graph::plan::ExecutionPlan;
 use bnff_graph::Graph;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -63,6 +64,12 @@ pub struct IterationReport {
     pub fwd_dram_bytes: f64,
     /// Backward-pass DRAM traffic in bytes.
     pub bwd_dram_bytes: f64,
+    /// Peak bytes of node-output activations a liveness-planned executor
+    /// holds at once (retained-for-backward tensors + reuse-arena slots).
+    pub planned_peak_activation_bytes: usize,
+    /// Bytes of node-output activations a naive one-buffer-per-node
+    /// executor holds (all alive simultaneously at the end of forward).
+    pub naive_activation_bytes: usize,
 }
 
 impl IterationReport {
@@ -139,6 +146,16 @@ impl IterationReport {
     pub fn traffic_reduction_over(&self, baseline: &IterationReport) -> f64 {
         1.0 - self.total_dram_bytes() / baseline.total_dram_bytes()
     }
+
+    /// Fraction of activation memory the liveness planner saves over the
+    /// naive one-buffer-per-node executor (`1 − planned/naive`).
+    pub fn planned_memory_reduction(&self) -> f64 {
+        if self.naive_activation_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.planned_peak_activation_bytes as f64 / self.naive_activation_bytes as f64
+        }
+    }
 }
 
 /// Simulates one training iteration (forward + backward) of `graph` on
@@ -150,6 +167,7 @@ impl IterationReport {
 pub fn simulate_iteration(graph: &Graph, machine: &MachineProfile) -> Result<IterationReport> {
     machine.validate()?;
     let cache = CacheModel::for_machine(machine);
+    let plan = ExecutionPlan::for_graph(graph)?;
     let order = graph.topo_order()?;
     let mut per_node = Vec::with_capacity(order.len());
     let mut fwd_seconds = 0.0;
@@ -195,6 +213,8 @@ pub fn simulate_iteration(graph: &Graph, machine: &MachineProfile) -> Result<Ite
         bwd_seconds,
         fwd_dram_bytes: fwd_dram,
         bwd_dram_bytes: bwd_dram,
+        planned_peak_activation_bytes: plan.planned_peak_bytes(),
+        naive_activation_bytes: plan.naive_total_bytes(),
     })
 }
 
@@ -262,11 +282,9 @@ mod tests {
     fn infinite_bandwidth_shrinks_bn_time() {
         let g = fragment(120);
         let finite = simulate_iteration(&g, &MachineProfile::skylake_xeon_2s()).unwrap();
-        let infinite = simulate_iteration(
-            &g,
-            &MachineProfile::skylake_xeon_2s().with_infinite_bandwidth(),
-        )
-        .unwrap();
+        let infinite =
+            simulate_iteration(&g, &MachineProfile::skylake_xeon_2s().with_infinite_bandwidth())
+                .unwrap();
         // The paper's Figure 4 observes ~20x on BN+ReLU; our model should
         // show at least a large one-order-of-magnitude effect.
         let ratio = finite.bn_seconds() / infinite.bn_seconds();
@@ -277,11 +295,9 @@ mod tests {
     fn halved_bandwidth_increases_non_conv_share() {
         let g = fragment(120);
         let full = simulate_iteration(&g, &MachineProfile::skylake_xeon_2s()).unwrap();
-        let half = simulate_iteration(
-            &g,
-            &MachineProfile::skylake_xeon_2s().with_bandwidth(115.2e9),
-        )
-        .unwrap();
+        let half =
+            simulate_iteration(&g, &MachineProfile::skylake_xeon_2s().with_bandwidth(115.2e9))
+                .unwrap();
         assert!(half.total_seconds() > full.total_seconds());
         assert!(half.non_conv_fraction() > full.non_conv_fraction());
     }
@@ -316,6 +332,20 @@ mod tests {
             tiny_gain < big_gain,
             "BNFF gain at CIFAR scale ({tiny_gain}) should be below ImageNet scale ({big_gain})"
         );
+    }
+
+    #[test]
+    fn planner_peak_is_below_the_naive_total() {
+        let g = fragment(64);
+        let report = simulate_iteration(&g, &MachineProfile::skylake_xeon_2s()).unwrap();
+        assert!(
+            report.planned_peak_activation_bytes < report.naive_activation_bytes,
+            "planned {} vs naive {}",
+            report.planned_peak_activation_bytes,
+            report.naive_activation_bytes
+        );
+        assert!(report.planned_memory_reduction() > 0.0);
+        assert!(report.planned_memory_reduction() < 1.0);
     }
 
     #[test]

@@ -25,13 +25,19 @@ pub fn pass_time(
         LayerCategory::NonConv => machine.effective_elementwise_flops(),
     };
     let compute_time = if flops > 0.0 { flops / compute_rate } else { 0.0 };
-    let memory_time = if dram_bytes > 0.0 { dram_bytes / machine.effective_bandwidth() } else { 0.0 };
+    let memory_time =
+        if dram_bytes > 0.0 { dram_bytes / machine.effective_bandwidth() } else { 0.0 };
     compute_time.max(memory_time) + machine.kernel_overhead
 }
 
 /// Whether a layer with the given intensity (FLOP per DRAM byte) is
 /// compute-bound on this machine.
-pub fn is_compute_bound(machine: &MachineProfile, category: LayerCategory, flops: f64, dram_bytes: f64) -> bool {
+pub fn is_compute_bound(
+    machine: &MachineProfile,
+    category: LayerCategory,
+    flops: f64,
+    dram_bytes: f64,
+) -> bool {
     let compute_rate = match category {
         LayerCategory::ConvFc | LayerCategory::FusedConv => machine.effective_conv_flops(),
         LayerCategory::NonConv => machine.effective_elementwise_flops(),

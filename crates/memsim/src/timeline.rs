@@ -165,8 +165,7 @@ mod tests {
 
     #[test]
     fn events_are_contiguous_and_ordered() {
-        let events =
-            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let events = simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
         assert!(!events.is_empty());
         let mut clock = 0.0;
         for e in &events {
@@ -182,8 +181,7 @@ mod tests {
 
     #[test]
     fn bn_layers_pin_the_bandwidth() {
-        let events =
-            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let events = simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
         let bn_util: Vec<f64> = events
             .iter()
             .filter(|e| e.op == "BatchNorm" && !e.backward)
@@ -207,8 +205,7 @@ mod tests {
 
     #[test]
     fn utilization_never_exceeds_peak() {
-        let events =
-            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let events = simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
         for e in &events {
             assert!(e.bandwidth_utilization <= 1.0 + 1e-9, "{} exceeds peak", e.name);
         }
@@ -216,8 +213,7 @@ mod tests {
 
     #[test]
     fn bandwidth_series_buckets() {
-        let events =
-            simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
+        let events = simulate_timeline(&fragment(), &MachineProfile::skylake_xeon_2s()).unwrap();
         let series = bandwidth_series(&events, 16);
         assert_eq!(series.len(), 16);
         assert!(series.iter().all(|v| *v >= 0.0 && *v <= 1.0 + 1e-9));

@@ -94,11 +94,7 @@ fn composite_layer(
         Conv2dAttrs::pointwise(cfg.bottleneck_factor * cfg.growth_rate),
         &format!("{prefix}/bottleneck"),
     )?;
-    b.bn_relu_conv(
-        bottleneck,
-        Conv2dAttrs::same_3x3(cfg.growth_rate),
-        &format!("{prefix}/growth"),
-    )
+    b.bn_relu_conv(bottleneck, Conv2dAttrs::same_3x3(cfg.growth_rate), &format!("{prefix}/growth"))
 }
 
 /// Builds a DenseNet-BC graph for the given mini-batch size.
@@ -112,10 +108,7 @@ pub fn densenet(batch: usize, cfg: &DenseNetConfig) -> Result<Graph> {
         cfg.growth_rate
     );
     let mut b = GraphBuilder::new(name);
-    let data = b.input(
-        "data",
-        Shape::nchw(batch, 3, cfg.image_size, cfg.image_size),
-    )?;
+    let data = b.input("data", Shape::nchw(batch, 3, cfg.image_size, cfg.image_size))?;
     let labels = b.input("labels", Shape::vector(batch))?;
 
     // Stem.
@@ -140,11 +133,7 @@ pub fn densenet(batch: usize, cfg: &DenseNetConfig) -> Result<Graph> {
             // Transition: BN → ReLU → 1×1 CONV (compression) → 2×2 avg pool.
             let out_channels = ((channels as f64) * cfg.compression).floor() as usize;
             let prefix = format!("transition{}", block_idx + 1);
-            let conv = b.bn_relu_conv(
-                current,
-                Conv2dAttrs::pointwise(out_channels),
-                &prefix,
-            )?;
+            let conv = b.bn_relu_conv(current, Conv2dAttrs::pointwise(out_channels), &prefix)?;
             current = b.avg_pool(conv, PoolAttrs::new(2, 2, 0), &format!("{prefix}/pool"))?;
             channels = out_channels;
         }
@@ -187,7 +176,12 @@ pub fn densenet169(batch: usize) -> Result<Graph> {
 ///
 /// # Errors
 /// Returns an error if graph construction fails.
-pub fn densenet_cifar(batch: usize, growth_rate: usize, layers_per_block: usize, classes: usize) -> Result<Graph> {
+pub fn densenet_cifar(
+    batch: usize,
+    growth_rate: usize,
+    layers_per_block: usize,
+    classes: usize,
+) -> Result<Graph> {
     let mut g = densenet(batch, &DenseNetConfig::cifar(growth_rate, layers_per_block, classes))?;
     g.set_name("densenet-cifar");
     Ok(g)
@@ -203,15 +197,9 @@ mod tests {
         let cfg = DenseNetConfig::d121();
         assert_eq!(cfg.conv_layer_count(), 120);
         let g = densenet121(4).unwrap();
-        let convs = g
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::Conv2d(_)))
-            .count();
+        let convs = g.nodes().filter(|n| matches!(n.op, OpKind::Conv2d(_))).count();
         assert_eq!(convs, 120);
-        let fcs = g
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::FullyConnected { .. }))
-            .count();
+        let fcs = g.nodes().filter(|n| matches!(n.op, OpKind::FullyConnected { .. })).count();
         assert_eq!(fcs, 1);
     }
 
@@ -220,10 +208,7 @@ mod tests {
         // One BN per conv inside CPLs/transitions/stem plus the head BN:
         // 2 per CPL (58 CPLs = 116) + 3 transitions + stem + head = 121.
         let g = densenet121(2).unwrap();
-        let bns = g
-            .nodes()
-            .filter(|n| matches!(n.op, OpKind::BatchNorm(_)))
-            .count();
+        let bns = g.nodes().filter(|n| matches!(n.op, OpKind::BatchNorm(_))).count();
         assert_eq!(bns, 121);
     }
 

@@ -1,6 +1,8 @@
 //! A small registry mapping model names to builders.
 
-use crate::{alexnet, densenet121, densenet169, densenet_cifar, resnet18, resnet50, resnet_cifar, vgg16};
+use crate::{
+    alexnet, densenet121, densenet169, densenet_cifar, resnet18, resnet50, resnet_cifar, vgg16,
+};
 use bnff_graph::{Graph, Result};
 
 /// The models available in the zoo.

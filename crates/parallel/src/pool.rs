@@ -270,10 +270,7 @@ where
             *slot = Some(f(first + offset));
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("parallel_map_collect fills every slot"))
-        .collect()
+    slots.into_iter().map(|slot| slot.expect("parallel_map_collect fills every slot")).collect()
 }
 
 /// Combines `values` pairwise in index order until one remains — a balanced
@@ -341,7 +338,11 @@ mod tests {
                     });
                 });
                 for (i, h) in hits.iter().enumerate() {
-                    assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} items {items} threads {threads}");
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "index {i} items {items} threads {threads}"
+                    );
                 }
             }
         }

@@ -29,11 +29,13 @@
 pub mod error;
 pub mod init;
 pub mod ops;
+pub mod pool;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use pool::BufferPool;
 pub use shape::Shape;
 pub use stats::ChannelStats;
 pub use tensor::Tensor;

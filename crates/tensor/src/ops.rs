@@ -90,11 +90,7 @@ pub fn lerp(a: &Tensor, b: &Tensor, w: f32) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn dot(a: &Tensor, b: &Tensor) -> Result<f64> {
     a.shape().expect_same(b.shape())?;
-    Ok(a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| f64::from(x) * f64::from(y))
-        .sum())
+    Ok(a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum())
 }
 
 /// Per-sample argmax for an `N × K` score matrix (or an `N × K × 1 × 1`
@@ -201,11 +197,8 @@ mod tests {
 
     #[test]
     fn argmax_rows_basic() {
-        let scores = Tensor::from_vec(
-            Shape::matrix(2, 3),
-            vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05],
-        )
-        .unwrap();
+        let scores =
+            Tensor::from_vec(Shape::matrix(2, 3), vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05]).unwrap();
         assert_eq!(argmax_rows(&scores, 3).unwrap(), vec![1, 0]);
     }
 

@@ -1,0 +1,212 @@
+//! A buffer arena that recycles tensor storage across operators and across
+//! training steps.
+//!
+//! The paper's argument is that BN-era training is bound by memory traffic
+//! over mini-batch activations; the executor therefore should not pay
+//! allocator and page-fault costs for buffers the liveness analysis says can
+//! be reused. [`BufferPool`] is the run-time half of that plan: dead tensors
+//! release their `Vec<f32>` storage into the pool, and later allocations of
+//! any shape are served best-fit from the free list instead of `malloc`.
+//!
+//! ```rust
+//! use bnff_tensor::pool::BufferPool;
+//! use bnff_tensor::{Shape, Tensor};
+//!
+//! let mut pool = BufferPool::new();
+//! let t = pool.take_tensor(Shape::nchw(1, 2, 2, 2));
+//! assert_eq!(t.len(), 8);
+//! pool.reclaim(t);
+//! assert_eq!(pool.free_buffers(), 1);
+//! // The next request of any size up to the freed capacity reuses it.
+//! let u = pool.take_tensor(Shape::vector(4));
+//! assert_eq!(u.len(), 4);
+//! assert_eq!(pool.free_buffers(), 0);
+//! ```
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A free-list of `Vec<f32>` buffers recycled between tensors.
+///
+/// Buffers are handed out best-fit (the smallest free buffer whose capacity
+/// covers the request); requests no free buffer can serve allocate fresh
+/// storage. The pool can be bounded: [`BufferPool::bounded`] caps the total
+/// free bytes retained, dropping released buffers that would exceed the cap
+/// (so a backward pass that releases more than the forward pass takes cannot
+/// grow the pool without limit across training steps).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+    /// Running total of the free list's capacity in bytes (kept incrementally
+    /// so the byte-limit check in [`BufferPool::give`] is O(1)).
+    free_bytes: usize,
+    limit_bytes: Option<usize>,
+    takes: usize,
+    hits: usize,
+}
+
+impl BufferPool {
+    /// Creates an unbounded pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Creates a pool that retains at most `limit_bytes` of free storage.
+    pub fn bounded(limit_bytes: usize) -> Self {
+        BufferPool { limit_bytes: Some(limit_bytes), ..BufferPool::default() }
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total bytes of storage currently on the free list.
+    pub fn free_bytes(&self) -> usize {
+        self.free_bytes
+    }
+
+    /// Number of `take` requests served so far.
+    pub fn takes(&self) -> usize {
+        self.takes
+    }
+
+    /// Number of `take` requests served from the free list (not `malloc`).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements, reusing the
+    /// smallest free buffer whose capacity suffices (best fit).
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= len {
+                match best {
+                    Some(b) if self.free[b].capacity() <= buf.capacity() => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                self.hits += 1;
+                let mut buf = self.free.swap_remove(i);
+                self.free_bytes -= buf.capacity() * std::mem::size_of::<f32>();
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer's storage to the free list.
+    ///
+    /// Zero-capacity buffers are dropped, and a bounded pool drops the
+    /// buffer when retaining it would exceed the byte limit.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let incoming = buf.capacity() * std::mem::size_of::<f32>();
+        if let Some(limit) = self.limit_bytes {
+            if self.free_bytes + incoming > limit {
+                return;
+            }
+        }
+        self.free_bytes += incoming;
+        self.free.push(buf);
+    }
+
+    /// Takes a zero-filled tensor of the given shape from the pool.
+    pub fn take_tensor(&mut self, shape: Shape) -> Tensor {
+        let data = self.take(shape.volume());
+        Tensor::from_vec(shape, data).expect("pool buffer sized to the shape's volume")
+    }
+
+    /// Releases a tensor's storage back into the pool.
+    pub fn reclaim(&mut self, tensor: Tensor) {
+        self.give(tensor.into_vec());
+    }
+}
+
+impl Tensor {
+    /// Releases this tensor's storage into `pool`, consuming the tensor.
+    pub fn release_into(self, pool: &mut BufferPool) {
+        pool.reclaim(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_even_after_reuse() {
+        let mut pool = BufferPool::new();
+        let mut t = pool.take_tensor(Shape::vector(4));
+        t.fill(7.0);
+        t.release_into(&mut pool);
+        let u = pool.take(4);
+        assert_eq!(u, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_sufficient_buffer() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 100]);
+        pool.give(vec![0.0; 8]);
+        pool.give(vec![0.0; 16]);
+        let buf = pool.take(10);
+        assert_eq!(buf.len(), 10);
+        // The 16-element buffer was chosen; 100 and 8 remain free.
+        let caps: Vec<usize> = pool.free.iter().map(Vec::capacity).collect();
+        assert!(caps.contains(&100) && caps.contains(&8));
+        assert_eq!(pool.free_buffers(), 2);
+    }
+
+    #[test]
+    fn misses_allocate_fresh_storage() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 2]);
+        let buf = pool.take(1000);
+        assert_eq!(buf.len(), 1000);
+        assert_eq!(pool.hits(), 0);
+        assert_eq!(pool.takes(), 1);
+        // The too-small buffer is still available.
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn hit_accounting() {
+        let mut pool = BufferPool::new();
+        pool.reclaim(Tensor::zeros(Shape::vector(32)));
+        let _ = pool.take(32);
+        let _ = pool.take(32);
+        assert_eq!(pool.takes(), 2);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn bounded_pool_drops_overflow() {
+        let mut pool = BufferPool::bounded(16 * std::mem::size_of::<f32>());
+        pool.give(vec![0.0; 16]);
+        assert_eq!(pool.free_buffers(), 1);
+        // A second buffer would exceed the cap, so it is dropped.
+        pool.give(vec![0.0; 16]);
+        assert_eq!(pool.free_buffers(), 1);
+        // Tiny buffers that still fit are kept after the big one leaves.
+        let _ = pool.take(16);
+        pool.give(vec![0.0; 8]);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_retained() {
+        let mut pool = BufferPool::new();
+        pool.give(Vec::new());
+        assert_eq!(pool.free_buffers(), 0);
+    }
+}

@@ -84,10 +84,7 @@ impl Shape {
     /// # Errors
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.dims
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+        self.dims.get(axis).copied().ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
     }
 
     /// Returns `true` when this is a 4-D shape.

@@ -354,11 +354,9 @@ mod tests {
     fn known_values() {
         // Channel 0: [1, 2, 3, 4] -> mean 2.5, var 1.25
         // Channel 1: [0, 0, 0, 8] -> mean 2.0, var 12.0
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 2, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 8.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::nchw(1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 8.0])
+                .unwrap();
         let stats = channel_stats_two_pass(&x).unwrap();
         assert!((stats.mean[0] - 2.5).abs() < 1e-6);
         assert!((stats.var[0] - 1.25).abs() < 1e-6);

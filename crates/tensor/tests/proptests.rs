@@ -12,8 +12,7 @@ use bnff_tensor::{ops, Shape, Tensor};
 use proptest::prelude::*;
 
 fn small_nchw() -> impl Strategy<Value = Shape> {
-    (1usize..5, 1usize..5, 1usize..7, 1usize..7)
-        .prop_map(|(n, c, h, w)| Shape::nchw(n, c, h, w))
+    (1usize..5, 1usize..5, 1usize..7, 1usize..7).prop_map(|(n, c, h, w)| Shape::nchw(n, c, h, w))
 }
 
 fn tensor_with_shape(shape: Shape) -> impl Strategy<Value = Tensor> {

@@ -29,7 +29,13 @@ impl SyntheticDataset {
     ///
     /// # Errors
     /// Returns an error for zero classes or a zero-sized image.
-    pub fn new(classes: usize, channels: usize, size: usize, noise: f32, seed: u64) -> Result<Self> {
+    pub fn new(
+        classes: usize,
+        channels: usize,
+        size: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Result<Self> {
         if classes == 0 || channels == 0 || size == 0 {
             return Err(TrainError::InvalidArgument(
                 "classes, channels and size must be positive".to_string(),
@@ -61,7 +67,8 @@ impl SyntheticDataset {
         if batch == 0 {
             return Err(TrainError::InvalidArgument("batch must be positive".to_string()));
         }
-        let mut rng = StdRng::seed_from_u64(self.rng_seed ^ (step.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            StdRng::seed_from_u64(self.rng_seed ^ (step.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let c = self.image_shape.c();
         let h = self.image_shape.h();
         let w = self.image_shape.w();

@@ -1,6 +1,16 @@
-//! The numeric graph executor: forward and backward passes over a model
-//! graph, dispatching to the kernels crate, including the fused BNFF
+//! The numeric graph executor: plan-driven forward and backward passes over
+//! a model graph, dispatching to the kernels crate, including the fused BNFF
 //! operators.
+//!
+//! Execution is organized around a [`bnff_graph::plan::ExecutionPlan`]
+//! computed once per graph: node outputs live in a slot vector indexed by
+//! node id (inputs are *borrowed*, never cloned out of a map), tensors the
+//! backward pass never revisits are released at their last forward use, and
+//! their storage is recycled through a per-executor arena (one bin per plan
+//! slot) plus a [`BufferPool`] for backward gradients — both persistent
+//! across training steps. [`Executor::forward_naive`] keeps the old
+//! one-buffer-per-node behaviour as the reference the equivalence tests
+//! compare against; both paths are bit-identical.
 //!
 //! Nodes execute in topological order (layer dependencies are sequential),
 //! but every dispatched kernel fans its per-sample / per-channel / per-row
@@ -14,29 +24,33 @@ use crate::error::TrainError;
 use crate::params::{NodeParamGrads, NodeParams, ParamSet};
 use crate::Result;
 use bnff_graph::op::{OpKind, PoolKind};
+use bnff_graph::plan::ExecutionPlan;
 use bnff_graph::{Graph, Node, NodeId};
-use bnff_kernels::batchnorm::{bn_backward, bn_normalize, bn_statistics, BnForwardState};
-use bnff_kernels::concat::{concat_backward, concat_forward};
+use bnff_kernels::batchnorm::{bn_backward, bn_normalize_into, bn_statistics, BnForwardState};
+use bnff_kernels::concat::{concat_backward, concat_forward_into};
 use bnff_kernels::conv::{
-    conv2d_backward_input, conv2d_backward_weights, conv2d_forward_direct,
+    conv2d_backward_input_into, conv2d_backward_weights, conv2d_forward_direct_into,
 };
-use bnff_kernels::eltwise::eltwise_sum_forward;
+use bnff_kernels::eltwise::eltwise_sum_forward_into;
 use bnff_kernels::fc::{fc_backward, fc_forward};
 use bnff_kernels::fused::{
-    concat_forward_with_stats, conv2d_forward_with_stats, norm_relu_conv_backward,
-    norm_relu_conv_forward, NormReluConvState,
+    concat_forward_with_stats_into, conv2d_forward_with_stats_into, norm_relu_conv_backward,
+    norm_relu_conv_forward_into, NormReluConvState,
 };
 use bnff_kernels::pool::{
-    avg_pool_backward, avg_pool_forward, global_avg_pool_backward, global_avg_pool_forward,
+    avg_pool_backward, avg_pool_forward_into, global_avg_pool_backward, global_avg_pool_forward,
     max_pool_backward, max_pool_forward, MaxPoolState,
 };
-use bnff_kernels::relu::{relu_backward, relu_forward};
+use bnff_kernels::relu::{relu_backward, relu_forward, relu_forward_inplace, relu_forward_into};
 use bnff_kernels::softmax::{
     accuracy, softmax_loss_backward, softmax_loss_forward, SoftmaxLossState,
 };
+use bnff_tensor::pool::BufferPool;
 use bnff_tensor::stats::ChannelStats;
 use bnff_tensor::{ops, Shape, Tensor};
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
 
 /// Per-node state captured during the forward pass for reuse in backward.
 #[derive(Debug, Clone)]
@@ -58,21 +72,37 @@ pub struct ForwardResult {
     pub accuracy: f32,
     /// The classifier scores fed into the loss node.
     pub scores: Tensor,
-    outputs: HashMap<usize, Tensor>,
-    stats: HashMap<usize, ChannelStats>,
-    states: HashMap<usize, NodeState>,
+    /// Node outputs, indexed by node id. Under the planned path only the
+    /// tensors the backward pass revisits survive; the naive path keeps
+    /// every output.
+    values: Vec<Option<Tensor>>,
+    /// Split nodes forward their input's tensor: alias[i] names the node
+    /// whose output a lookup of node `i` resolves to.
+    alias: Vec<Option<usize>>,
+    stats: Vec<Option<ChannelStats>>,
+    states: Vec<Option<NodeState>>,
     labels: Vec<usize>,
 }
 
 impl ForwardResult {
-    /// The output tensor of a node, if it was produced.
+    /// The output tensor of a node, if it was retained.
+    ///
+    /// The planned forward pass ([`Executor::forward`]) retains only the
+    /// tensors its liveness analysis says the backward pass re-reads;
+    /// [`Executor::forward_naive`] retains every node output.
     pub fn output(&self, id: NodeId) -> Option<&Tensor> {
-        self.outputs.get(&id.index())
+        let idx = self.alias.get(id.index()).copied().flatten().unwrap_or(id.index());
+        self.values.get(idx).and_then(Option::as_ref)
     }
 
     /// The mini-batch statistics produced by a statistics-bearing node.
     pub fn stats(&self, id: NodeId) -> Option<&ChannelStats> {
-        self.stats.get(&id.index())
+        self.stats.get(id.index()).and_then(Option::as_ref)
+    }
+
+    fn input_tensor(&self, node: &Node, idx: usize) -> Result<&Tensor> {
+        self.output(node.inputs[idx])
+            .ok_or_else(|| TrainError::Missing(format!("forward output of {}", node.inputs[idx])))
     }
 }
 
@@ -121,11 +151,55 @@ impl Gradients {
     }
 }
 
+/// The persistent buffer storage one executor recycles across nodes and
+/// across training steps: one bin per plan slot for forward activations,
+/// plus a best-fit free list for backward gradients.
+struct Workspace {
+    arena: Vec<Option<Vec<f32>>>,
+    pool: BufferPool,
+}
+
+impl Workspace {
+    fn for_plan(plan: &ExecutionPlan) -> Self {
+        Workspace {
+            arena: vec![None; plan.slot_count()],
+            // Backward releases roughly one gradient buffer per activation;
+            // bound the free list so give/take imbalance can never grow the
+            // pool without limit across steps.
+            pool: BufferPool::bounded(2 * plan.naive_total_bytes() + (1 << 20)),
+        }
+    }
+}
+
+impl fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workspace")
+            .field("arena_slots", &self.arena.len())
+            .field("arena_filled", &self.arena.iter().flatten().count())
+            .field("pool_free_bytes", &self.pool.free_bytes())
+            .finish()
+    }
+}
+
 /// A numeric executor bound to one graph and one parameter set.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Executor {
     graph: Graph,
     params: ParamSet,
+    plan: ExecutionPlan,
+    workspace: Mutex<Workspace>,
+}
+
+impl Clone for Executor {
+    fn clone(&self) -> Self {
+        Executor {
+            graph: self.graph.clone(),
+            params: self.params.clone(),
+            plan: self.plan.clone(),
+            // Recycled buffers are per-executor scratch, not state.
+            workspace: Mutex::new(Workspace::for_plan(&self.plan)),
+        }
+    }
 }
 
 impl Executor {
@@ -136,17 +210,28 @@ impl Executor {
     pub fn new(graph: Graph, seed: u64) -> Result<Self> {
         graph.validate()?;
         let params = ParamSet::initialize(&graph, seed)?;
-        Ok(Executor { graph, params })
+        Self::with_params(graph, params)
     }
 
     /// Creates an executor around an existing parameter set.
-    pub fn with_params(graph: Graph, params: ParamSet) -> Self {
-        Executor { graph, params }
+    ///
+    /// # Errors
+    /// Returns an error if the graph cannot be memory-planned (e.g. it is
+    /// cyclic).
+    pub fn with_params(graph: Graph, params: ParamSet) -> Result<Self> {
+        let plan = ExecutionPlan::for_graph(&graph)?;
+        let workspace = Mutex::new(Workspace::for_plan(&plan));
+        Ok(Executor { graph, params, plan, workspace })
     }
 
     /// The executor's graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The memory plan execution is driven by.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
     }
 
     /// The executor's parameters.
@@ -163,12 +248,7 @@ impl Executor {
         self.graph
             .input_nodes()
             .into_iter()
-            .find(|id| {
-                self.graph
-                    .node(*id)
-                    .map(|n| n.output_shape.is_nchw())
-                    .unwrap_or(false)
-            })
+            .find(|id| self.graph.node(*id).map(|n| n.output_shape.is_nchw()).unwrap_or(false))
             .ok_or_else(|| TrainError::Missing("4-D data input node".to_string()))
     }
 
@@ -188,190 +268,249 @@ impl Executor {
         }
     }
 
-    /// Runs the forward pass on a mini-batch.
+    /// The shape of a node's first input.
+    fn input_shape(&self, node: &Node, idx: usize) -> Result<Shape> {
+        Ok(self.graph.node(node.inputs[idx])?.output_shape.clone())
+    }
+
+    /// Allocates the output tensor for `id`: from the arena bin of its plan
+    /// slot when the planned path's workspace is supplied, fresh otherwise
+    /// (naive path, or an output the plan retains for backward).
+    fn alloc_output(&self, ws: Option<&mut Workspace>, id: NodeId, shape: &Shape) -> Tensor {
+        if let Some(ws) = ws {
+            if let Some(slot) = self.plan.slot(id) {
+                if let Some(mut buf) = ws.arena[slot].take() {
+                    // Every kernel fed from the arena overwrites its whole
+                    // output, so only growth needs (zero-)initialization;
+                    // the surviving prefix is left dirty on purpose.
+                    buf.resize(shape.volume(), 0.0);
+                    return Tensor::from_vec(shape.clone(), buf)
+                        .expect("arena buffer resized to the shape's volume");
+                }
+            }
+        }
+        Tensor::zeros(shape.clone())
+    }
+
+    /// Releases every tensor whose last forward use was the node at
+    /// topological position `pos` back into its arena bin.
+    fn release_dead(&self, ws: &mut Workspace, values: &mut [Option<Tensor>], pos: usize) {
+        for &dead in self.plan.released_after(pos) {
+            if let Some(tensor) = values[dead].take() {
+                // The planner assigns every transient producer a slot, and
+                // only transient producers appear in the release schedule.
+                let slot = self
+                    .plan
+                    .slot(NodeId::new(dead))
+                    .expect("released tensors always have a plan slot");
+                ws.arena[slot] = Some(tensor.into_vec());
+            }
+        }
+    }
+
+    /// Runs the plan-driven forward pass on a mini-batch: inputs are
+    /// borrowed from the slot vector, transient outputs are written into
+    /// recycled arena buffers and released at their last use.
     ///
     /// # Errors
     /// Returns an error if an operation cannot be executed or shapes are
     /// inconsistent with the graph.
     pub fn forward(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
+        self.run_forward(data, labels, true)
+    }
+
+    /// The reference forward pass: one freshly allocated buffer per node,
+    /// every output retained until the result is dropped. The planned path
+    /// is bit-identical to this one (see `tests/memory_plan.rs`).
+    ///
+    /// # Errors
+    /// Returns an error if an operation cannot be executed or shapes are
+    /// inconsistent with the graph.
+    pub fn forward_naive(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
+        self.run_forward(data, labels, false)
+    }
+
+    fn run_forward(&self, data: &Tensor, labels: &[usize], planned: bool) -> Result<ForwardResult> {
         let data_id = self.data_input()?;
         let expected = &self.graph.node(data_id)?.output_shape;
         expected.expect_same(data.shape()).map_err(TrainError::Tensor)?;
 
-        let mut outputs: HashMap<usize, Tensor> = HashMap::new();
-        let mut stats: HashMap<usize, ChannelStats> = HashMap::new();
-        let mut states: HashMap<usize, NodeState> = HashMap::new();
+        let n = self.graph.node_count();
+        let mut values: Vec<Option<Tensor>> = vec![None; n];
+        let mut stats: Vec<Option<ChannelStats>> = vec![None; n];
+        let mut states: Vec<Option<NodeState>> = vec![None; n];
+        let alias: Vec<Option<usize>> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i);
+                self.plan.is_alias(id).then(|| self.plan.resolve(id).index())
+            })
+            .collect();
         let mut loss = 0.0f32;
         let mut scores: Option<Tensor> = None;
-        outputs.insert(data_id.index(), data.clone());
+        values[data_id.index()] = Some(data.clone());
 
-        for id in self.graph.topo_order()? {
-            let node = self.graph.node(id)?.clone();
-            let get_out = |outputs: &HashMap<usize, Tensor>, idx: usize| -> Result<Tensor> {
-                outputs
-                    .get(&node.inputs[idx].index())
-                    .cloned()
-                    .ok_or_else(|| TrainError::Missing(format!("output of {}", node.inputs[idx])))
-            };
-            match &node.op {
+        // The naive reference path never touches the workspace, so only the
+        // planned path takes the lock (a poisoned lock is recovered — the
+        // workspace is pure scratch, safe to reuse after a panic).
+        let mut ws = planned
+            .then(|| self.workspace.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+
+        for (pos, &id) in self.plan.order().iter().enumerate() {
+            let node = self.graph.node(id)?;
+            let out = match &node.op {
                 OpKind::Input => {
-                    // Label inputs carry no tensor; the data input is pre-seeded.
+                    // Label inputs carry no tensor; the data input is
+                    // pre-seeded.
+                    None
                 }
                 OpKind::Conv2d(a) => {
-                    let x = get_out(&outputs, 0)?;
-                    let (w, b) = self.conv_params(&node)?;
-                    outputs.insert(id.index(), conv2d_forward_direct(&x, w, b, a)?);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (w, b) = self.conv_params(node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    conv2d_forward_direct_into(x, w, b, a, &mut out)?;
+                    Some(out)
                 }
                 OpKind::ReluConv(a) => {
-                    let x = get_out(&outputs, 0)?;
-                    let (w, b) = self.conv_params(&node)?;
-                    let clipped = relu_forward(&x);
-                    states.insert(id.index(), NodeState::ClippedInput(clipped.clone()));
-                    outputs.insert(id.index(), conv2d_forward_direct(&clipped, w, b, a)?);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (w, b) = self.conv_params(node)?;
+                    // The clipped activation is computed once: it feeds the
+                    // convolution and is then moved (not re-cloned) into the
+                    // node state for the backward pass.
+                    let clipped = relu_forward(x);
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    conv2d_forward_direct_into(&clipped, w, b, a, &mut out)?;
+                    states[id.index()] = Some(NodeState::ClippedInput(clipped));
+                    Some(out)
                 }
-                OpKind::ConvStats { conv: a, bn } => {
-                    let x = get_out(&outputs, 0)?;
-                    let (w, b) = self.conv_params(&node)?;
-                    let _ = bn;
-                    let (out, s) = conv2d_forward_with_stats(&x, w, b, a)?;
-                    stats.insert(id.index(), s);
-                    outputs.insert(id.index(), out);
+                OpKind::ConvStats { conv: a, .. } => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (w, b) = self.conv_params(node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let s = conv2d_forward_with_stats_into(x, w, b, a, &mut out)?;
+                    stats[id.index()] = Some(s);
+                    Some(out)
                 }
                 OpKind::BatchNorm(attrs) => {
-                    let x = get_out(&outputs, 0)?;
-                    let p = self.bn_params(&node)?;
-                    let s = bn_statistics(&x, attrs.one_pass_stats)?;
-                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
-                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
-                    outputs.insert(id.index(), y);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let p = self.bn_params(node)?;
+                    let s = bn_statistics(x, attrs.one_pass_stats)?;
+                    let mut y = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let x_hat = bn_normalize_into(x, &s, p, attrs.epsilon, &mut y)?;
+                    states[id.index()] = Some(NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    Some(y)
                 }
                 OpKind::SubBnStats(attrs) => {
-                    let x = get_out(&outputs, 0)?;
-                    let s = bn_statistics(&x, attrs.one_pass_stats)?;
-                    let mut summary = Tensor::zeros(Shape::matrix(2, s.channels()));
-                    for (c, (&m, &v)) in s.mean.iter().zip(s.var.iter()).enumerate() {
-                        summary.set(c, m).map_err(TrainError::Tensor)?;
-                        summary.set(s.channels() + c, v).map_err(TrainError::Tensor)?;
-                    }
-                    stats.insert(id.index(), s);
-                    outputs.insert(id.index(), summary);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let s = bn_statistics(x, attrs.one_pass_stats)?;
+                    // The 2×C summary is assembled directly from the
+                    // mean/var slices.
+                    let mut summary = Vec::with_capacity(2 * s.channels());
+                    summary.extend_from_slice(&s.mean);
+                    summary.extend_from_slice(&s.var);
+                    let summary = Tensor::from_vec(Shape::matrix(2, s.channels()), summary)
+                        .map_err(TrainError::Tensor)?;
+                    stats[id.index()] = Some(s);
+                    Some(summary)
                 }
                 OpKind::SubBnNorm(attrs) => {
-                    let x = get_out(&outputs, 0)?;
-                    let p = self.bn_params(&node)?;
-                    let s = stats
-                        .get(&node.inputs[1].index())
-                        .cloned()
-                        .ok_or_else(|| {
-                            TrainError::Missing(format!("statistics for '{}'", node.name))
-                        })?;
-                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
-                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
-                    outputs.insert(id.index(), y);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let p = self.bn_params(node)?;
+                    let s = node_stats(&stats, node, 1)?.clone();
+                    let mut y = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let x_hat = bn_normalize_into(x, &s, p, attrs.epsilon, &mut y)?;
+                    states[id.index()] = Some(NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    Some(y)
                 }
                 OpKind::NormRelu(attrs) => {
-                    let x = get_out(&outputs, 0)?;
-                    let p = self.bn_params(&node)?;
-                    let s = stats
-                        .get(&node.inputs[1].index())
-                        .cloned()
-                        .ok_or_else(|| {
-                            TrainError::Missing(format!("statistics for '{}'", node.name))
-                        })?;
-                    let (y, x_hat) = bn_normalize(&x, &s, p, attrs.epsilon)?;
-                    states.insert(id.index(), NodeState::Bn(BnForwardState { stats: s, x_hat }));
-                    outputs.insert(id.index(), relu_forward(&y));
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let p = self.bn_params(node)?;
+                    let s = node_stats(&stats, node, 1)?.clone();
+                    // The output is retained as the backward ReLU mask
+                    // (saved outputs have no arena slot); clip in place
+                    // instead of materializing a separate post-ReLU copy.
+                    let mut y = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let x_hat = bn_normalize_into(x, &s, p, attrs.epsilon, &mut y)?;
+                    relu_forward_inplace(&mut y);
+                    states[id.index()] = Some(NodeState::Bn(BnForwardState { stats: s, x_hat }));
+                    Some(y)
                 }
                 OpKind::NormReluConv { conv: a, bn: attrs }
                 | OpKind::NormReluConvStats { conv: a, bn_in: attrs, .. } => {
-                    let raw = get_out(&outputs, 0)?;
-                    let s = stats
-                        .get(&node.inputs[1].index())
-                        .cloned()
-                        .ok_or_else(|| {
-                            TrainError::Missing(format!("statistics for '{}'", node.name))
-                        })?;
-                    let (w, b) = self.conv_params(&node)?;
-                    let bn_p = self.bn_params(&node)?;
-                    let (out, state) =
-                        norm_relu_conv_forward(&raw, &s, bn_p, attrs.epsilon, w, b, a)?;
+                    let raw = input_value(&self.plan, &values, node, 0)?;
+                    let s = node_stats(&stats, node, 1)?.clone();
+                    let (w, b) = self.conv_params(node)?;
+                    let bn_p = self.bn_params(node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let state = norm_relu_conv_forward_into(
+                        raw,
+                        &s,
+                        bn_p,
+                        attrs.epsilon,
+                        w,
+                        b,
+                        a,
+                        &mut out,
+                    )?;
                     if let OpKind::NormReluConvStats { bn_out, .. } = &node.op {
-                        stats.insert(id.index(), bn_statistics(&out, bn_out.one_pass_stats)?);
+                        stats[id.index()] = Some(bn_statistics(&out, bn_out.one_pass_stats)?);
                     }
-                    states.insert(id.index(), NodeState::NormReluConv(state));
-                    outputs.insert(id.index(), out);
+                    states[id.index()] = Some(NodeState::NormReluConv(state));
+                    Some(out)
                 }
                 OpKind::Relu => {
-                    let x = get_out(&outputs, 0)?;
-                    outputs.insert(id.index(), relu_forward(&x));
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    relu_forward_into(x, &mut out)?;
+                    Some(out)
                 }
                 OpKind::Pool { kind, attrs } => {
-                    let x = get_out(&outputs, 0)?;
+                    let x = input_value(&self.plan, &values, node, 0)?;
                     match kind {
                         PoolKind::Max => {
-                            let state = max_pool_forward(&x, attrs)?;
-                            outputs.insert(id.index(), state.output.clone());
-                            states.insert(id.index(), NodeState::MaxPool(state));
+                            // The state keeps only shape + argmax, so the
+                            // pooled output is owned once by the slot vector.
+                            let (out, state) = max_pool_forward(x, attrs)?;
+                            states[id.index()] = Some(NodeState::MaxPool(state));
+                            Some(out)
                         }
                         PoolKind::Average => {
-                            outputs.insert(id.index(), avg_pool_forward(&x, attrs)?);
+                            let mut out =
+                                self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                            avg_pool_forward_into(x, attrs, &mut out)?;
+                            Some(out)
                         }
                     }
                 }
                 OpKind::GlobalAvgPool => {
-                    let x = get_out(&outputs, 0)?;
-                    outputs.insert(id.index(), global_avg_pool_forward(&x)?);
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    Some(global_avg_pool_forward(x)?)
                 }
                 OpKind::Concat => {
-                    let xs: Vec<Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|i| {
-                            outputs
-                                .get(&i.index())
-                                .cloned()
-                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
-                        })
-                        .collect::<Result<_>>()?;
-                    let refs: Vec<&Tensor> = xs.iter().collect();
-                    outputs.insert(id.index(), concat_forward(&refs)?);
+                    let refs = input_values(&self.plan, &values, node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    concat_forward_into(&refs, &mut out)?;
+                    Some(out)
                 }
                 OpKind::ConcatStats(_) => {
-                    let xs: Vec<Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|i| {
-                            outputs
-                                .get(&i.index())
-                                .cloned()
-                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
-                        })
-                        .collect::<Result<_>>()?;
-                    let refs: Vec<&Tensor> = xs.iter().collect();
-                    let (out, s) = concat_forward_with_stats(&refs)?;
-                    stats.insert(id.index(), s);
-                    outputs.insert(id.index(), out);
+                    let refs = input_values(&self.plan, &values, node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    let s = concat_forward_with_stats_into(&refs, &mut out)?;
+                    stats[id.index()] = Some(s);
+                    Some(out)
                 }
                 OpKind::Split { .. } => {
-                    let x = get_out(&outputs, 0)?;
-                    outputs.insert(id.index(), x);
+                    // A pointer pass: consumers resolve to the aliased
+                    // producer through the plan, so no tensor is stored.
+                    None
                 }
                 OpKind::EltwiseSum => {
-                    let xs: Vec<Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|i| {
-                            outputs
-                                .get(&i.index())
-                                .cloned()
-                                .ok_or_else(|| TrainError::Missing(format!("output of {i}")))
-                        })
-                        .collect::<Result<_>>()?;
-                    let refs: Vec<&Tensor> = xs.iter().collect();
-                    outputs.insert(id.index(), eltwise_sum_forward(&refs)?);
+                    let refs = input_values(&self.plan, &values, node)?;
+                    let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
+                    eltwise_sum_forward_into(&refs, &mut out)?;
+                    Some(out)
                 }
                 OpKind::FullyConnected { .. } => {
-                    let x = get_out(&outputs, 0)?;
+                    let x = input_value(&self.plan, &values, node, 0)?;
                     let (w, b) = match self.params.get(node.id) {
                         Some(NodeParams::Fc { weights, bias }) => (weights, bias),
                         _ => {
@@ -381,16 +520,22 @@ impl Executor {
                             )))
                         }
                     };
-                    outputs.insert(id.index(), fc_forward(&x, w, b)?);
+                    Some(fc_forward(x, w, b)?)
                 }
                 OpKind::SoftmaxLoss => {
-                    let x = get_out(&outputs, 0)?;
-                    let state = softmax_loss_forward(&x, labels)?;
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let state = softmax_loss_forward(x, labels)?;
                     loss = state.loss;
                     scores = Some(x.clone());
-                    states.insert(id.index(), NodeState::Softmax(state));
-                    outputs.insert(id.index(), Tensor::from_slice(&[loss]));
+                    states[id.index()] = Some(NodeState::Softmax(state));
+                    Some(Tensor::from_slice(&[loss]))
                 }
+            };
+            if let Some(out) = out {
+                values[id.index()] = Some(out);
+            }
+            if let Some(ws) = ws.as_deref_mut() {
+                self.release_dead(ws, &mut values, pos);
             }
         }
 
@@ -400,91 +545,114 @@ impl Executor {
             loss,
             accuracy: acc,
             scores,
-            outputs,
+            values,
+            alias,
             stats,
             states,
             labels: labels.to_vec(),
         })
     }
 
-    /// Runs the backward pass, producing parameter gradients.
+    /// Runs the backward pass, producing parameter gradients. Gradient
+    /// buffers are released into the executor's pool as soon as a node's
+    /// backward has consumed them.
     ///
     /// # Errors
     /// Returns an error if the forward result does not match this graph.
     pub fn backward(&self, fwd: &ForwardResult) -> Result<Gradients> {
-        let mut d_out: HashMap<usize, Tensor> = HashMap::new();
+        let n = self.graph.node_count();
+        let mut d_vals: Vec<Option<Tensor>> = vec![None; n];
         let mut per_node: HashMap<usize, NodeParamGrads> = HashMap::new();
         let data_id = self.data_input()?;
 
-        let accumulate = |map: &mut HashMap<usize, Tensor>, id: NodeId, grad: Tensor| -> Result<()> {
-            match map.get_mut(&id.index()) {
-                Some(existing) => {
-                    ops::add_assign(existing, &grad).map_err(TrainError::Tensor)?;
-                }
-                None => {
-                    map.insert(id.index(), grad);
-                }
-            }
-            Ok(())
-        };
+        let mut ws = self.workspace.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pool = &mut ws.pool;
 
-        let order = self.graph.topo_order()?;
-        for id in order.into_iter().rev() {
-            let node = self.graph.node(id)?.clone();
+        for &id in self.plan.order().iter().rev() {
+            let node = self.graph.node(id)?;
             match &node.op {
                 OpKind::SoftmaxLoss => {
-                    let state = match fwd.states.get(&id.index()) {
+                    let state = match states_ref(&fwd.states, id) {
                         Some(NodeState::Softmax(s)) => s,
                         _ => return Err(TrainError::Missing("softmax state".to_string())),
                     };
                     let d_scores = softmax_loss_backward(state, &fwd.labels)?;
-                    accumulate(&mut d_out, node.inputs[0], d_scores)?;
+                    accumulate(&mut d_vals, node.inputs[0], d_scores)?;
                 }
                 OpKind::Input => {}
+                OpKind::Split { .. } => {
+                    // The gradient flows through unchanged; move it rather
+                    // than copying.
+                    if let Some(grad) = d_vals[id.index()].take() {
+                        accumulate(&mut d_vals, node.inputs[0], grad)?;
+                    }
+                }
+                OpKind::EltwiseSum => {
+                    if let Some(grad) = d_vals[id.index()].take() {
+                        let (last, rest) =
+                            node.inputs.split_last().expect("eltwise sum has inputs");
+                        for input in rest {
+                            // Occupied slots accumulate by reference; only a
+                            // first insertion pays for a copy.
+                            accumulate_ref(&mut d_vals, *input, &grad)?;
+                        }
+                        accumulate(&mut d_vals, *last, grad)?;
+                    }
+                }
                 _ => {
-                    let Some(grad) = d_out.get(&id.index()).cloned() else {
+                    let Some(grad) = d_vals[id.index()].take() else {
                         continue;
-                    };
-                    let input_tensor = |idx: usize| -> Result<Tensor> {
-                        fwd.outputs
-                            .get(&node.inputs[idx].index())
-                            .cloned()
-                            .ok_or_else(|| {
-                                TrainError::Missing(format!("forward output of {}", node.inputs[idx]))
-                            })
                     };
                     match &node.op {
                         OpKind::Conv2d(a) | OpKind::ConvStats { conv: a, .. } => {
-                            let x = input_tensor(0)?;
-                            let (w, b) = self.conv_params(&node)?;
-                            let d_x = conv2d_backward_input(&grad, w, x.shape(), a)?;
-                            let (d_w, d_b) = conv2d_backward_weights(&x, &grad, a, b.is_some())?;
+                            let x = fwd.input_tensor(node, 0)?;
+                            let (w, b) = self.conv_params(node)?;
+                            // The input gradient accumulates into a zeroed
+                            // buffer recycled from the pool.
+                            let mut d_x =
+                                Tensor::from_vec(x.shape().clone(), pool.take(x.shape().volume()))
+                                    .map_err(TrainError::Tensor)?;
+                            conv2d_backward_input_into(&grad, w, a, &mut d_x)?;
+                            let (d_w, d_b) = conv2d_backward_weights(x, &grad, a, b.is_some())?;
                             per_node.insert(
                                 id.index(),
                                 NodeParamGrads::Conv { d_weights: d_w, d_bias: d_b },
                             );
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::ReluConv(a) => {
-                            let x = input_tensor(0)?;
-                            let clipped = match fwd.states.get(&id.index()) {
-                                Some(NodeState::ClippedInput(t)) => t.clone(),
-                                _ => relu_forward(&x),
+                            let x = fwd.input_tensor(node, 0)?;
+                            // The forward pass saved the clipped input; only
+                            // a stale result (never produced by this
+                            // executor) forces a recompute.
+                            let recomputed;
+                            let clipped: &Tensor = match states_ref(&fwd.states, id) {
+                                Some(NodeState::ClippedInput(t)) => t,
+                                _ => {
+                                    recomputed = relu_forward(x);
+                                    &recomputed
+                                }
                             };
-                            let (w, b) = self.conv_params(&node)?;
-                            let d_clipped = conv2d_backward_input(&grad, w, clipped.shape(), a)?;
+                            let (w, b) = self.conv_params(node)?;
+                            let mut d_clipped = Tensor::from_vec(
+                                clipped.shape().clone(),
+                                pool.take(clipped.shape().volume()),
+                            )
+                            .map_err(TrainError::Tensor)?;
+                            conv2d_backward_input_into(&grad, w, a, &mut d_clipped)?;
                             let (d_w, d_b) =
-                                conv2d_backward_weights(&clipped, &grad, a, b.is_some())?;
-                            let d_x = relu_backward(&d_clipped, &x)?;
+                                conv2d_backward_weights(clipped, &grad, a, b.is_some())?;
+                            let d_x = relu_backward(&d_clipped, x)?;
+                            pool.give(d_clipped.into_vec());
                             per_node.insert(
                                 id.index(),
                                 NodeParamGrads::Conv { d_weights: d_w, d_bias: d_b },
                             );
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::NormReluConv { conv: a, bn: attrs }
                         | OpKind::NormReluConvStats { conv: a, bn_in: attrs, .. } => {
-                            let state = match fwd.states.get(&id.index()) {
+                            let state = match states_ref(&fwd.states, id) {
                                 Some(NodeState::NormReluConv(s)) => s,
                                 _ => {
                                     return Err(TrainError::Missing(format!(
@@ -493,8 +661,8 @@ impl Executor {
                                     )))
                                 }
                             };
-                            let (w, b) = self.conv_params(&node)?;
-                            let bn_p = self.bn_params(&node)?;
+                            let (w, b) = self.conv_params(node)?;
+                            let bn_p = self.bn_params(node)?;
                             let grads = norm_relu_conv_backward(
                                 &grad,
                                 state,
@@ -513,10 +681,10 @@ impl Executor {
                                     d_beta: grads.d_bn.d_beta,
                                 },
                             );
-                            accumulate(&mut d_out, node.inputs[0], grads.d_raw)?;
+                            accumulate(&mut d_vals, node.inputs[0], grads.d_raw)?;
                         }
                         OpKind::BatchNorm(attrs) | OpKind::SubBnNorm(attrs) => {
-                            let state = match fwd.states.get(&id.index()) {
+                            let state = match states_ref(&fwd.states, id) {
                                 Some(NodeState::Bn(s)) => s,
                                 _ => {
                                     return Err(TrainError::Missing(format!(
@@ -525,16 +693,16 @@ impl Executor {
                                     )))
                                 }
                             };
-                            let p = self.bn_params(&node)?;
+                            let p = self.bn_params(node)?;
                             let (d_x, g) = bn_backward(&grad, state, p, attrs.epsilon)?;
                             per_node.insert(
                                 id.index(),
                                 NodeParamGrads::Bn { d_gamma: g.d_gamma, d_beta: g.d_beta },
                             );
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::NormRelu(attrs) => {
-                            let state = match fwd.states.get(&id.index()) {
+                            let state = match states_ref(&fwd.states, id) {
                                 Some(NodeState::Bn(s)) => s,
                                 _ => {
                                     return Err(TrainError::Missing(format!(
@@ -543,19 +711,17 @@ impl Executor {
                                     )))
                                 }
                             };
-                            let p = self.bn_params(&node)?;
+                            let p = self.bn_params(node)?;
                             let y = fwd
-                                .outputs
-                                .get(&id.index())
-                                .cloned()
+                                .output(id)
                                 .ok_or_else(|| TrainError::Missing("NormRelu output".into()))?;
-                            let d_post_bn = relu_backward(&grad, &y)?;
+                            let d_post_bn = relu_backward(&grad, y)?;
                             let (d_x, g) = bn_backward(&d_post_bn, state, p, attrs.epsilon)?;
                             per_node.insert(
                                 id.index(),
                                 NodeParamGrads::Bn { d_gamma: g.d_gamma, d_beta: g.d_beta },
                             );
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::SubBnStats(_) => {
                             // The statistics path carries no independent
@@ -563,15 +729,18 @@ impl Executor {
                             // differentiates through mean/variance.
                         }
                         OpKind::Relu => {
-                            let x = input_tensor(0)?;
-                            let d_x = relu_backward(&grad, &x)?;
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            let x = fwd.input_tensor(node, 0)?;
+                            let d_x = relu_backward(&grad, x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::Pool { kind, attrs } => {
-                            let x = input_tensor(0)?;
+                            // Pooling backward needs only the input *shape*,
+                            // which the graph records; the input tensor
+                            // itself was not retained.
+                            let in_shape = self.input_shape(node, 0)?;
                             let d_x = match kind {
                                 PoolKind::Max => {
-                                    let state = match fwd.states.get(&id.index()) {
+                                    let state = match states_ref(&fwd.states, id) {
                                         Some(NodeState::MaxPool(s)) => s,
                                         _ => {
                                             return Err(TrainError::Missing(format!(
@@ -580,16 +749,16 @@ impl Executor {
                                             )))
                                         }
                                     };
-                                    max_pool_backward(&grad, state, x.shape())?
+                                    max_pool_backward(&grad, state, &in_shape)?
                                 }
-                                PoolKind::Average => avg_pool_backward(&grad, x.shape(), attrs)?,
+                                PoolKind::Average => avg_pool_backward(&grad, &in_shape, attrs)?,
                             };
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::GlobalAvgPool => {
-                            let x = input_tensor(0)?;
-                            let d_x = global_avg_pool_backward(&grad, x.shape())?;
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            let in_shape = self.input_shape(node, 0)?;
+                            let d_x = global_avg_pool_backward(&grad, &in_shape)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
                         OpKind::Concat | OpKind::ConcatStats(_) => {
                             let shapes: Vec<Shape> = node
@@ -599,19 +768,11 @@ impl Executor {
                                 .collect::<bnff_graph::Result<_>>()?;
                             let grads = concat_backward(&grad, &shapes)?;
                             for (input, g) in node.inputs.iter().zip(grads) {
-                                accumulate(&mut d_out, *input, g)?;
-                            }
-                        }
-                        OpKind::Split { .. } => {
-                            accumulate(&mut d_out, node.inputs[0], grad)?;
-                        }
-                        OpKind::EltwiseSum => {
-                            for input in &node.inputs {
-                                accumulate(&mut d_out, *input, grad.clone())?;
+                                accumulate(&mut d_vals, *input, g)?;
                             }
                         }
                         OpKind::FullyConnected { .. } => {
-                            let x = input_tensor(0)?;
+                            let x = fwd.input_tensor(node, 0)?;
                             let w = match self.params.get(node.id) {
                                 Some(NodeParams::Fc { weights, .. }) => weights,
                                 _ => {
@@ -621,21 +782,94 @@ impl Executor {
                                     )))
                                 }
                             };
-                            let (d_x, d_w, d_b) = fc_backward(&x, w, &grad)?;
+                            let (d_x, d_w, d_b) = fc_backward(x, w, &grad)?;
                             per_node.insert(
                                 id.index(),
                                 NodeParamGrads::Fc { d_weights: d_w, d_bias: d_b },
                             );
-                            accumulate(&mut d_out, node.inputs[0], d_x)?;
+                            accumulate(&mut d_vals, node.inputs[0], d_x)?;
                         }
-                        OpKind::Input | OpKind::SoftmaxLoss => unreachable!("handled above"),
+                        OpKind::Input
+                        | OpKind::SoftmaxLoss
+                        | OpKind::Split { .. }
+                        | OpKind::EltwiseSum => {
+                            unreachable!("handled above")
+                        }
                     }
+                    // This node's incoming gradient is fully consumed;
+                    // recycle its storage for the next allocation.
+                    pool.give(grad.into_vec());
                 }
             }
         }
 
-        Ok(Gradients { per_node, d_data: d_out.remove(&data_id.index()) })
+        Ok(Gradients { per_node, d_data: d_vals[data_id.index()].take() })
     }
+}
+
+/// Borrows the resolved output tensor of a node's `idx`-th input.
+fn input_value<'a>(
+    plan: &ExecutionPlan,
+    values: &'a [Option<Tensor>],
+    node: &Node,
+    idx: usize,
+) -> Result<&'a Tensor> {
+    let input = node.inputs[idx];
+    values[plan.resolve(input).index()]
+        .as_ref()
+        .ok_or_else(|| TrainError::Missing(format!("output of {input}")))
+}
+
+/// Borrows the resolved output tensors of all of a node's inputs.
+fn input_values<'a>(
+    plan: &ExecutionPlan,
+    values: &'a [Option<Tensor>],
+    node: &Node,
+) -> Result<Vec<&'a Tensor>> {
+    (0..node.inputs.len()).map(|i| input_value(plan, values, node, i)).collect()
+}
+
+/// The mini-batch statistics attached to a node's `idx`-th input.
+fn node_stats<'a>(
+    stats: &'a [Option<ChannelStats>],
+    node: &Node,
+    idx: usize,
+) -> Result<&'a ChannelStats> {
+    stats[node.inputs[idx].index()]
+        .as_ref()
+        .ok_or_else(|| TrainError::Missing(format!("statistics for '{}'", node.name)))
+}
+
+fn states_ref(states: &[Option<NodeState>], id: NodeId) -> Option<&NodeState> {
+    states.get(id.index()).and_then(Option::as_ref)
+}
+
+/// Adds `grad` into the gradient slot of `id`, cloning it only when the
+/// slot is still empty.
+fn accumulate_ref(d_vals: &mut [Option<Tensor>], id: NodeId, grad: &Tensor) -> Result<()> {
+    match d_vals[id.index()].as_mut() {
+        Some(existing) => {
+            ops::add_assign(existing, grad).map_err(TrainError::Tensor)?;
+        }
+        None => {
+            d_vals[id.index()] = Some(grad.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Adds `grad` into the gradient slot of `id`, moving it in when the slot
+/// is still empty.
+fn accumulate(d_vals: &mut [Option<Tensor>], id: NodeId, grad: Tensor) -> Result<()> {
+    match d_vals[id.index()].as_mut() {
+        Some(existing) => {
+            ops::add_assign(existing, &grad).map_err(TrainError::Tensor)?;
+        }
+        None => {
+            d_vals[id.index()] = Some(grad);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -697,6 +931,48 @@ mod tests {
     }
 
     #[test]
+    fn planned_and_naive_paths_are_bit_identical() {
+        let exec = Executor::new(tiny_classifier(4), 11).unwrap();
+        let (data, labels) = random_batch(4, 4, 12);
+        let planned = exec.forward(&data, &labels).unwrap();
+        let naive = exec.forward_naive(&data, &labels).unwrap();
+        assert_eq!(planned.loss.to_bits(), naive.loss.to_bits());
+        assert_eq!(planned.scores.as_slice(), naive.scores.as_slice());
+        // A second planned step over recycled buffers must not drift.
+        let again = exec.forward(&data, &labels).unwrap();
+        assert_eq!(again.loss.to_bits(), planned.loss.to_bits());
+    }
+
+    #[test]
+    fn planned_forward_retains_only_backward_reads() {
+        let exec = Executor::new(tiny_classifier(4), 13).unwrap();
+        let (data, labels) = random_batch(4, 4, 14);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let find = |name: &str| exec.graph().nodes().find(|n| n.name == name).unwrap().id;
+        // conv1's output feeds only BN, which keeps its own state.
+        assert!(fwd.output(find("conv1")).is_none());
+        // relu1's output is conv2's saved ifmap.
+        assert!(fwd.output(find("relu1")).is_some());
+        // The naive path retains everything.
+        let naive = exec.forward_naive(&data, &labels).unwrap();
+        assert!(naive.output(find("conv1")).is_some());
+    }
+
+    #[test]
+    fn workspace_recycles_buffers_across_steps() {
+        let exec = Executor::new(tiny_classifier(4), 15).unwrap();
+        let (data, labels) = random_batch(4, 4, 16);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let _ = exec.backward(&fwd).unwrap();
+        drop(fwd);
+        let before = exec.workspace.lock().unwrap().pool.hits();
+        let fwd = exec.forward(&data, &labels).unwrap();
+        let _ = exec.backward(&fwd).unwrap();
+        let after = exec.workspace.lock().unwrap().pool.hits();
+        assert!(after > before, "second step should reuse pooled gradient buffers");
+    }
+
+    #[test]
     fn loss_gradient_check_through_the_whole_network() {
         // Perturb a single convolution weight and compare the numerical
         // derivative of the loss against the analytic gradient.
@@ -746,19 +1022,26 @@ mod tests {
     }
 
     #[test]
-    fn forward_exposes_intermediate_outputs_and_stats() {
+    fn forward_exposes_stats_and_naive_outputs() {
         let baseline = tiny_classifier(2);
         let restructured = BnffPass::new().run(&baseline).unwrap();
         let exec = Executor::new(restructured, 9).unwrap();
         let (data, labels) = random_batch(2, 4, 10);
+        let stats_node =
+            exec.graph().nodes().find(|n| matches!(n.op, OpKind::ConvStats { .. })).unwrap().id;
         let fwd = exec.forward(&data, &labels).unwrap();
-        let stats_node = exec
-            .graph()
-            .nodes()
-            .find(|n| matches!(n.op, OpKind::ConvStats { .. }))
-            .unwrap()
-            .id;
         assert!(fwd.stats(stats_node).is_some());
-        assert!(fwd.output(stats_node).is_some());
+        // The naive reference path still exposes every intermediate output.
+        let naive = exec.forward_naive(&data, &labels).unwrap();
+        assert!(naive.stats(stats_node).is_some());
+        assert!(naive.output(stats_node).is_some());
+    }
+
+    #[test]
+    fn plan_reports_memory_savings_for_the_executor_graph() {
+        let exec = Executor::new(tiny_classifier(4), 17).unwrap();
+        let plan = exec.plan();
+        assert!(plan.planned_peak_bytes() <= plan.naive_total_bytes());
+        assert!(plan.slot_count() >= 1);
     }
 }

@@ -58,22 +58,26 @@ impl SgdOptimizer {
     ) {
         let lr = self.learning_rate;
         let momentum = self.momentum;
-        let velocity = self
-            .velocity
-            .entry(key)
-            .or_insert_with(|| vec![0.0; values.len()]);
+        let velocity = self.velocity.entry(key).or_insert_with(|| vec![0.0; values.len()]);
         // Per-parameter updates are independent; large layers split across
         // workers, with parameter and velocity chunks walked in lockstep.
-        parallel_rows_mut2(values, 1, velocity, 1, min_items_per_thread(4), |offset, vals, vels| {
-            let len = vals.len();
-            for ((v, vel), g) in
-                vals.iter_mut().zip(vels.iter_mut()).zip(&grads[offset..offset + len])
-            {
-                let grad = g + decay * *v;
-                *vel = momentum * *vel + grad;
-                *v -= lr * *vel;
-            }
-        });
+        parallel_rows_mut2(
+            values,
+            1,
+            velocity,
+            1,
+            min_items_per_thread(4),
+            |offset, vals, vels| {
+                let len = vals.len();
+                for ((v, vel), g) in
+                    vals.iter_mut().zip(vels.iter_mut()).zip(&grads[offset..offset + len])
+                {
+                    let grad = g + decay * *v;
+                    *vel = momentum * *vel + grad;
+                    *v -= lr * *vel;
+                }
+            },
+        );
     }
 
     fn update_tensor(
@@ -109,7 +113,10 @@ impl SgdOptimizer {
                 return Err(TrainError::Missing(format!("parameters for node index {idx}")));
             };
             match (param, grad) {
-                (NodeParams::Conv { weights, bias }, NodeParamGrads::Conv { d_weights, d_bias }) => {
+                (
+                    NodeParams::Conv { weights, bias },
+                    NodeParamGrads::Conv { d_weights, d_bias },
+                ) => {
                     self.update_tensor((idx, "w"), weights, d_weights, decay)?;
                     if let Some(b) = bias {
                         self.update_vec((idx, "b"), b, d_bias, 0.0);
@@ -155,7 +162,10 @@ mod tests {
         let mut params = ParamSet::new();
         params.insert(
             bnff_graph::NodeId::new(0),
-            NodeParams::Conv { weights: Tensor::filled(Shape::nchw(1, 1, 1, 1), value), bias: None },
+            NodeParams::Conv {
+                weights: Tensor::filled(Shape::nchw(1, 1, 1, 1), value),
+                bias: None,
+            },
         );
         let mut per_node = HashMap::new();
         per_node.insert(

@@ -117,7 +117,8 @@ impl ParamSet {
                     let bias = if a.bias { Some(vec![0.0; a.out_channels]) } else { None };
                     Some(NodeParams::Conv { weights, bias })
                 }
-                OpKind::NormReluConv { conv: a, .. } | OpKind::NormReluConvStats { conv: a, .. } => {
+                OpKind::NormReluConv { conv: a, .. }
+                | OpKind::NormReluConvStats { conv: a, .. } => {
                     let in_c = in_shape
                         .as_ref()
                         .ok_or_else(|| TrainError::Missing(format!("input of {}", node.name)))?
@@ -139,8 +140,11 @@ impl ParamSet {
                         .ok_or_else(|| TrainError::Missing(format!("input of {}", node.name)))?;
                     let in_features =
                         in_shape.volume() / in_shape.dim(0).map_err(TrainError::Tensor)?.max(1);
-                    let weights = init
-                        .xavier_uniform(Shape::matrix(*out_features, in_features), in_features, *out_features);
+                    let weights = init.xavier_uniform(
+                        Shape::matrix(*out_features, in_features),
+                        in_features,
+                        *out_features,
+                    );
                     Some(NodeParams::Fc { weights, bias: vec![0.0; *out_features] })
                 }
                 _ => None,
@@ -231,10 +235,7 @@ mod tests {
         let params = ParamSet::initialize(&g, 7).unwrap();
         // conv, bn, fc
         assert_eq!(params.len(), 3);
-        assert_eq!(
-            params.scalar_count(),
-            8 * 3 * 9 + 2 * 8 + (8 * 4 + 4)
-        );
+        assert_eq!(params.scalar_count(), 8 * 3 * 9 + 2 * 8 + (8 * 4 + 4));
         assert_eq!(params.scalar_count(), g.parameter_count());
     }
 

@@ -161,20 +161,15 @@ mod tests {
         let history = trainer.run().unwrap();
         let first: f32 = history[..5].iter().map(|m| m.loss).sum::<f32>() / 5.0;
         let last: f32 = history[history.len() - 5..].iter().map(|m| m.loss).sum::<f32>() / 5.0;
-        assert!(
-            last < first * 0.8,
-            "loss did not drop: first {first}, last {last}"
-        );
+        assert!(last < first * 0.8, "loss did not drop: first {first}, last {last}");
         // The executor's BN runs in training mode (batch statistics), so a
         // single held-out batch with a skewed label mix can distort the
         // normalization and sink its accuracy; average a few batches so the
         // check measures the model, not one batch's label draw.
         let eval_seeds = [999u64, 1000, 1001, 1002];
-        let accuracy: f32 = eval_seeds
-            .iter()
-            .map(|&s| trainer.evaluate(s).unwrap().accuracy)
-            .sum::<f32>()
-            / eval_seeds.len() as f32;
+        let accuracy: f32 =
+            eval_seeds.iter().map(|&s| trainer.evaluate(s).unwrap().accuracy).sum::<f32>()
+                / eval_seeds.len() as f32;
         assert!(accuracy > 1.0 / classes as f32, "accuracy {accuracy} at chance");
     }
 

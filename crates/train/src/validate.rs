@@ -43,10 +43,15 @@ pub struct MvfDivergence {
 ///
 /// # Errors
 /// Returns an error if the graphs cannot be executed.
-pub fn mvf_divergence(graph: &Graph, data: &Tensor, labels: &[usize], seed: u64) -> Result<MvfDivergence> {
+pub fn mvf_divergence(
+    graph: &Graph,
+    data: &Tensor,
+    labels: &[usize],
+    seed: u64,
+) -> Result<MvfDivergence> {
     let baseline = Executor::new(graph.clone(), seed)?;
     let one_pass_graph = MvfPass::new().run(graph)?;
-    let one_pass = Executor::with_params(one_pass_graph, baseline.params().clone());
+    let one_pass = Executor::with_params(one_pass_graph, baseline.params().clone())?;
 
     let fwd_base = baseline.forward(data, labels)?;
     let fwd_mvf = one_pass.forward(data, labels)?;

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restructured = optimizer.apply(&graph)?;
 
     println!("DenseNet-121 @ batch {batch}: BNFF gain vs peak memory bandwidth\n");
-    println!("{:>10}  {:>9}  {:>12}  {:>12}  {:>9}", "BW (GB/s)", "FLOP/B", "baseline", "BNFF", "gain");
+    println!(
+        "{:>10}  {:>9}  {:>12}  {:>12}  {:>9}",
+        "BW (GB/s)", "FLOP/B", "baseline", "BNFF", "gain"
+    );
     for gbs in [57.6, 115.2, 230.4, 460.8, 921.6] {
         let machine = MachineProfile::skylake_xeon_2s().with_bandwidth(gbs * 1e9);
         let base = simulate_iteration(&graph, &machine)?;

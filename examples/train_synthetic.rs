@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let eval = trainer.evaluate(99_991)?;
-        println!("{name}: held-out loss {:.4}, accuracy {:.1}%\n", eval.loss, eval.accuracy * 100.0);
+        println!(
+            "{name}: held-out loss {:.4}, accuracy {:.1}%\n",
+            eval.loss,
+            eval.accuracy * 100.0
+        );
     }
     Ok(())
 }

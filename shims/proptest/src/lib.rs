@@ -143,7 +143,11 @@ impl Strategy for Range<f32> {
         let v = (f64::from(self.start)
             + rng.next_f64() * (f64::from(self.end) - f64::from(self.start)))
             as f32;
-        if v < self.end { v } else { self.end.next_down().max(self.start) }
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
     }
 }
 
@@ -153,7 +157,11 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty f64 strategy range");
         let v = self.start + rng.next_f64() * (self.end - self.start);
-        if v < self.end { v } else { self.end.next_down().max(self.start) }
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
     }
 }
 
@@ -310,9 +318,8 @@ mod tests {
     #[test]
     fn vec_and_flat_map_compose() {
         let mut rng = crate::TestRng::from_name("compose");
-        let strat = (1usize..4).prop_flat_map(|n| {
-            prop::collection::vec(0.0f32..1.0, n).prop_map(move |v| (n, v))
-        });
+        let strat = (1usize..4)
+            .prop_flat_map(|n| prop::collection::vec(0.0f32..1.0, n).prop_map(move |v| (n, v)));
         for _ in 0..50 {
             let (n, v) = strat.generate(&mut rng);
             assert_eq!(v.len(), n);

@@ -201,11 +201,7 @@ fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
 fn named_fields_value(fields: &[String], prefix: &str, borrow: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "(\"{f}\".to_string(), serde::Serialize::to_value({borrow}{prefix}{f}))",
-            )
-        })
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({borrow}{prefix}{f}))",))
         .collect();
     format!("serde::value::Value::Object(vec![{}])", entries.join(", "))
 }
