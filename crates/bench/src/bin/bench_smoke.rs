@@ -1,0 +1,112 @@
+//! CI perf smoke: quick-mode measurements of the hot kernels, written as a
+//! machine-readable `BENCH_ci.json` so every push leaves a perf-trajectory
+//! data point (per-kernel ns/iter, GEMM GFLOP/s, and the blocked-vs-
+//! streaming GEMM speedup the cache-blocked engine is accountable for).
+//!
+//! Usage: `cargo run --release --bin bench_smoke [-- OUTPUT.json]`
+//! `BENCH_SMOKE_MS` overrides the per-bench measurement time (default 200).
+
+use bnff_bench::{print_table, training_step_executors, BenchReport};
+use bnff_graph::op::Conv2dAttrs;
+use bnff_kernels::conv::{conv2d_forward, conv2d_forward_direct};
+use bnff_kernels::gemm::{gemm, gemm_nt, gemm_streaming, gemm_tn, pack_pool_reuse};
+use bnff_kernels::{batchnorm, relu};
+use bnff_parallel::with_threads;
+use bnff_tensor::init::Initializer;
+use bnff_tensor::Shape;
+use std::time::Duration;
+
+const GEMM_DIM: usize = 256;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ci.json".to_string());
+    let ms: u64 = std::env::var("BENCH_SMOKE_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let budget = Duration::from_millis(ms);
+    let mut report = BenchReport::new();
+
+    // --- GEMM: the acceptance measurement. 256x256x256, one worker, so the
+    // blocked-vs-streaming ratio isolates the packing/blocking win.
+    let n = GEMM_DIM;
+    let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
+    let mut c = vec![0.0f32; n * n];
+    let gemm_flops = 2.0 * (n * n * n) as f64;
+    with_threads(1, || {
+        report.measure("gemm_256_blocked_1t", Some(gemm_flops), 3, budget, || {
+            gemm(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        });
+        report.measure("gemm_256_streaming_1t", Some(gemm_flops), 3, budget, || {
+            gemm_streaming(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        });
+        report.measure("gemm_nt_256_blocked_1t", Some(gemm_flops), 3, budget, || {
+            gemm_nt(n, n, n, &a, &b, &mut c).unwrap();
+        });
+        report.measure("gemm_tn_256_blocked_1t", Some(gemm_flops), 3, budget, || {
+            gemm_tn(n, n, n, &a, &b, &mut c).unwrap();
+        });
+    });
+    report.measure("gemm_256_blocked_mt", Some(gemm_flops), 3, budget, || {
+        gemm(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
+    });
+
+    // --- Convolution: packed im2col path vs the direct loop nest.
+    let attrs = Conv2dAttrs::same_3x3(32);
+    let mut init = Initializer::seeded(7);
+    let x = init.uniform(Shape::nchw(4, 16, 16, 16), -1.0, 1.0);
+    let w = init.uniform(Shape::nchw(32, 16, 3, 3), -1.0, 1.0);
+    let conv_flops = 2.0 * (4 * 32 * 16 * 16) as f64 * (16 * 9) as f64;
+    report.measure("conv3x3_im2col_packed", Some(conv_flops), 3, budget, || {
+        conv2d_forward(&x, &w, None, &attrs).unwrap();
+    });
+    report.measure("conv3x3_direct", Some(conv_flops), 3, budget, || {
+        conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+    });
+
+    // --- The BN-side kernels the paper restructures.
+    let bn_x = init.uniform(Shape::nchw(8, 32, 32, 32), -1.0, 1.0);
+    let bn_params = batchnorm::BnParams::identity(32);
+    report.measure("bn_forward_one_pass", None, 3, budget, || {
+        batchnorm::bn_forward(&bn_x, &bn_params, 1e-5, true).unwrap();
+    });
+    report.measure("relu_forward", None, 3, budget, || {
+        relu::relu_forward(&bn_x);
+    });
+
+    // --- One planned training step, baseline vs BNFF, at toy scale.
+    let mut execs = training_step_executors(2, 5)?;
+    let step_x = init.uniform(Shape::nchw(2, 3, 32, 32), -1.0, 1.0);
+    let labels = vec![0usize, 1];
+    for (level, exec) in &mut execs {
+        let name = format!("training_step_{}", bnff_bench::level_bench_name(*level));
+        report.measure(&name, None, 2, budget, || {
+            let fwd = exec.forward(&step_x, &labels).unwrap();
+            exec.backward(&fwd).unwrap();
+        });
+    }
+
+    let blocked_speedup =
+        report.speedup("gemm_256_blocked_1t", "gemm_256_streaming_1t").unwrap_or(0.0);
+    report.summarize("gemm_256_blocked_over_streaming", blocked_speedup);
+    let (hits, takes) = pack_pool_reuse();
+    if takes > 0 {
+        report.summarize("gemm_pack_pool_hit_rate", hits as f64 / takes as f64);
+    }
+
+    let rows: Vec<Vec<String>> = report
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.0}", r.ns_per_iter),
+                r.gflops.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table("bench smoke", &["kernel", "ns/iter", "GFLOP/s"], &rows);
+    println!("\nblocked GEMM speedup over streaming (256³, 1 thread): {blocked_speedup:.2}x");
+
+    std::fs::write(&out_path, report.to_json()?)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

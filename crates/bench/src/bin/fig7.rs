@@ -25,6 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2} GB", r.planned_peak_gb),
                 format!("{:.2} GB", r.naive_activation_gb),
                 pct(r.planner_reduction),
+                format!("{:.1} GB", r.gemm_blocked_gb),
+                pct(r.gemm_locality_reduction),
             ]
         })
         .collect();
@@ -44,6 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "plan peak",
             "naive act",
             "plan -",
+            "gemm DRAM",
+            "gemm loc -",
         ],
         &table,
     );

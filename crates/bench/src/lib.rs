@@ -24,6 +24,97 @@
 use bnff_core::{BnffOptimizer, FusionLevel};
 use bnff_models::densenet_cifar;
 use bnff_train::Executor;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One measured kernel in a machine-readable bench report.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBench {
+    /// Bench id, e.g. `"gemm_256_blocked_1t"`.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Achieved GFLOP/s, for kernels with a known FLOP count.
+    pub gflops: Option<f64>,
+}
+
+/// A machine-readable bench report (`BENCH_ci.json`): the perf-trajectory
+/// artifact the CI `bench-smoke` job uploads on every push, so kernel
+/// regressions show up as data instead of anecdotes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BenchReport {
+    /// All measured kernels, in measurement order.
+    pub records: Vec<KernelBench>,
+    /// Derived headline numbers (speedups, reuse rates).
+    pub summary: Vec<SummaryStat>,
+}
+
+/// A derived headline number in a [`BenchReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SummaryStat {
+    /// Stat id, e.g. `"gemm_256_blocked_over_streaming"`.
+    pub name: String,
+    /// The value (a ratio, rate or count — see the name).
+    pub value: f64,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        BenchReport::default()
+    }
+
+    /// Measures `f` (at least `min_iters` runs and `min_time` total) and
+    /// records the mean ns/iter under `name`. When `flops` is given, the
+    /// achieved GFLOP/s rides along. Returns the ns/iter.
+    pub fn measure<F: FnMut()>(
+        &mut self,
+        name: &str,
+        flops: Option<f64>,
+        min_iters: usize,
+        min_time: Duration,
+        mut f: F,
+    ) -> f64 {
+        // One untimed warm-up run populates caches, pools and pages.
+        f();
+        let mut iters = 0u32;
+        let start = Instant::now();
+        while iters < min_iters as u32 || start.elapsed() < min_time {
+            f();
+            iters += 1;
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        self.records.push(KernelBench {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            gflops: flops.map(|fl| fl / ns),
+        });
+        ns
+    }
+
+    /// ns/iter of a previously recorded bench.
+    pub fn ns_of(&self, name: &str) -> Option<f64> {
+        self.records.iter().find(|r| r.name == name).map(|r| r.ns_per_iter)
+    }
+
+    /// Speedup of `fast` over `slow` (`slow ns / fast ns`), when both exist.
+    pub fn speedup(&self, fast: &str, slow: &str) -> Option<f64> {
+        Some(self.ns_of(slow)? / self.ns_of(fast)?)
+    }
+
+    /// Records a derived headline number.
+    pub fn summarize(&mut self, name: &str, value: f64) {
+        self.summary.push(SummaryStat { name: name.to_string(), value });
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    /// Returns an error when JSON serialization fails.
+    pub fn to_json(&self) -> Result<String, Box<dyn std::error::Error>> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+}
 
 /// Builds the memory-planned executors the `training_step` bench measures:
 /// one CIFAR-scale DenseNet per CPU-measured fusion level (Baseline, RCF,

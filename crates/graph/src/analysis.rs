@@ -148,6 +148,93 @@ impl NodeCost {
     }
 }
 
+/// The shape of one GEMM a node's im2col / inner-product lowering executes
+/// (`C: m×n`, `A: m×k`, `B: k×n`), and how many times it runs per pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct GemmShape {
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Executions per pass (once per mini-batch sample for convolutions).
+    pub count: usize,
+}
+
+impl GemmShape {
+    /// FLOPs of all `count` executions.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64 * self.count as f64
+    }
+}
+
+/// The GEMMs a node's forward and backward passes lower to. Empty for
+/// nodes that never reach the GEMM engine (BN, pooling, ReLU, …).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct NodeGemms {
+    /// Forward-pass GEMMs.
+    pub fwd: Vec<GemmShape>,
+    /// Backward-pass GEMMs (`∂ifmap` and `∂weights` lowerings).
+    pub bwd: Vec<GemmShape>,
+}
+
+/// The GEMMs `node` lowers to: convolutions run one
+/// `Cout × (Ho·Wo) × (Cin·Kh·Kw)` multiply per sample (plus the two adjoint
+/// multiplies backward), fully-connected layers one batch-sized multiply
+/// per pass. The cache model uses these shapes to charge the blocked
+/// kernel's actual tile-level DRAM behaviour instead of guessing from
+/// whole-tensor sweeps.
+///
+/// # Errors
+/// Returns an error if the node's inputs cannot be resolved in `graph`.
+pub fn node_gemms(graph: &Graph, node: &Node) -> Result<NodeGemms> {
+    let input_shape = match node.inputs.first() {
+        Some(id) => graph.node(*id)?.output_shape.clone(),
+        None => return Ok(NodeGemms::default()),
+    };
+    let out = &node.output_shape;
+    Ok(match &node.op {
+        OpKind::Conv2d(a)
+        | OpKind::ReluConv(a)
+        | OpKind::ConvStats { conv: a, .. }
+        | OpKind::NormReluConv { conv: a, .. }
+        | OpKind::NormReluConvStats { conv: a, .. } => {
+            if !input_shape.is_nchw() || !out.is_nchw() {
+                return Ok(NodeGemms::default());
+            }
+            let batch = input_shape.n();
+            let rows = input_shape.c() * a.kernel_h * a.kernel_w;
+            let cols = out.h() * out.w();
+            NodeGemms {
+                // out_sample = W (Cout × rows) · col (rows × cols)
+                fwd: vec![GemmShape { m: a.out_channels, n: cols, k: rows, count: batch }],
+                bwd: vec![
+                    // d_col = Wᵀ (rows × Cout) · d_out_sample (Cout × cols)
+                    GemmShape { m: rows, n: cols, k: a.out_channels, count: batch },
+                    // d_W += d_out_sample (Cout × cols) · colᵀ (cols × rows)
+                    GemmShape { m: a.out_channels, n: rows, k: cols, count: batch },
+                ],
+            }
+        }
+        OpKind::FullyConnected { out_features } => {
+            let batch = input_shape.dim(0).unwrap_or(1);
+            let in_features = input_shape.volume() / batch.max(1);
+            NodeGemms {
+                // y = x (N × in) · Wᵀ (in × out)
+                fwd: vec![GemmShape { m: batch, n: *out_features, k: in_features, count: 1 }],
+                bwd: vec![
+                    // d_x = d_y (N × out) · W (out × in)
+                    GemmShape { m: batch, n: in_features, k: *out_features, count: 1 },
+                    // d_W = d_yᵀ (out × N) · x (N × in)
+                    GemmShape { m: *out_features, n: in_features, k: batch, count: 1 },
+                ],
+            }
+        }
+        _ => NodeGemms::default(),
+    })
+}
+
 /// Weight bytes owned by a convolution given its input channel count.
 fn conv_weight_bytes(attrs: &Conv2dAttrs, in_channels: usize) -> usize {
     attrs.weight_elems(in_channels) * 4
@@ -633,6 +720,25 @@ mod tests {
         assert!(cost.sweeps_fwd.is_empty());
         // Backward must read a gradient per declared consumer (3) plus one write.
         assert_eq!(cost.sweeps_bwd.len(), 4);
+    }
+
+    #[test]
+    fn conv_and_fc_nodes_report_their_gemm_lowerings() {
+        let g = fragment();
+        let conv1 = find(&g, "conv1");
+        let gemms = node_gemms(&g, &conv1).unwrap();
+        // 1×1 conv over (8, 64, 16, 16) -> 128 channels: one
+        // 128 × 256 × 64 multiply per sample.
+        assert_eq!(gemms.fwd, vec![GemmShape { m: 128, n: 256, k: 64, count: 8 }]);
+        assert_eq!(gemms.bwd.len(), 2);
+        // The forward lowering's FLOPs match the conv FLOP formula.
+        let cost = node_cost(&g, &conv1).unwrap();
+        assert!((gemms.fwd[0].flops() - cost.flops_fwd).abs() < 1.0);
+        // Non-GEMM nodes lower to nothing.
+        let bn = find(&g, "bn");
+        assert!(node_gemms(&g, &bn).unwrap().fwd.is_empty());
+        let input = find(&g, "in");
+        assert!(node_gemms(&g, &input).unwrap().fwd.is_empty());
     }
 
     #[test]

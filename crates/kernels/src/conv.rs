@@ -13,7 +13,13 @@ use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col_into};
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
 use bnff_parallel::{chunk_ranges, min_items_per_thread, parallel_reduce, parallel_rows_mut};
+use bnff_tensor::pool::SharedBufferPool;
 use bnff_tensor::{Shape, Tensor};
+
+/// Column-matrix scratch recycled across convolutions and training steps,
+/// so the im2col lowering of every conv node expands into storage carved
+/// out by earlier calls instead of `malloc`.
+static COL_POOL: SharedBufferPool = SharedBufferPool::bounded(64 << 20);
 
 /// Validates the weight tensor layout `(Cout, Cin, Kh, Kw)` against the
 /// input channels and attributes, returning `(in_c, out_h, out_w)`.
@@ -134,7 +140,8 @@ pub fn conv2d_forward_direct_into(
 }
 
 /// im2col + GEMM convolution forward pass (the layout the paper's reference
-/// libraries use).
+/// libraries use). Alias of [`conv2d_forward`], kept under the name that
+/// says *how* the lowering works.
 ///
 /// # Errors
 /// Returns an error if the shapes are inconsistent.
@@ -144,19 +151,84 @@ pub fn conv2d_forward_im2col(
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor> {
+    conv2d_forward(input, weights, bias, attrs)
+}
+
+/// The production convolution forward pass: im2col lowering into the
+/// cache-blocked packed GEMM, with the column scratch recycled through the
+/// shared pool across samples, calls and training steps. Pointwise
+/// (`1×1`/stride-1/no-pad) convolutions skip the im2col copy entirely —
+/// each input sample already *is* the column matrix.
+///
+/// # Errors
+/// Returns an error if the shapes are inconsistent.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor> {
+    let (_, out_h, out_w) = check_conv(input, weights, attrs)?;
+    let mut out = Tensor::zeros(Shape::nchw(input.shape().n(), attrs.out_channels, out_h, out_w));
+    conv2d_forward_into(input, weights, bias, attrs, &mut out)?;
+    Ok(out)
+}
+
+/// Whether a convolution's im2col column matrix is the input sample itself.
+fn is_pointwise(attrs: &Conv2dAttrs) -> bool {
+    attrs.kernel_h == 1 && attrs.kernel_w == 1 && attrs.stride == 1 && attrs.pad == 0
+}
+
+/// [`conv2d_forward`] into a caller-provided output tensor (every element
+/// is overwritten — the packed GEMM's `beta == 0` path never reads the
+/// recycled buffer). This is the entry point the plan-driven executor and
+/// the fused kernels route their convolutions through.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn conv2d_forward_into(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<()> {
     let (_in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    if let Some(b) = bias {
+        if b.len() != attrs.out_channels {
+            return Err(KernelError::ShapeMismatch(format!(
+                "bias has {} entries, expected {}",
+                b.len(),
+                attrs.out_channels
+            )));
+        }
+    }
     let n = input.shape().n();
     let (rows, cols) = col_shape(input.shape(), attrs)?;
-    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, out_h, out_w));
+    let expected = Shape::nchw(n, attrs.out_channels, out_h, out_w);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, convolution produces {}",
+            out.shape(),
+            expected
+        )));
+    }
     let w_mat = weights.as_slice(); // (Cout) x (Cin*Kh*Kw), row-major by construction
-                                    // One column matrix serves every sample: im2col overwrites it in place.
-    let mut col = Vec::new();
+    let pointwise = is_pointwise(attrs);
+    // One recycled column matrix serves every sample (unused when pointwise).
+    let mut col = if pointwise { Vec::new() } else { COL_POOL.take_dirty(rows * cols) };
     for ni in 0..n {
-        im2col_into(input, ni, attrs, &mut col)?;
-        // out_sample = W (Cout x rows) · col (rows x cols)
         let start = out.shape().offset4(ni, 0, 0, 0);
         let out_slice = &mut out.as_mut_slice()[start..start + attrs.out_channels * cols];
-        gemm(attrs.out_channels, cols, rows, 1.0, w_mat, &col, 0.0, out_slice)?;
+        // out_sample = W (Cout x rows) · col (rows x cols)
+        if pointwise {
+            let in_start = input.shape().offset4(ni, 0, 0, 0);
+            let sample = &input.as_slice()[in_start..in_start + rows * cols];
+            gemm(attrs.out_channels, cols, rows, 1.0, w_mat, sample, 0.0, out_slice)?;
+        } else {
+            im2col_into(input, ni, attrs, &mut col)?;
+            gemm(attrs.out_channels, cols, rows, 1.0, w_mat, &col, 0.0, out_slice)?;
+        }
         if let Some(b) = bias {
             for oc in 0..attrs.out_channels {
                 for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
@@ -165,7 +237,8 @@ pub fn conv2d_forward_im2col(
             }
         }
     }
-    Ok(out)
+    COL_POOL.give(col);
+    Ok(())
 }
 
 /// Gradient of the convolution with respect to its input.
@@ -210,8 +283,9 @@ pub fn conv2d_backward_input_into(
         )));
     }
     let w_mat = weights.as_slice(); // Cout x rows
-                                    // One gradient column matrix serves every sample (gemm_tn overwrites it).
-    let mut d_col = vec![0.0f32; rows * cols];
+                                    // One recycled gradient column matrix serves every sample
+                                    // (the packed gemm_tn overwrites it without reading it).
+    let mut d_col = COL_POOL.take_dirty(rows * cols);
     for ni in 0..n {
         // d_col (rows x cols) = Wᵀ (rows x Cout) · d_out_sample (Cout x cols)
         let start = d_out.shape().offset4(ni, 0, 0, 0);
@@ -219,6 +293,7 @@ pub fn conv2d_backward_input_into(
         gemm_tn(rows, cols, attrs.out_channels, w_mat, d_out_slice, &mut d_col)?;
         col2im_accumulate(&d_col, d_input, ni, attrs)?;
     }
+    COL_POOL.give(d_col);
     Ok(())
 }
 
@@ -262,9 +337,10 @@ pub fn conv2d_backward_weights(
             let mut d_w_flat = vec![0.0f32; attrs.out_channels * rows];
             let mut d_bias = vec![0.0f32; if with_bias { attrs.out_channels } else { 0 }];
             let mut sample_buf = vec![0.0f32; attrs.out_channels * rows];
-            // The column scratch is expanded in place per sample instead of
-            // reallocated (the adjoint of the forward path's reuse).
-            let mut col = Vec::new();
+            // The column scratch is recycled from the shared pool and
+            // expanded in place per sample (the adjoint of the forward
+            // path's reuse).
+            let mut col = COL_POOL.take_dirty(rows * cols);
             for ni in groups[gi].clone() {
                 im2col_into(input, ni, attrs, &mut col)?;
                 let start = d_out.shape().offset4(ni, 0, 0, 0);
@@ -285,6 +361,7 @@ pub fn conv2d_backward_weights(
                     *db += d_out_slice[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
                 }
             }
+            COL_POOL.give(col);
             Ok((d_w_flat, d_bias))
         },
         |a, b| match (a, b) {

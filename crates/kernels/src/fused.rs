@@ -16,7 +16,9 @@
 //!   by `bnff-memsim`; numerically the result must be identical).
 
 use crate::batchnorm::{min_planes_per_thread, BnParamGrads, BnParams};
-use crate::conv::{conv2d_backward_input, conv2d_backward_weights, conv2d_forward_direct};
+use crate::conv::{
+    conv2d_backward_input, conv2d_backward_weights, conv2d_forward, conv2d_forward_into,
+};
 use crate::error::KernelError;
 use crate::relu::relu_backward;
 use crate::Result;
@@ -37,7 +39,7 @@ pub fn conv2d_forward_with_stats(
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
 ) -> Result<(Tensor, ChannelStats)> {
-    let out = conv2d_forward_direct(input, weights, bias, attrs)?;
+    let out = conv2d_forward(input, weights, bias, attrs)?;
     // The accumulation rides along the output write: every value written is
     // pushed into its channel's accumulator (here expressed as a per-plane
     // pass over the freshly produced output, which stays cache-resident;
@@ -58,7 +60,7 @@ pub fn conv2d_forward_with_stats_into(
     attrs: &Conv2dAttrs,
     out: &mut Tensor,
 ) -> Result<ChannelStats> {
-    crate::conv::conv2d_forward_direct_into(input, weights, bias, attrs, out)?;
+    conv2d_forward_into(input, weights, bias, attrs, out)?;
     Ok(ChannelAccumulator::from_tensor(out)?.finalize()?)
 }
 
@@ -73,7 +75,7 @@ pub fn relu_conv_forward(
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor> {
     let clipped = crate::relu::relu_forward(input);
-    conv2d_forward_direct(&clipped, weights, bias, attrs)
+    conv2d_forward(&clipped, weights, bias, attrs)
 }
 
 /// Everything the fused `(sub-BN2)-ReLU-CONV2` backward pass needs from the
@@ -170,7 +172,7 @@ pub fn norm_relu_conv_forward_into(
             }
         },
     );
-    crate::conv::conv2d_forward_direct_into(&conv_input, weights, bias, attrs, out)?;
+    conv2d_forward_into(&conv_input, weights, bias, attrs, out)?;
     Ok(NormReluConvState { x_hat, conv_input, stats: stats.clone() })
 }
 
@@ -269,7 +271,7 @@ mod tests {
         let x = random(Shape::nchw(3, 4, 8, 8), 1);
         let w = random(Shape::nchw(6, 4, 3, 3), 2);
         let (fused_out, fused_stats) = conv2d_forward_with_stats(&x, &w, None, &attrs).unwrap();
-        let plain_out = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
+        let plain_out = conv2d_forward(&x, &w, None, &attrs).unwrap();
         assert!(fused_out.all_close(&plain_out, 1e-6).unwrap());
         let separate_stats = bn_statistics(&plain_out, false).unwrap();
         assert!(fused_stats.max_abs_diff(&separate_stats).unwrap() < 1e-4);
@@ -281,7 +283,7 @@ mod tests {
         let x = random(Shape::nchw(2, 3, 6, 6), 3);
         let w = random(Shape::nchw(5, 3, 1, 1), 4);
         let fused = relu_conv_forward(&x, &w, None, &attrs).unwrap();
-        let unfused = conv2d_forward_direct(&relu_forward(&x), &w, None, &attrs).unwrap();
+        let unfused = conv2d_forward(&relu_forward(&x), &w, None, &attrs).unwrap();
         assert!(fused.all_close(&unfused, 1e-6).unwrap());
     }
 
@@ -300,7 +302,7 @@ mod tests {
         // Unfused: BN forward -> ReLU -> conv.
         let (bn_out, bn_state) = bn_forward(&raw, &bn, eps, false).unwrap();
         let relu_out = relu_forward(&bn_out);
-        let unfused_out = conv2d_forward_direct(&relu_out, &w, None, &attrs).unwrap();
+        let unfused_out = conv2d_forward(&relu_out, &w, None, &attrs).unwrap();
 
         assert!(fused_out.all_close(&unfused_out, 1e-4).unwrap());
         assert!(state.x_hat.all_close(&bn_state.x_hat, 1e-4).unwrap());

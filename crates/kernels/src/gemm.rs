@@ -1,30 +1,317 @@
-//! A small blocked general matrix-multiply.
+//! Cache-blocked, panel-packed general matrix multiply.
 //!
 //! The im2col convolution path and the fully-connected layer are lowered to
 //! this GEMM, mirroring how MKL-DNN / CUTLASS execute them in the paper's
-//! reference implementations.
+//! reference implementations. The paper's whole argument is about keeping
+//! mini-batch operands in on-chip memory, so the GEMM — the hottest loop in
+//! the workspace — uses the classic three-level blocking of
+//! GotoBLAS/BLIS instead of streaming whole matrices:
 //!
-//! All three entry points partition the output matrix into contiguous
-//! row blocks executed across the `bnff-parallel` pool. Each output row is
-//! computed with the same loop structure whatever block it lands in, so
-//! results are bit-identical for any `BNFF_THREADS`.
+//! * The `k` dimension is split into [`KC`]-deep slabs and the `n` dimension
+//!   into [`NC`]-wide slabs; each `KC × NC` slab of `B` is **packed** once
+//!   into contiguous `KC × NR` strips that stay cache-resident while every
+//!   row block of the output reuses them.
+//! * The `m` dimension is split into [`MC`]-row blocks; each `MC × KC` block
+//!   of `A` is packed into `KC × MR` panels by the worker that owns those
+//!   output rows.
+//! * An [`MR`]`×`[`NR`] register microkernel multiplies one packed `A` panel
+//!   against one packed `B` strip, accumulating the full `k`-slab in
+//!   registers before touching `C`.
+//!
+//! All three entry points ([`gemm`], [`gemm_nt`], [`gemm_tn`]) drive the same
+//! packed path; the transpose variants differ only in how the packing
+//! routines gather elements. Packing buffers are recycled through a shared
+//! [`bnff_tensor::pool::SharedBufferPool`], so steady-state training steps
+//! pack into storage carved out by earlier calls instead of `malloc`.
+//!
+//! ## Determinism
+//!
+//! Work is partitioned across the `bnff-parallel` pool at *problem-granular*
+//! block boundaries: worker splits are aligned to the [`MC`] grid
+//! ([`bnff_parallel::parallel_row_blocks_mut`]), every `C` element is owned
+//! by exactly one worker, and the accumulation order per element (`KC` slabs
+//! outer, registers inner) depends only on the problem shape. Results are
+//! therefore bit-identical for any `BNFF_THREADS`, which
+//! `crates/kernels/tests/parallel_determinism.rs` locks in.
+//!
+//! The pre-blocking row-streaming implementation is kept as
+//! [`gemm_streaming`] so the benches (and `BENCH_ci.json`) can report the
+//! blocked/streaming speedup on every run.
 
 use crate::error::KernelError;
 use crate::Result;
-use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
+use bnff_parallel::{min_items_per_thread, parallel_row_blocks_mut, parallel_rows_mut};
+use bnff_tensor::pool::SharedBufferPool;
 
-/// Cache-blocking tile edge (elements). Chosen so that three `TILE × TILE`
-/// f32 tiles fit comfortably in a typical 32 KiB L1 data cache.
-const TILE: usize = 48;
+/// Microkernel tile height: rows of `C` accumulated in registers at once.
+pub const MR: usize = 4;
 
-/// Rows of the output each worker must own at minimum, given the
-/// per-row cost `n * k` multiply-accumulates.
-fn min_rows_per_thread(n: usize, k: usize) -> usize {
-    min_items_per_thread(n.saturating_mul(k))
+/// Microkernel tile width: columns of `C` accumulated in registers at once.
+/// `MR × NR` accumulators (32 f32) fit the baseline x86-64 SSE register
+/// file with room for the `A` broadcast and the `B` row.
+pub const NR: usize = 8;
+
+/// Rows of `A` packed per block: an `MC × KC` packed panel is 64 KiB of
+/// f32, sized for a per-core L2.
+pub const MC: usize = 64;
+
+/// Depth of the packed slabs: one `KC × NR` strip of packed `B` (8 KiB)
+/// stays L1-resident across a whole column of microkernel calls.
+pub const KC: usize = 256;
+
+/// Columns of `B` packed per slab: a `KC × NC` packed slab (1 MiB) stays
+/// LLC-resident while every row block of the output sweeps it.
+pub const NC: usize = 1024;
+
+/// Tile edge of the legacy row-streaming kernel ([`gemm_streaming`]); also
+/// the working-set parameter `bnff-memsim` uses to model the pre-blocking
+/// access pattern.
+pub const STREAM_TILE: usize = 48;
+
+/// Packing scratch recycled across GEMM calls (and training steps). The
+/// bound comfortably covers one `KC × NC` packed `B` slab plus one packed
+/// `A` panel per worker at any realistic core count, while capping what an
+/// oversized one-off multiply can leave behind.
+static PACK_POOL: SharedBufferPool = SharedBufferPool::bounded(32 << 20);
+
+/// `(hits, takes)` of the shared packing-buffer pool — how often a GEMM
+/// found its panels already allocated by an earlier call.
+pub fn pack_pool_reuse() -> (usize, usize) {
+    PACK_POOL.hits_and_takes()
+}
+
+/// How the elements of an operand are laid out relative to the logical
+/// matrix the multiply consumes.
+#[derive(Debug, Clone, Copy)]
+enum Operand<'a> {
+    /// The logical matrix itself, row-major.
+    Normal(&'a [f32]),
+    /// The transpose of the logical matrix, row-major (so logical `(i, j)`
+    /// lives at `data[j * rows + i]`).
+    Transposed(&'a [f32]),
+}
+
+/// Packs the `mc × kc` block of logical `A` starting at `(row0, pc)` into
+/// `kc × MR` panels: panel `ir` holds rows `row0 + ir*MR ..` with the `k`
+/// index outermost, so the microkernel reads `MR` consecutive values per
+/// step. Rows beyond `mc` are zero-padded (adding `0.0 × b` is exact, so
+/// padded lanes never change the result).
+fn pack_a(a: Operand<'_>, m: usize, row0: usize, mc: usize, pc: usize, kc: usize, out: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    for ir in 0..panels {
+        let panel = &mut out[ir * kc * MR..(ir + 1) * kc * MR];
+        match a {
+            // Row-major A: gather MR rows in lockstep, k innermost per row.
+            Operand::Normal(data) => {
+                let cols = data.len() / m;
+                for i in 0..MR {
+                    let row = row0 + ir * MR + i;
+                    if row < row0 + mc {
+                        let src = &data[row * cols + pc..row * cols + pc + kc];
+                        for (kk, &v) in src.iter().enumerate() {
+                            panel[kk * MR + i] = v;
+                        }
+                    } else {
+                        for slot in panel.iter_mut().skip(i).step_by(MR) {
+                            *slot = 0.0;
+                        }
+                    }
+                }
+            }
+            // Transposed storage: logical column `kk` is a contiguous row of
+            // the buffer, which is exactly one packed step.
+            Operand::Transposed(data) => {
+                let t_cols = m;
+                for kk in 0..kc {
+                    let src_row = &data[(pc + kk) * t_cols..(pc + kk + 1) * t_cols];
+                    let step = &mut panel[kk * MR..(kk + 1) * MR];
+                    for (i, slot) in step.iter_mut().enumerate() {
+                        let row = row0 + ir * MR + i;
+                        *slot = if row < row0 + mc { src_row[row] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` slab of logical `B` starting at `(pc, jc)` into
+/// `kc × NR` strips (strip `jr` holds columns `jc + jr*NR ..`, `k`
+/// outermost). Columns beyond `nc` are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_strip(
+    b: Operand<'_>,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    jr: usize,
+    strip: &mut [f32],
+) {
+    let col0 = jc + jr * NR;
+    let nr_eff = NR.min(jc + nc - col0);
+    match b {
+        Operand::Normal(data) => {
+            debug_assert_eq!(data.len(), k * n);
+            for kk in 0..kc {
+                let src = &data[(pc + kk) * n + col0..(pc + kk) * n + col0 + nr_eff];
+                let step = &mut strip[kk * NR..(kk + 1) * NR];
+                step[..nr_eff].copy_from_slice(src);
+                step[nr_eff..].fill(0.0);
+            }
+        }
+        Operand::Transposed(data) => {
+            // Stored n × k: logical column j is the buffer's row j.
+            for kk in 0..kc {
+                let step = &mut strip[kk * NR..(kk + 1) * NR];
+                for (j, slot) in step.iter_mut().enumerate() {
+                    *slot = if j < nr_eff { data[(col0 + j) * k + pc + kk] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// The register microkernel: multiplies one `kc × MR` packed `A` panel
+/// against one `kc × NR` packed `B` strip, returning the `MR × NR` tile of
+/// partial sums. The accumulation order (ascending `kk`) is fixed by the
+/// packing, never by the caller's thread count.
+#[inline]
+fn microkernel(a_panel: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a_frag, b_frag) in a_panel.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
+        let a: &[f32; MR] = a_frag.try_into().expect("packed A panel is kc whole MR steps");
+        let b: &[f32; NR] = b_frag.try_into().expect("packed B strip is kc whole NR steps");
+        for i in 0..MR {
+            for (slot, bv) in acc[i].iter_mut().zip(b.iter()) {
+                *slot += a[i] * *bv;
+            }
+        }
+    }
+    acc
+}
+
+/// The packed GEMM driver: `c = alpha * A·B + beta * c` over logical
+/// `m × k` and `k × n` operands in whatever storage [`Operand`] describes.
+/// BLAS semantics for `beta == 0.0`: `c` is overwritten without being read
+/// (so recycled buffers full of garbage — or NaNs — are fine).
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: Operand<'_>,
+    b: Operand<'_>,
+    beta: f32,
+    c: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        // No product term: the call degenerates to the beta scaling.
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else if beta != 1.0 {
+            parallel_rows_mut(c, n, min_items_per_thread(n), |_, block| {
+                for v in block.iter_mut() {
+                    *v *= beta;
+                }
+            });
+        }
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let strips = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Pack the B slab once per (jc, pc); strips are disjoint rows of
+            // the packed buffer, so the fan-out is pure data movement. The
+            // dirty take skips the pool's zero fill — packing overwrites
+            // every lane (padding included).
+            let mut packed_b = PACK_POOL.take_dirty(strips * kc * NR);
+            let strip_len = kc * NR;
+            parallel_rows_mut(
+                &mut packed_b,
+                strip_len,
+                min_items_per_thread(strip_len),
+                |first_strip, block| {
+                    for (s_local, strip) in block.chunks_mut(strip_len).enumerate() {
+                        pack_b_strip(b, k, n, pc, kc, jc, nc, first_strip + s_local, strip);
+                    }
+                },
+            );
+            // One worker per run of whole MC row blocks; each packs its own
+            // A panels and owns its C rows outright.
+            let min_rows = min_items_per_thread(2 * kc * nc);
+            // The first k-slab *stores* `alpha·A·B + beta·c` (never reading
+            // `c` when beta == 0, so recycled garbage is fine); later slabs
+            // accumulate. This keeps C at 2·⌈k/KC⌉ − 1 passes — exactly
+            // what the memsim blocked model charges.
+            let first_slab = pc == 0;
+            parallel_row_blocks_mut(c, n, MC, min_rows, |first_row, c_rows| {
+                let rows = c_rows.len() / n;
+                let mut packed_a = PACK_POOL.take_dirty(MC.div_ceil(MR) * MR * kc);
+                let mut r0 = 0;
+                while r0 < rows {
+                    let mc = MC.min(rows - r0);
+                    pack_a(a, m, first_row + r0, mc, pc, kc, &mut packed_a);
+                    for jr in 0..strips {
+                        let b_strip = &packed_b[jr * strip_len..(jr + 1) * strip_len];
+                        let col0 = jc + jr * NR;
+                        let nr_eff = NR.min(jc + nc - col0);
+                        for ir in 0..mc.div_ceil(MR) {
+                            let a_panel = &packed_a[ir * kc * MR..(ir + 1) * kc * MR];
+                            let acc = microkernel(a_panel, b_strip);
+                            let mr_eff = MR.min(mc - ir * MR);
+                            for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
+                                let row = r0 + ir * MR + i;
+                                let dst = &mut c_rows[row * n + col0..row * n + col0 + nr_eff];
+                                let tile = dst.iter_mut().zip(acc_row.iter());
+                                if !first_slab {
+                                    for (cv, av) in tile {
+                                        *cv += alpha * *av;
+                                    }
+                                } else if beta == 0.0 {
+                                    for (cv, av) in tile {
+                                        *cv = alpha * *av;
+                                    }
+                                } else if beta == 1.0 {
+                                    for (cv, av) in tile {
+                                        *cv += alpha * *av;
+                                    }
+                                } else {
+                                    for (cv, av) in tile {
+                                        *cv = beta * *cv + alpha * *av;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    r0 += mc;
+                }
+                PACK_POOL.give(packed_a);
+            });
+            PACK_POOL.give(packed_b);
+        }
+    }
+}
+
+fn check_len(len: usize, rows: usize, cols: usize, name: &str) -> Result<()> {
+    if len != rows * cols {
+        return Err(KernelError::ShapeMismatch(format!(
+            "{name} has {len} elements, expected {rows}x{cols}"
+        )));
+    }
+    Ok(())
 }
 
 /// `c = alpha * a·b + beta * c` where `a` is `m×k`, `b` is `k×n` and `c` is
-/// `m×n`, all row-major.
+/// `m×n`, all row-major. `beta == 0.0` overwrites `c` without reading it.
 ///
 /// # Errors
 /// Returns [`KernelError::ShapeMismatch`] when the slice lengths do not
@@ -40,133 +327,85 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) -> Result<()> {
-    if a.len() != m * k {
-        return Err(KernelError::ShapeMismatch(format!(
-            "a has {} elements, expected {}x{}",
-            a.len(),
-            m,
-            k
-        )));
-    }
-    if b.len() != k * n {
-        return Err(KernelError::ShapeMismatch(format!(
-            "b has {} elements, expected {}x{}",
-            b.len(),
-            k,
-            n
-        )));
-    }
-    if c.len() != m * n {
-        return Err(KernelError::ShapeMismatch(format!(
-            "c has {} elements, expected {}x{}",
-            c.len(),
-            m,
-            n
-        )));
-    }
-
-    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
-        gemm_row_block(first_row, n, k, alpha, a, b, beta, c_block);
-    });
+    check_len(a.len(), m, k, "a")?;
+    check_len(b.len(), k, n, "b")?;
+    check_len(c.len(), m, n, "c")?;
+    gemm_packed(m, n, k, alpha, Operand::Normal(a), Operand::Normal(b), beta, c);
     Ok(())
 }
 
-/// The tiled GEMM loop nest over one contiguous block of output rows.
-/// Accumulation order per output element (ascending `k0`, then `kk`) is
-/// independent of how the rows were partitioned.
+/// `c = a·bᵀ` where `a` is `m×k` and `b` is `n×k` (`c` is overwritten).
+///
+/// # Errors
+/// Returns [`KernelError::ShapeMismatch`] when slice lengths do not match.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> Result<()> {
+    check_len(a.len(), m, k, "a")?;
+    check_len(b.len(), n, k, "b")?;
+    check_len(c.len(), m, n, "c")?;
+    gemm_packed(m, n, k, 1.0, Operand::Normal(a), Operand::Transposed(b), 0.0, c);
+    Ok(())
+}
+
+/// `c = aᵀ·b` where `a` is `k×m` and `b` is `k×n` (`c` is overwritten).
+///
+/// # Errors
+/// Returns [`KernelError::ShapeMismatch`] when slice lengths do not match.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> Result<()> {
+    check_len(a.len(), k, m, "a")?;
+    check_len(b.len(), k, n, "b")?;
+    check_len(c.len(), m, n, "c")?;
+    gemm_packed(m, n, k, 1.0, Operand::Transposed(a), Operand::Normal(b), 0.0, c);
+    Ok(())
+}
+
+/// The pre-blocking implementation: row blocks stream `b` straight from the
+/// source matrix with a [`STREAM_TILE`]-edge loop tiling and no packing.
+/// Kept (unchanged) as the perf baseline the benches and `BENCH_ci.json`
+/// compare the packed engine against.
+///
+/// # Errors
+/// Returns [`KernelError::ShapeMismatch`] when the slice lengths do not
+/// match the given dimensions.
 #[allow(clippy::too_many_arguments)]
-fn gemm_row_block(
-    first_row: usize,
+pub fn gemm_streaming(
+    m: usize,
     n: usize,
     k: usize,
     alpha: f32,
     a: &[f32],
     b: &[f32],
     beta: f32,
-    c_block: &mut [f32],
-) {
-    if beta != 1.0 {
-        for v in c_block.iter_mut() {
-            *v *= beta;
-        }
-    }
-    let rows = c_block.len() / n;
-    for i0 in (0..rows).step_by(TILE) {
-        let i_max = (i0 + TILE).min(rows);
-        for k0 in (0..k).step_by(TILE) {
-            let k_max = (k0 + TILE).min(k);
-            for j0 in (0..n).step_by(TILE) {
-                let j_max = (j0 + TILE).min(n);
-                for i in i0..i_max {
-                    for kk in k0..k_max {
-                        let aik = alpha * a[(first_row + i) * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n + j0..kk * n + j_max];
-                        let crow = &mut c_block[i * n + j0..i * n + j_max];
-                        for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                            *cv += aik * *bv;
-                        }
-                    }
-                }
+    c: &mut [f32],
+) -> Result<()> {
+    check_len(a.len(), m, k, "a")?;
+    check_len(b.len(), k, n, "b")?;
+    check_len(c.len(), m, n, "c")?;
+    parallel_rows_mut(c, n, min_items_per_thread(n.saturating_mul(k)), |first_row, c_block| {
+        if beta != 1.0 {
+            for v in c_block.iter_mut() {
+                *v *= beta;
             }
-        }
-    }
-}
-
-/// `c = a·bᵀ` convenience wrapper where `a` is `m×k` and `b` is `n×k`.
-///
-/// # Errors
-/// Returns [`KernelError::ShapeMismatch`] when slice lengths do not match.
-pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> Result<()> {
-    if a.len() != m * k || b.len() != n * k || c.len() != m * n {
-        return Err(KernelError::ShapeMismatch(
-            "gemm_nt operand sizes do not match the given dimensions".to_string(),
-        ));
-    }
-    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
-        for (i_local, crow) in c_block.chunks_mut(n).enumerate() {
-            let arow = &a[(first_row + i_local) * k..(first_row + i_local + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(&b[j * k..(j + 1) * k]) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
-    });
-    Ok(())
-}
-
-/// `c = aᵀ·b` convenience wrapper where `a` is `k×m` and `b` is `k×n`.
-///
-/// # Errors
-/// Returns [`KernelError::ShapeMismatch`] when slice lengths do not match.
-pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> Result<()> {
-    if a.len() != k * m || b.len() != k * n || c.len() != m * n {
-        return Err(KernelError::ShapeMismatch(
-            "gemm_tn operand sizes do not match the given dimensions".to_string(),
-        ));
-    }
-    parallel_rows_mut(c, n, min_rows_per_thread(n, k), |first_row, c_block| {
-        for v in c_block.iter_mut() {
-            *v = 0.0;
         }
         let rows = c_block.len() / n;
-        // `kk` stays the outer loop so each element accumulates in the same
-        // order as a whole-matrix sweep.
-        for kk in 0..k {
-            for i_local in 0..rows {
-                let aki = a[kk * m + first_row + i_local];
-                if aki == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let crow = &mut c_block[i_local * n..(i_local + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aki * *bv;
+        for i0 in (0..rows).step_by(STREAM_TILE) {
+            let i_max = (i0 + STREAM_TILE).min(rows);
+            for k0 in (0..k).step_by(STREAM_TILE) {
+                let k_max = (k0 + STREAM_TILE).min(k);
+                for j0 in (0..n).step_by(STREAM_TILE) {
+                    let j_max = (j0 + STREAM_TILE).min(n);
+                    for i in i0..i_max {
+                        for kk in k0..k_max {
+                            let aik = alpha * a[(first_row + i) * k + kk];
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = &b[kk * n + j0..kk * n + j_max];
+                            let crow = &mut c_block[i * n + j0..i * n + j_max];
+                            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                                *cv += aik * *bv;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -201,17 +440,23 @@ mod tests {
     }
 
     #[test]
-    fn matches_naive_larger_than_tile() {
-        let m = 70;
-        let n = 65;
-        let k = 50;
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
-        let mut c = vec![0.0; m * n];
-        gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c).unwrap();
-        let reference = naive(m, n, k, &a, &b);
-        for (x, y) in c.iter().zip(reference.iter()) {
-            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+    fn matches_naive_across_blocking_edges() {
+        // Sizes straddling MR/NR, MC, KC and (via columns) several strips.
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (MR - 1, NR - 1, 3),
+            (MR + 1, NR + 1, KC + 7),
+            (MC + 5, 2 * NR + 3, 50),
+            (70, 65, 50),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
+            let mut c = vec![0.0; m * n];
+            gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c).unwrap();
+            let reference = naive(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(reference.iter()) {
+                assert!((x - y).abs() < 1e-2, "{m}x{n}x{k}: {x} vs {y}");
+            }
         }
     }
 
@@ -225,11 +470,30 @@ mod tests {
     }
 
     #[test]
+    fn beta_zero_overwrites_garbage() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 3.0, 4.0, 5.0];
+        let mut c = vec![f32::NAN; 4];
+        gemm(2, 2, 2, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn k_zero_only_scales() {
+        let mut c = vec![2.0, 4.0];
+        gemm(1, 2, 0, 1.0, &[], &[], 0.5, &mut c).unwrap();
+        assert_eq!(c, vec![1.0, 2.0]);
+        gemm_nt(1, 2, 0, &[], &[], &mut c).unwrap();
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
     fn shape_mismatch_is_rejected() {
         let a = vec![0.0; 5];
         let b = vec![0.0; 6];
         let mut c = vec![0.0; 4];
         assert!(gemm(2, 2, 3, 1.0, &a, &b, 0.0, &mut c).is_err());
+        assert!(gemm_streaming(2, 2, 3, 1.0, &a, &b, 0.0, &mut c).is_err());
     }
 
     #[test]
@@ -247,5 +511,66 @@ mod tests {
         let mut c2 = vec![0.0; 4];
         gemm_tn(2, 2, 3, &a_t_input, &b, &mut c2).unwrap();
         assert_eq!(c2, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_cross_blocking_edges() {
+        let (m, n, k) = (MC + 3, NR * 3 + 2, KC + 5);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
+        let reference = naive(m, n, k, &a, &b);
+
+        // b stored transposed (n × k).
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(m, n, k, &a, &bt, &mut c).unwrap();
+        for (x, y) in c.iter().zip(reference.iter()) {
+            assert!((x - y).abs() < 1e-2, "nt: {x} vs {y}");
+        }
+
+        // a stored transposed (k × m).
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_tn(m, n, k, &at, &b, &mut c2).unwrap();
+        for (x, y) in c2.iter().zip(reference.iter()) {
+            assert!((x - y).abs() < 1e-2, "tn: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn streaming_reference_matches_packed() {
+        let (m, n, k) = (37, 53, 29);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.125).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 23 % 19) as f32 - 9.0) * 0.25).collect();
+        let mut packed = vec![0.25; m * n];
+        let mut streamed = vec![0.25; m * n];
+        gemm(m, n, k, 1.5, &a, &b, 2.0, &mut packed).unwrap();
+        gemm_streaming(m, n, k, 1.5, &a, &b, 2.0, &mut streamed).unwrap();
+        for (x, y) in packed.iter().zip(streamed.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn pack_pool_is_reused_across_calls() {
+        let a = vec![1.0f32; 16 * 16];
+        let b = vec![1.0f32; 16 * 16];
+        let mut c = vec![0.0f32; 16 * 16];
+        gemm(16, 16, 16, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        let (_, takes_before) = pack_pool_reuse();
+        gemm(16, 16, 16, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        let (hits_after, takes_after) = pack_pool_reuse();
+        assert!(takes_after > takes_before);
+        assert!(hits_after > 0, "second identical GEMM must reuse pack buffers");
     }
 }

@@ -58,7 +58,8 @@ pub fn im2col_into(
     let wo = conv_out_dim(w, attrs.kernel_w, attrs.stride, attrs.pad)?;
     let rows = c * attrs.kernel_h * attrs.kernel_w;
     let cols = ho * wo;
-    out.clear();
+    // Size without pre-zeroing the kept prefix (the fill below overwrites
+    // every element); resize only initializes growth.
     out.resize(rows * cols, 0.0);
     // One task per output row `(ci, kh, kw)`; rows are disjoint in `out`.
     let min_rows = min_items_per_thread(cols.saturating_mul(4));

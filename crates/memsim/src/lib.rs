@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blocked;
 pub mod cache;
 pub mod dram;
 pub mod error;

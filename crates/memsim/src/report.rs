@@ -4,7 +4,7 @@ use crate::cache::CacheModel;
 use crate::machine::MachineProfile;
 use crate::roofline::pass_time;
 use crate::Result;
-use bnff_graph::analysis::node_cost;
+use bnff_graph::analysis::{node_cost, node_gemms};
 use bnff_graph::op::LayerCategory;
 use bnff_graph::plan::ExecutionPlan;
 use bnff_graph::Graph;
@@ -70,6 +70,13 @@ pub struct IterationReport {
     /// Bytes of node-output activations a naive one-buffer-per-node
     /// executor holds (all alive simultaneously at the end of forward).
     pub naive_activation_bytes: usize,
+    /// DRAM bytes the CONV/FC GEMM lowerings move per iteration under the
+    /// cache-blocked packed engine (tile-sized working sets).
+    pub gemm_dram_bytes_blocked: f64,
+    /// DRAM bytes the same lowerings would move under the legacy
+    /// row-streaming engine (whole-matrix re-streams once operands exceed
+    /// the cache).
+    pub gemm_dram_bytes_streamed: f64,
 }
 
 impl IterationReport {
@@ -156,6 +163,17 @@ impl IterationReport {
             1.0 - self.planned_peak_activation_bytes as f64 / self.naive_activation_bytes as f64
         }
     }
+
+    /// Fraction of GEMM DRAM traffic the cache-blocked packed engine saves
+    /// over whole-matrix streaming (`1 − blocked/streamed`). Zero when every
+    /// GEMM operand is cache-resident anyway.
+    pub fn gemm_locality_reduction(&self) -> f64 {
+        if self.gemm_dram_bytes_streamed == 0.0 {
+            0.0
+        } else {
+            1.0 - self.gemm_dram_bytes_blocked / self.gemm_dram_bytes_streamed
+        }
+    }
 }
 
 /// Simulates one training iteration (forward + backward) of `graph` on
@@ -174,12 +192,19 @@ pub fn simulate_iteration(graph: &Graph, machine: &MachineProfile) -> Result<Ite
     let mut bwd_seconds = 0.0;
     let mut fwd_dram = 0.0;
     let mut bwd_dram = 0.0;
+    let mut gemm_blocked = 0.0;
+    let mut gemm_streamed = 0.0;
     for id in order {
         let node = graph.node(id)?;
         if matches!(node.op, bnff_graph::OpKind::Input) {
             continue;
         }
         let cost = node_cost(graph, node)?;
+        let gemms = node_gemms(graph, node)?;
+        for g in gemms.fwd.iter().chain(gemms.bwd.iter()) {
+            gemm_blocked += cache.gemm_dram_bytes_blocked(g);
+            gemm_streamed += cache.gemm_dram_bytes_streamed(g);
+        }
         let category = node.op.category();
         let fwd_bytes = cache.dram_bytes_for(&cost.sweeps_fwd);
         let bwd_bytes = cache.dram_bytes_for(&cost.sweeps_bwd);
@@ -215,6 +240,8 @@ pub fn simulate_iteration(graph: &Graph, machine: &MachineProfile) -> Result<Ite
         bwd_dram_bytes: bwd_dram,
         planned_peak_activation_bytes: plan.planned_peak_bytes(),
         naive_activation_bytes: plan.naive_total_bytes(),
+        gemm_dram_bytes_blocked: gemm_blocked,
+        gemm_dram_bytes_streamed: gemm_streamed,
     })
 }
 
@@ -346,6 +373,21 @@ mod tests {
         );
         assert!(report.planned_memory_reduction() > 0.0);
         assert!(report.planned_memory_reduction() < 1.0);
+    }
+
+    #[test]
+    fn gemm_locality_fields_are_populated_and_consistent() {
+        let g = fragment(120);
+        let report = simulate_iteration(&g, &MachineProfile::skylake_xeon_2s()).unwrap();
+        assert!(report.gemm_dram_bytes_blocked > 0.0);
+        assert!(
+            report.gemm_dram_bytes_blocked <= report.gemm_dram_bytes_streamed,
+            "blocked {} must never exceed streamed {}",
+            report.gemm_dram_bytes_blocked,
+            report.gemm_dram_bytes_streamed
+        );
+        let red = report.gemm_locality_reduction();
+        assert!((0.0..1.0).contains(&red), "reduction {red} out of range");
     }
 
     #[test]

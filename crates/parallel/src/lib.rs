@@ -60,7 +60,7 @@ pub mod range;
 
 pub use pool::{
     current_grain, current_threads, is_nested, min_items_per_thread, parallel_for,
-    parallel_map_collect, parallel_reduce, parallel_rows_mut, parallel_rows_mut2, tree_reduce,
-    with_grain, with_threads,
+    parallel_map_collect, parallel_reduce, parallel_row_blocks_mut, parallel_rows_mut,
+    parallel_rows_mut2, tree_reduce, with_grain, with_threads,
 };
 pub use range::chunk_ranges;

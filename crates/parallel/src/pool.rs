@@ -210,6 +210,58 @@ where
     run_tasks(tasks, |(first_row, block)| f(first_row, block));
 }
 
+/// Like [`parallel_rows_mut`], but worker boundaries are additionally
+/// aligned to multiples of `block_rows` rows: every worker receives a
+/// contiguous run of *whole blocks* (the final block may be ragged when
+/// `rows % block_rows != 0`, and always lands in one piece on the last
+/// worker that owns it).
+///
+/// This is the partition the cache-blocked GEMM uses: `block_rows` is the
+/// `MC` register/cache tile height, a property of the *problem*, so the
+/// set of block boundaries — and therefore every per-block computation —
+/// is identical for any worker count. `f(first_row, rows_block)` may be
+/// handed several consecutive blocks at once and is expected to iterate
+/// them in `block_rows` steps.
+///
+/// # Panics
+/// Panics if `data.len()` is not a whole number of rows of `row_len` or
+/// `block_rows` is zero.
+pub fn parallel_row_blocks_mut<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    block_rows: usize,
+    min_rows_per_thread: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0 && data.len().is_multiple_of(row_len),
+        "parallel_row_blocks_mut: {} elements is not a whole number of rows of {row_len}",
+        data.len()
+    );
+    assert!(block_rows > 0, "parallel_row_blocks_mut: block_rows must be positive");
+    let rows = data.len() / row_len;
+    let blocks = rows.div_ceil(block_rows);
+    let min_blocks = min_rows_per_thread.div_ceil(block_rows).max(1);
+    let ranges = chunk_ranges(blocks, planned_threads(blocks, min_blocks));
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for r in &ranges {
+        // Whole blocks, except the workspace-final ragged block.
+        let first_row = r.start * block_rows;
+        let last_row = (r.end * block_rows).min(rows);
+        let (block, tail) = rest.split_at_mut((last_row - first_row) * row_len);
+        tasks.push((first_row, block));
+        rest = tail;
+    }
+    run_tasks(tasks, |(first_row, block)| f(first_row, block));
+}
+
 /// Like [`parallel_rows_mut`] for two buffers sharing the same row count
 /// but possibly different row lengths: `f(first_row, a_block, b_block)`
 /// receives the matching blocks of both. Used when a kernel writes two
@@ -360,6 +412,51 @@ mod tests {
             });
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn row_blocks_cover_every_row_once_and_align_to_blocks() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            for rows in [1usize, 2, 5, 12, 13, 33] {
+                for block_rows in [1usize, 4, 5, 64] {
+                    let row_len = 3;
+                    let mut data = vec![0u32; rows * row_len];
+                    with_threads(threads, || {
+                        parallel_row_blocks_mut(&mut data, row_len, block_rows, 1, |first, blk| {
+                            // Task boundaries sit on block multiples.
+                            assert_eq!(first % block_rows, 0, "unaligned start {first}");
+                            for v in blk.iter_mut() {
+                                *v += 1;
+                            }
+                        });
+                    });
+                    assert!(
+                        data.iter().all(|&v| v == 1),
+                        "rows {rows} block {block_rows} threads {threads}: {data:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_blocks_keep_the_ragged_tail_in_one_task() {
+        // 10 rows in blocks of 4 -> blocks are [0..4), [4..8), [8..10); the
+        // ragged tail must never be split below the block boundary.
+        let starts = std::sync::Mutex::new(Vec::new());
+        let mut data = vec![0u8; 10];
+        with_threads(16, || {
+            parallel_row_blocks_mut(&mut data, 1, 4, 1, |first, blk| {
+                starts.lock().unwrap().push((first, blk.len()));
+            });
+        });
+        let mut seen = starts.into_inner().unwrap();
+        seen.sort_unstable();
+        for (first, len) in &seen {
+            assert_eq!(first % 4, 0);
+            assert!(*len == 4 || first + len == 10, "task ({first}, {len}) breaks a block");
+        }
+        assert_eq!(seen.iter().map(|(_, l)| l).sum::<usize>(), 10);
     }
 
     #[test]

@@ -76,9 +76,9 @@ impl BufferPool {
         self.hits
     }
 
-    /// Takes a zero-filled buffer of exactly `len` elements, reusing the
-    /// smallest free buffer whose capacity suffices (best fit).
-    pub fn take(&mut self, len: usize) -> Vec<f32> {
+    /// Pops the smallest free buffer whose capacity covers `len` (best
+    /// fit), maintaining the hit/take accounting.
+    fn pop_best_fit(&mut self, len: usize) -> Option<Vec<f32>> {
         self.takes += 1;
         let mut best: Option<usize> = None;
         for (i, buf) in self.free.iter().enumerate() {
@@ -89,12 +89,35 @@ impl BufferPool {
                 }
             }
         }
-        match best {
-            Some(i) => {
-                self.hits += 1;
-                let mut buf = self.free.swap_remove(i);
-                self.free_bytes -= buf.capacity() * std::mem::size_of::<f32>();
+        let i = best?;
+        self.hits += 1;
+        let buf = self.free.swap_remove(i);
+        self.free_bytes -= buf.capacity() * std::mem::size_of::<f32>();
+        Some(buf)
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements, reusing the
+    /// smallest free buffer whose capacity suffices (best fit).
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.pop_best_fit(len) {
+            Some(mut buf) => {
                 buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Takes a buffer of exactly `len` elements whose *contents are
+    /// unspecified* (recycled data, or zeros on a pool miss): the cheap
+    /// variant for callers that overwrite every element before reading
+    /// any — it skips the zero fill [`BufferPool::take`] pays.
+    pub fn take_dirty(&mut self, len: usize) -> Vec<f32> {
+        match self.pop_best_fit(len) {
+            Some(mut buf) => {
+                // resize alone truncates or grows as needed; only growth
+                // beyond the recycled length is (zero-)initialized.
                 buf.resize(len, 0.0);
                 buf
             }
@@ -139,6 +162,95 @@ impl Tensor {
     }
 }
 
+/// A [`BufferPool`] behind a mutex, shareable across the worker threads of
+/// the `bnff-parallel` pool and across training steps.
+///
+/// The packed-GEMM kernels keep their packing panels in a `static` instance
+/// of this type, so a convolution's A/B panels are carved out of storage
+/// recycled from the previous call (or the previous training step) instead
+/// of `malloc`'d per GEMM. Construction is `const`, so it can back a
+/// `static` without lazy initialization:
+///
+/// ```rust
+/// use bnff_tensor::pool::SharedBufferPool;
+///
+/// static SCRATCH: SharedBufferPool = SharedBufferPool::bounded(1 << 20);
+/// let buf = SCRATCH.take(128);
+/// assert_eq!(buf.len(), 128);
+/// SCRATCH.give(buf);
+/// assert_eq!(SCRATCH.hits_and_takes(), (0, 1));
+/// ```
+#[derive(Debug)]
+pub struct SharedBufferPool {
+    inner: std::sync::Mutex<BufferPool>,
+}
+
+impl SharedBufferPool {
+    const fn with_limit(limit_bytes: Option<usize>) -> Self {
+        SharedBufferPool {
+            inner: std::sync::Mutex::new(BufferPool {
+                free: Vec::new(),
+                free_bytes: 0,
+                limit_bytes,
+                takes: 0,
+                hits: 0,
+            }),
+        }
+    }
+
+    /// Creates an unbounded shared pool.
+    pub const fn new() -> Self {
+        Self::with_limit(None)
+    }
+
+    /// Creates a shared pool that retains at most `limit_bytes` of free
+    /// storage (buffers released beyond the cap are dropped, exactly as in
+    /// [`BufferPool::bounded`]).
+    pub const fn bounded(limit_bytes: usize) -> Self {
+        Self::with_limit(Some(limit_bytes))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufferPool> {
+        // The pool is pure scratch: a panic mid-`take`/`give` cannot leave
+        // it in a state that is unsafe to reuse.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements (best fit).
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        self.lock().take(len)
+    }
+
+    /// Takes a buffer of exactly `len` elements with *unspecified*
+    /// contents (see [`BufferPool::take_dirty`]) — for callers that
+    /// overwrite every element before reading any.
+    pub fn take_dirty(&self, len: usize) -> Vec<f32> {
+        self.lock().take_dirty(len)
+    }
+
+    /// Returns a buffer's storage to the free list.
+    pub fn give(&self, buf: Vec<f32>) {
+        self.lock().give(buf);
+    }
+
+    /// `(hits, takes)` served so far — the reuse rate of the pool.
+    pub fn hits_and_takes(&self) -> (usize, usize) {
+        let pool = self.lock();
+        (pool.hits(), pool.takes())
+    }
+
+    /// Total bytes of storage currently on the free list.
+    pub fn free_bytes(&self) -> usize {
+        self.lock().free_bytes()
+    }
+}
+
+impl Default for SharedBufferPool {
+    fn default() -> Self {
+        SharedBufferPool::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +263,25 @@ mod tests {
         t.release_into(&mut pool);
         let u = pool.take(4);
         assert_eq!(u, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn take_dirty_skips_the_zero_fill_but_sizes_correctly() {
+        let mut pool = BufferPool::new();
+        let mut t = pool.take(8);
+        t.fill(7.0);
+        pool.give(t);
+        // Reuse shorter than the recycled buffer: old contents survive.
+        let d = pool.take_dirty(4);
+        assert_eq!(d, vec![7.0; 4]);
+        pool.give(d);
+        // Growth within capacity: recycled prefix kept, growth zeroed.
+        let d = pool.take_dirty(6);
+        assert_eq!(&d[..4], &[7.0; 4]);
+        assert_eq!(&d[4..], &[0.0; 2]);
+        // A miss still allocates initialized storage.
+        let fresh = pool.take_dirty(100);
+        assert_eq!(fresh, vec![0.0; 100]);
     }
 
     #[test]
@@ -208,5 +339,33 @@ mod tests {
         let mut pool = BufferPool::new();
         pool.give(Vec::new());
         assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn shared_pool_recycles_across_threads() {
+        static POOL: SharedBufferPool = SharedBufferPool::new();
+        let buf = POOL.take(64);
+        POOL.give(buf);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let b = POOL.take(16);
+                    assert_eq!(b, vec![0.0; 16]);
+                    POOL.give(b);
+                });
+            }
+        });
+        let (hits, takes) = POOL.hits_and_takes();
+        assert_eq!(takes, 5);
+        assert!(hits >= 1, "at least the first reuse must hit the free list");
+        assert!(POOL.free_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_bounded_pool_honours_the_cap() {
+        let pool = SharedBufferPool::bounded(16 * std::mem::size_of::<f32>());
+        pool.give(vec![0.0; 16]);
+        pool.give(vec![0.0; 16]);
+        assert_eq!(pool.free_bytes(), 16 * std::mem::size_of::<f32>());
     }
 }

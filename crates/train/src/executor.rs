@@ -15,8 +15,9 @@
 //! Nodes execute in topological order (layer dependencies are sequential),
 //! but every dispatched kernel fans its per-sample / per-channel / per-row
 //! work out across the `bnff-parallel` pool, so one training step saturates
-//! `BNFF_THREADS` cores: convolutions partition output planes, GEMMs
-//! partition output rows, BN reduces its mini-batch statistics with one
+//! `BNFF_THREADS` cores: convolutions lower to the cache-blocked packed
+//! GEMM (im2col column matrices recycled across steps), which partitions
+//! MC-aligned output row blocks, BN reduces its mini-batch statistics with one
 //! partial per channel, and the gradient accumulation between branches
 //! (`ops::add_assign`) sweeps in parallel chunks.
 
@@ -29,7 +30,7 @@ use bnff_graph::{Graph, Node, NodeId};
 use bnff_kernels::batchnorm::{bn_backward, bn_normalize_into, bn_statistics, BnForwardState};
 use bnff_kernels::concat::{concat_backward, concat_forward_into};
 use bnff_kernels::conv::{
-    conv2d_backward_input_into, conv2d_backward_weights, conv2d_forward_direct_into,
+    conv2d_backward_input_into, conv2d_backward_weights, conv2d_forward_into,
 };
 use bnff_kernels::eltwise::eltwise_sum_forward_into;
 use bnff_kernels::fc::{fc_backward, fc_forward};
@@ -367,7 +368,7 @@ impl Executor {
                     let x = input_value(&self.plan, &values, node, 0)?;
                     let (w, b) = self.conv_params(node)?;
                     let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
-                    conv2d_forward_direct_into(x, w, b, a, &mut out)?;
+                    conv2d_forward_into(x, w, b, a, &mut out)?;
                     Some(out)
                 }
                 OpKind::ReluConv(a) => {
@@ -378,7 +379,7 @@ impl Executor {
                     // node state for the backward pass.
                     let clipped = relu_forward(x);
                     let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
-                    conv2d_forward_direct_into(&clipped, w, b, a, &mut out)?;
+                    conv2d_forward_into(&clipped, w, b, a, &mut out)?;
                     states[id.index()] = Some(NodeState::ClippedInput(clipped));
                     Some(out)
                 }
