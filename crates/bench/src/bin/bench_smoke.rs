@@ -5,6 +5,10 @@
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- OUTPUT.json]`
 //! `BENCH_SMOKE_MS` overrides the per-bench measurement time (default 200).
+//!
+//! Alongside the kernel numbers, the smoke measures the paper's
+//! inference-side payoff: a single-image forward pass through the frozen
+//! (BN-folded) graph vs the training executor's eval-mode forward.
 
 use bnff_bench::{print_table, training_step_executors, BenchReport};
 use bnff_graph::op::Conv2dAttrs;
@@ -12,6 +16,7 @@ use bnff_kernels::conv::{conv2d_forward, conv2d_forward_direct};
 use bnff_kernels::gemm::{gemm, gemm_nt, gemm_streaming, gemm_tn, pack_pool_reuse};
 use bnff_kernels::{batchnorm, relu};
 use bnff_parallel::with_threads;
+use bnff_serve::FrozenModel;
 use bnff_tensor::init::Initializer;
 use bnff_tensor::Shape;
 use std::time::Duration;
@@ -84,6 +89,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
+    // --- Single-image forward: frozen (BN folded into the weights) vs the
+    // training executor in eval mode — the BN-fold inference payoff.
+    let single = bnff_models::densenet_cifar(1, 8, 2, 10)?;
+    let single_exec = bnff_train::Executor::new(single, 9)?;
+    let image = init.uniform(Shape::nchw(1, 3, 32, 32), -1.0, 1.0);
+    let image_labels = vec![0usize];
+    report.measure("single_image_training_eval_forward", None, 3, budget, || {
+        single_exec.forward_eval(&image, &image_labels).unwrap();
+    });
+    let frozen = FrozenModel::from_executor(&single_exec)?.executor(1)?;
+    report.measure("single_image_frozen_forward", None, 3, budget, || {
+        frozen.infer(&image).unwrap();
+    });
+
     let blocked_speedup =
         report.speedup("gemm_256_blocked_1t", "gemm_256_streaming_1t").unwrap_or(0.0);
     report.summarize("gemm_256_blocked_over_streaming", blocked_speedup);
@@ -91,6 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if takes > 0 {
         report.summarize("gemm_pack_pool_hit_rate", hits as f64 / takes as f64);
     }
+    let frozen_speedup = report
+        .speedup("single_image_frozen_forward", "single_image_training_eval_forward")
+        .unwrap_or(0.0);
+    report.summarize("frozen_over_training_single_image", frozen_speedup);
 
     let rows: Vec<Vec<String>> = report
         .records
@@ -105,6 +128,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print_table("bench smoke", &["kernel", "ns/iter", "GFLOP/s"], &rows);
     println!("\nblocked GEMM speedup over streaming (256³, 1 thread): {blocked_speedup:.2}x");
+    println!(
+        "frozen-graph speedup over training eval forward (single image): {frozen_speedup:.2}x"
+    );
 
     std::fs::write(&out_path, report.to_json()?)?;
     println!("wrote {out_path}");

@@ -24,11 +24,11 @@
 use bnff_core::{BnffOptimizer, FusionLevel};
 use bnff_models::densenet_cifar;
 use bnff_train::Executor;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// One measured kernel in a machine-readable bench report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelBench {
     /// Bench id, e.g. `"gemm_256_blocked_1t"`.
     pub name: String,
@@ -41,7 +41,7 @@ pub struct KernelBench {
 /// A machine-readable bench report (`BENCH_ci.json`): the perf-trajectory
 /// artifact the CI `bench-smoke` job uploads on every push, so kernel
 /// regressions show up as data instead of anecdotes.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BenchReport {
     /// All measured kernels, in measurement order.
     pub records: Vec<KernelBench>,
@@ -50,7 +50,7 @@ pub struct BenchReport {
 }
 
 /// A derived headline number in a [`BenchReport`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SummaryStat {
     /// Stat id, e.g. `"gemm_256_blocked_over_streaming"`.
     pub name: String,
@@ -113,6 +113,28 @@ impl BenchReport {
     /// Returns an error when JSON serialization fails.
     pub fn to_json(&self) -> Result<String, Box<dyn std::error::Error>> {
         Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses a report back from its JSON form.
+    ///
+    /// # Errors
+    /// Returns an error on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Loads the report at `path`, or an empty report when the file does
+    /// not exist — the append path the CI serve-smoke step uses to extend
+    /// `BENCH_ci.json` with serving numbers.
+    ///
+    /// # Errors
+    /// Returns an error when an existing file cannot be read or parsed.
+    pub fn load_or_default(path: &std::path::Path) -> Result<Self, Box<dyn std::error::Error>> {
+        match std::fs::read_to_string(path) {
+            Ok(json) => Self::from_json(&json),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(Box::new(e)),
+        }
     }
 }
 

@@ -197,6 +197,7 @@ pub fn node_gemms(graph: &Graph, node: &Node) -> Result<NodeGemms> {
     Ok(match &node.op {
         OpKind::Conv2d(a)
         | OpKind::ReluConv(a)
+        | OpKind::ConvRelu(a)
         | OpKind::ConvStats { conv: a, .. }
         | OpKind::NormReluConv { conv: a, .. }
         | OpKind::NormReluConvStats { conv: a, .. } => {
@@ -267,7 +268,7 @@ pub fn node_cost(graph: &Graph, node: &Node) -> Result<NodeCost> {
         OpKind::Input => {
             NodeCost { flops_fwd: 0.0, flops_bwd: 0.0, sweeps_fwd: vec![], sweeps_bwd: vec![] }
         }
-        OpKind::Conv2d(a) | OpKind::ReluConv(a) => {
+        OpKind::Conv2d(a) | OpKind::ReluConv(a) | OpKind::ConvRelu(a) => {
             let wbytes = conv_weight_bytes(a, in_channels);
             let flops = conv_flops(a, in_channels, out);
             NodeCost {
@@ -444,6 +445,17 @@ pub fn node_cost(graph: &Graph, node: &Node) -> Result<NodeCost> {
                 Sweep::read_act(in_bytes, "saved ifmap"),
                 Sweep::write_grad(in_bytes, "d_ifmap"),
             ],
+        },
+        OpKind::ChannelAffine => NodeCost {
+            // Inference-only per-channel scale+shift: one read, one write,
+            // no backward (frozen graphs never train).
+            flops_fwd: 2.0 * out_elems,
+            flops_bwd: 0.0,
+            sweeps_fwd: vec![
+                Sweep::read_act(in_bytes, "ifmap"),
+                Sweep::write_act(out_bytes, "affine out"),
+            ],
+            sweeps_bwd: vec![],
         },
         OpKind::Relu => NodeCost {
             flops_fwd: in_elems,

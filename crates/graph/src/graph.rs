@@ -335,9 +335,14 @@ impl Graph {
         let in_shape =
             node.inputs.first().and_then(|id| self.node(*id).ok()).map(|n| n.output_shape.clone());
         match &node.op {
-            OpKind::Conv2d(a) | OpKind::ReluConv(a) => {
+            OpKind::Conv2d(a) | OpKind::ReluConv(a) | OpKind::ConvRelu(a) => {
                 let in_c = in_shape.map(|s| s.c()).unwrap_or(0);
                 a.weight_elems(in_c) + if a.bias { a.out_channels } else { 0 }
+            }
+            OpKind::ChannelAffine => {
+                // Channels are dim 1 for NCHW activations and the feature
+                // axis for a 2-D (batch × features) input.
+                2 * node.output_shape.dim(1).unwrap_or(0)
             }
             OpKind::ConvStats { conv: a, .. } => {
                 let in_c = in_shape.map(|s| s.c()).unwrap_or(0);

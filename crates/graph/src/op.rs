@@ -214,6 +214,16 @@ pub enum OpKind {
     /// ICF: channel concatenation that also accumulates Σx / Σx² of its
     /// output (Concat + sub-BN1 across a composite-layer boundary).
     ConcatStats(BatchNormAttrs),
+    // ---- Inference-only operators introduced by the freeze pass ----
+    /// Frozen-graph convolution with the following ReLU fused into its
+    /// output write. The bias (folded BN shift) lives in the conv attrs'
+    /// `bias` flag like any other convolution.
+    ConvRelu(Conv2dAttrs),
+    /// Frozen-graph per-channel affine `y = scale[c]·x + shift[c]`: the
+    /// residue of a Batch Normalization whose running statistics could not
+    /// be folded into a preceding convolution (e.g. after a Concat or an
+    /// element-wise sum).
+    ChannelAffine,
 }
 
 impl OpKind {
@@ -240,6 +250,8 @@ impl OpKind {
             OpKind::NormReluConvStats { .. } => "NormReluConvStats",
             OpKind::NormRelu(_) => "NormRelu",
             OpKind::ConcatStats(_) => "ConcatStats",
+            OpKind::ConvRelu(_) => "ConvRelu",
+            OpKind::ChannelAffine => "ChannelAffine",
         }
     }
 
@@ -250,7 +262,8 @@ impl OpKind {
             OpKind::ReluConv(_)
             | OpKind::ConvStats { .. }
             | OpKind::NormReluConv { .. }
-            | OpKind::NormReluConvStats { .. } => LayerCategory::FusedConv,
+            | OpKind::NormReluConvStats { .. }
+            | OpKind::ConvRelu(_) => LayerCategory::FusedConv,
             _ => LayerCategory::NonConv,
         }
     }
@@ -264,6 +277,7 @@ impl OpKind {
                 | OpKind::ConvStats { .. }
                 | OpKind::NormReluConv { .. }
                 | OpKind::NormReluConvStats { .. }
+                | OpKind::ConvRelu(_)
         )
     }
 
@@ -282,7 +296,7 @@ impl OpKind {
     /// The convolution attributes if the op contains a convolution.
     pub fn conv_attrs(&self) -> Option<Conv2dAttrs> {
         match self {
-            OpKind::Conv2d(a) | OpKind::ReluConv(a) => Some(*a),
+            OpKind::Conv2d(a) | OpKind::ReluConv(a) | OpKind::ConvRelu(a) => Some(*a),
             OpKind::ConvStats { conv, .. }
             | OpKind::NormReluConv { conv, .. }
             | OpKind::NormReluConvStats { conv, .. } => Some(*conv),
@@ -303,6 +317,8 @@ impl OpKind {
                 | OpKind::NormReluConv { .. }
                 | OpKind::NormReluConvStats { .. }
                 | OpKind::NormRelu(_)
+                | OpKind::ConvRelu(_)
+                | OpKind::ChannelAffine
         )
     }
 
@@ -337,6 +353,13 @@ impl fmt::Display for OpKind {
                 write!(
                     f,
                     "ReluConv({}x{}, s{}, oc{})",
+                    a.kernel_h, a.kernel_w, a.stride, a.out_channels
+                )
+            }
+            OpKind::ConvRelu(a) => {
+                write!(
+                    f,
+                    "ConvRelu({}x{}, s{}, oc{})",
                     a.kernel_h, a.kernel_w, a.stride, a.out_channels
                 )
             }

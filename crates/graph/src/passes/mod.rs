@@ -15,9 +15,16 @@
 //! * **ICF** ([`IcfPass`]) — inter-composite-layer fusion: additionally fuse
 //!   `sub-BN1` layers that sit at composite-layer boundaries into the
 //!   producing Concat.
+//!
+//! Beyond the paper's training-time passes, [`freeze()`] rewrites a trained
+//! graph (at any of the levels above) for *inference*: BN and its fission
+//! products collapse into per-channel affines over running statistics,
+//! which fold into the adjacent convolutions — the serve crate applies the
+//! resulting [`FoldRecipe`] plan numerically.
 
 mod bnff;
 mod fission;
+pub mod freeze;
 mod fusion;
 mod icf;
 mod mvf;
@@ -25,6 +32,7 @@ mod rcf;
 
 pub use bnff::BnffPass;
 pub use fission::FissionPass;
+pub use freeze::{freeze, AffineSource, FoldRecipe, FrozenGraph};
 pub use fusion::{FuseNormReluConvPass, FuseStatsIntoConvPass};
 pub use icf::IcfPass;
 pub use mvf::MvfPass;

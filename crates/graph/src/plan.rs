@@ -104,6 +104,17 @@ fn produces_tensor(graph: &Graph, id: NodeId) -> bool {
     }
 }
 
+/// How the planner decides which tensors outlive their last forward use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanMode {
+    /// Training: tensors the backward pass re-reads are retained.
+    Training,
+    /// Inference: nothing is retained for a backward pass; only the graph's
+    /// final outputs are pinned (so the executor can hand them back instead
+    /// of recycling their buffers).
+    Inference,
+}
+
 /// Whether `op`'s backward pass re-reads the output tensor of its first
 /// input (the saved ifmap of the cost analysis).
 fn backward_reads_first_input(op: &OpKind) -> bool {
@@ -124,11 +135,27 @@ fn backward_reads_own_output(op: &OpKind) -> bool {
 }
 
 impl ExecutionPlan {
-    /// Plans buffer reuse for one graph.
+    /// Plans buffer reuse for one training graph (backward-pass reads keep
+    /// their tensors alive through the whole step).
     ///
     /// # Errors
     /// Returns an error if the graph is cyclic or references unknown nodes.
     pub fn for_graph(graph: &Graph) -> Result<ExecutionPlan> {
+        Self::plan(graph, PlanMode::Training)
+    }
+
+    /// Plans buffer reuse for a forward-only (inference) execution: no
+    /// tensor is retained for a backward pass, so every intermediate
+    /// activation recycles through the arena; only the graph's final
+    /// outputs are pinned.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is cyclic or references unknown nodes.
+    pub fn for_inference(graph: &Graph) -> Result<ExecutionPlan> {
+        Self::plan(graph, PlanMode::Inference)
+    }
+
+    fn plan(graph: &Graph, mode: PlanMode) -> Result<ExecutionPlan> {
         let order = graph.topo_order()?;
         let n = graph.node_count();
         let mut position = vec![0usize; n];
@@ -158,11 +185,17 @@ impl ExecutionPlan {
             }
             let node = graph.node(id)?;
             let pos = position[id.index()];
+            let saved = match mode {
+                PlanMode::Training => backward_reads_own_output(&node.op),
+                // Pin final outputs so the inference executor can return
+                // them instead of releasing them into the arena.
+                PlanMode::Inference => graph.consumers(id).is_empty(),
+            };
             liveness[id.index()] = Some(TensorLiveness {
                 def: pos,
                 last_use: pos,
                 bytes: node.output_shape.bytes_f32(),
-                saved_for_backward: backward_reads_own_output(&node.op),
+                saved_for_backward: saved,
             });
         }
         for &id in &order {
@@ -172,7 +205,7 @@ impl ExecutionPlan {
                 let producer = resolve(input.index());
                 let Some(live) = liveness[producer].as_mut() else { continue };
                 live.last_use = live.last_use.max(pos);
-                if slot == 0 && backward_reads_first_input(&node.op) {
+                if slot == 0 && mode == PlanMode::Training && backward_reads_first_input(&node.op) {
                     live.saved_for_backward = true;
                 }
             }

@@ -57,7 +57,7 @@ pub fn infer_output_shape(op: &OpKind, inputs: &[&Shape]) -> Result<Shape> {
             node: String::new(),
             reason: "input nodes carry an explicit shape".to_string(),
         }),
-        OpKind::Conv2d(a) | OpKind::ReluConv(a) => {
+        OpKind::Conv2d(a) | OpKind::ReluConv(a) | OpKind::ConvRelu(a) => {
             let x = inputs[0];
             x.expect_nchw()?;
             Ok(Shape::nchw(
@@ -92,7 +92,7 @@ pub fn infer_output_shape(op: &OpKind, inputs: &[&Shape]) -> Result<Shape> {
             let n = x.dim(0)?;
             Ok(Shape::matrix(n, *out_features))
         }
-        OpKind::BatchNorm(_) | OpKind::Relu => Ok(inputs[0].clone()),
+        OpKind::BatchNorm(_) | OpKind::Relu | OpKind::ChannelAffine => Ok(inputs[0].clone()),
         OpKind::SubBnNorm(_) | OpKind::NormRelu(_) => Ok(inputs[0].clone()),
         OpKind::SubBnStats(_) => {
             let x = inputs[0];

@@ -1,0 +1,174 @@
+//! Inference-time per-channel affine kernels.
+//!
+//! When a model is frozen for serving, Batch Normalization collapses into
+//! `y = scale[c]·x + shift[c]` with coefficients derived from γ/β and the
+//! *running* statistics ([`bn_affine_coefficients`]). Wherever the affine
+//! sits directly behind a convolution it is folded into the weights and
+//! never executed; this kernel covers the residual cases (an affine behind
+//! a `Concat` or an element-wise sum), plus the coefficient math the fold
+//! itself shares.
+
+use crate::error::KernelError;
+use crate::Result;
+use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
+use bnff_tensor::Tensor;
+
+/// Lowers BN parameters + running statistics into affine coefficients:
+/// `scale[c] = γ[c]/√(var[c]+ε)`, `shift[c] = β[c] − scale[c]·mean[c]`.
+///
+/// # Errors
+/// Returns an error when the per-channel vectors disagree in length or the
+/// epsilon is not positive.
+pub fn bn_affine_coefficients(
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+    epsilon: f32,
+) -> Result<(Vec<f32>, Vec<f32>)> {
+    let c = gamma.len();
+    if beta.len() != c || mean.len() != c || var.len() != c {
+        return Err(KernelError::ShapeMismatch(format!(
+            "affine coefficient inputs disagree: γ {}, β {}, μ {}, σ² {}",
+            c,
+            beta.len(),
+            mean.len(),
+            var.len()
+        )));
+    }
+    if epsilon <= 0.0 {
+        return Err(KernelError::InvalidArgument("epsilon must be positive".to_string()));
+    }
+    let mut scale = Vec::with_capacity(c);
+    let mut shift = Vec::with_capacity(c);
+    for ci in 0..c {
+        let s = gamma[ci] / (var[ci] + epsilon).sqrt();
+        scale.push(s);
+        shift.push(beta[ci] - s * mean[ci]);
+    }
+    Ok((scale, shift))
+}
+
+/// The channel count an affine sees: dim 1 both for `N×C×H×W` feature maps
+/// and for `batch × features` matrices.
+fn affine_channels(x: &Tensor) -> Result<usize> {
+    if x.shape().rank() < 2 {
+        return Err(KernelError::ShapeMismatch(format!(
+            "channel affine needs a rank ≥ 2 input, got {}",
+            x.shape()
+        )));
+    }
+    x.shape().dim(1).map_err(KernelError::from)
+}
+
+/// `y = scale[c]·x + shift[c]` into a caller-provided output tensor; every
+/// element of `out` is overwritten. Accepts `N×C×H×W` feature maps (affine
+/// per channel plane) and 2-D `batch × features` matrices (affine per
+/// column).
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn channel_affine_into(
+    x: &Tensor,
+    scale: &[f32],
+    shift: &[f32],
+    out: &mut Tensor,
+) -> Result<()> {
+    let c = affine_channels(x)?;
+    if scale.len() != c || shift.len() != c {
+        return Err(KernelError::ShapeMismatch(format!(
+            "input has {c} channels but coefficients have {} / {}",
+            scale.len(),
+            shift.len()
+        )));
+    }
+    x.shape().expect_same(out.shape())?;
+    // Plane length: H·W for feature maps, 1 for matrices — either way the
+    // channel index of plane `p` is `p % c`.
+    let plane_len = x.shape().volume() / (x.shape().dim(0).unwrap_or(1).max(1) * c.max(1));
+    let plane_len = plane_len.max(1);
+    let src = x.as_slice();
+    parallel_rows_mut(
+        out.as_mut_slice(),
+        plane_len,
+        min_items_per_thread(plane_len.saturating_mul(2)),
+        |first_plane, block| {
+            for (p_local, plane) in block.chunks_mut(plane_len).enumerate() {
+                let p = first_plane + p_local;
+                let ci = p % c;
+                let (s, b) = (scale[ci], shift[ci]);
+                let src_plane = &src[p * plane_len..(p + 1) * plane_len];
+                for (dst, &v) in plane.iter_mut().zip(src_plane) {
+                    *dst = s * v + b;
+                }
+            }
+        },
+    );
+    Ok(())
+}
+
+/// Allocating convenience wrapper around [`channel_affine_into`].
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn channel_affine(x: &Tensor, scale: &[f32], shift: &[f32]) -> Result<Tensor> {
+    let mut out = Tensor::zeros(x.shape().clone());
+    channel_affine_into(x, scale, shift, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batchnorm::{bn_normalize, BnParams};
+    use bnff_tensor::init::Initializer;
+    use bnff_tensor::stats::ChannelStats;
+    use bnff_tensor::Shape;
+
+    #[test]
+    fn affine_applies_per_channel() {
+        let x = Tensor::ones(Shape::nchw(2, 2, 2, 2));
+        let y = channel_affine(&x, &[2.0, -1.0], &[0.5, 0.25]).unwrap();
+        for ni in 0..2 {
+            assert!(y.channel_plane(ni, 0).iter().all(|&v| v == 2.5));
+            assert!(y.channel_plane(ni, 1).iter().all(|&v| v == -0.75));
+        }
+    }
+
+    #[test]
+    fn affine_handles_matrices() {
+        let x = Tensor::from_vec(Shape::matrix(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = channel_affine(&x, &[1.0, 10.0, 100.0], &[0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 20.0, 301.0, 4.0, 50.0, 601.0]);
+    }
+
+    #[test]
+    fn coefficients_reproduce_bn_within_tolerance() {
+        let mut init = Initializer::seeded(3);
+        let x = init.uniform(Shape::nchw(3, 4, 5, 5), -2.0, 2.0);
+        let params = BnParams::new(vec![1.2, 0.7, -0.4, 2.0], vec![0.1, -0.2, 0.3, 0.0]).unwrap();
+        let stats = ChannelStats {
+            mean: vec![0.1, -0.3, 0.25, 0.0],
+            var: vec![1.1, 0.4, 2.0, 0.9],
+            count: 0,
+        };
+        let eps = 1e-5;
+        let (reference, _) = bn_normalize(&x, &stats, &params, eps).unwrap();
+        let (scale, shift) =
+            bn_affine_coefficients(&params.gamma, &params.beta, &stats.mean, &stats.var, eps)
+                .unwrap();
+        let affine = channel_affine(&x, &scale, &shift).unwrap();
+        assert!(affine.all_close(&reference, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let x = Tensor::ones(Shape::nchw(1, 2, 2, 2));
+        assert!(channel_affine(&x, &[1.0], &[0.0, 0.0]).is_err());
+        assert!(channel_affine(&x, &[1.0, 1.0], &[0.0]).is_err());
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(channel_affine(&v, &[1.0, 1.0], &[0.0, 0.0]).is_err());
+        assert!(bn_affine_coefficients(&[1.0], &[0.0], &[0.0], &[1.0], 0.0).is_err());
+        assert!(bn_affine_coefficients(&[1.0, 2.0], &[0.0], &[0.0], &[1.0], 1e-5).is_err());
+    }
+}

@@ -193,6 +193,34 @@ pub fn conv2d_forward_into(
     attrs: &Conv2dAttrs,
     out: &mut Tensor,
 ) -> Result<()> {
+    conv2d_forward_into_impl(input, weights, bias, attrs, out, false)
+}
+
+/// Inference entry point for the frozen graph's fused `CONV+ReLU` operator:
+/// [`conv2d_forward_into`] that clamps each output sample to `max(·, 0)`
+/// while the written tile is still cache-hot, so the frozen graph pays no
+/// separate ReLU sweep.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn conv2d_forward_relu_into(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<()> {
+    conv2d_forward_into_impl(input, weights, bias, attrs, out, true)
+}
+
+fn conv2d_forward_into_impl(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+    fuse_relu: bool,
+) -> Result<()> {
     let (_in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
     if let Some(b) = bias {
         if b.len() != attrs.out_channels {
@@ -234,6 +262,11 @@ pub fn conv2d_forward_into(
                 for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
                     *v += b[oc];
                 }
+            }
+        }
+        if fuse_relu {
+            for v in out_slice.iter_mut() {
+                *v = v.max(0.0);
             }
         }
     }

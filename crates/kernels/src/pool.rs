@@ -86,6 +86,56 @@ pub fn max_pool_forward(x: &Tensor, attrs: &PoolAttrs) -> Result<(Tensor, MaxPoo
     Ok((output, state))
 }
 
+/// Inference-only max-pooling forward pass into a caller-provided output
+/// tensor: no argmax state is materialized (frozen graphs never run a
+/// backward pass). Every element of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the input is not 4-D, the window does not fit, or
+/// `out` has the wrong shape.
+pub fn max_pool_forward_into(x: &Tensor, attrs: &PoolAttrs, out: &mut Tensor) -> Result<()> {
+    let (oh, ow) = pooled_shape(x, attrs)?;
+    let (c, h, w) = (x.shape().c(), x.shape().h(), x.shape().w());
+    let expected = Shape::nchw(x.shape().n(), c, oh, ow);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, max pooling produces {expected}",
+            out.shape()
+        )));
+    }
+    let plane_out = oh * ow;
+    let min_planes = min_planes_per_thread(plane_out * attrs.kernel * attrs.kernel);
+    parallel_rows_mut(out.as_mut_slice(), plane_out.max(1), min_planes, |first_plane, block| {
+        for (p_local, out_plane) in block.chunks_mut(plane_out.max(1)).enumerate() {
+            let p = first_plane + p_local;
+            let plane = x.channel_plane(p / c, p % c);
+            for po in 0..oh {
+                for qo in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for kh in 0..attrs.kernel {
+                        let ih = (po * attrs.stride + kh) as isize - attrs.pad as isize;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        for kw in 0..attrs.kernel {
+                            let iw = (qo * attrs.stride + kw) as isize - attrs.pad as isize;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            let idx = ih as usize * w + iw as usize;
+                            if plane[idx] > best {
+                                best = plane[idx];
+                            }
+                        }
+                    }
+                    out_plane[po * ow + qo] = best;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
 /// Max-pooling backward pass: routes each output gradient to the input
 /// position that won the max.
 ///
@@ -358,5 +408,18 @@ mod tests {
         assert!(max_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).is_err());
         assert!(avg_pool_forward(&x, &PoolAttrs::new(2, 2, 0)).is_err());
         assert!(global_avg_pool_forward(&x).is_err());
+    }
+
+    #[test]
+    fn max_pool_into_matches_stateful_forward() {
+        use bnff_tensor::init::Initializer;
+        let x = Initializer::seeded(31).uniform(Shape::nchw(2, 3, 7, 7), -2.0, 2.0);
+        let attrs = PoolAttrs::new(3, 2, 1);
+        let (reference, _state) = max_pool_forward(&x, &attrs).unwrap();
+        let mut out = Tensor::filled(reference.shape().clone(), f32::NAN);
+        max_pool_forward_into(&x, &attrs, &mut out).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        let mut bad = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        assert!(max_pool_forward_into(&x, &attrs, &mut bad).is_err());
     }
 }

@@ -1,0 +1,287 @@
+//! The dynamic micro-batching engine.
+//!
+//! Single-sample requests enter a shared queue; a pool of worker threads
+//! coalesces them into batches bounded by `max_batch` samples and
+//! `max_wait` queueing delay (whichever comes first), stamps a
+//! [`FrozenExecutor`] for the coalesced size, runs one forward pass and
+//! fans the score rows back out to the callers. Because the frozen graph
+//! has no batch-coupled operators left (BN folded into the weights) and
+//! every kernel partitions per sample, a request's scores are **identical**
+//! whether it was served alone or coalesced into a full batch — the
+//! batcher trades latency for throughput, never numerics.
+
+use crate::error::ServeError;
+use crate::executor::FrozenExecutor;
+use crate::metrics::LatencyRecorder;
+use crate::model::FrozenModel;
+use crate::Result;
+use bnff_tensor::{Shape, Tensor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the batching engine.
+#[derive(Debug, Clone)]
+pub struct BatchingConfig {
+    /// Largest number of requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Longest a request may wait in the queue for co-batchers before the
+    /// engine runs it in whatever batch has formed.
+    pub max_wait: Duration,
+    /// Number of executor worker threads.
+    pub workers: usize,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig { max_batch: 8, max_wait: Duration::from_millis(2), workers: 1 }
+    }
+}
+
+/// One served request's result.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The classifier scores for the sample (a 1-D tensor of class logits).
+    pub scores: Tensor,
+    /// End-to-end latency, enqueue → completion.
+    pub latency: Duration,
+    /// Size of the batch the request was coalesced into.
+    pub batch_size: usize,
+}
+
+struct Request {
+    sample: Tensor,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Completion>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    model: FrozenModel,
+    config: BatchingConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    metrics: Mutex<LatencyRecorder>,
+}
+
+/// The serving engine: a request queue plus its worker pool.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("max_batch", &self.shared.config.max_batch)
+            .field("max_wait", &self.shared.config.max_wait)
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Starts an engine over a frozen model.
+    ///
+    /// # Errors
+    /// Returns an error for a zero `max_batch`/`workers` configuration.
+    pub fn start(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
+        if config.max_batch == 0 || config.workers == 0 {
+            return Err(ServeError::InvalidArgument(
+                "max_batch and workers must be positive".to_string(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            model,
+            config: config.clone(),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+            metrics: Mutex::new(LatencyRecorder::new()),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bnff-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a serve worker")
+            })
+            .collect();
+        Ok(ServeEngine { shared, workers, started: Instant::now() })
+    }
+
+    /// Submits one sample (`C × H × W`, or `1 × C × H × W`) for inference.
+    /// Returns the channel the [`Completion`] arrives on.
+    ///
+    /// # Errors
+    /// Returns an error when the sample shape disagrees with the model or
+    /// the engine is shutting down.
+    pub fn submit(&self, sample: Tensor) -> Result<mpsc::Receiver<Result<Completion>>> {
+        let per_sample = self.shared.model.sample_shape()?;
+        let sample = if sample.shape() == &per_sample {
+            let mut dims = vec![1usize];
+            dims.extend_from_slice(per_sample.dims());
+            Tensor::from_vec(Shape::new(dims), sample.into_vec()).map_err(ServeError::Tensor)?
+        } else {
+            let mut batched = vec![1usize];
+            batched.extend_from_slice(per_sample.dims());
+            if sample.shape().dims() != batched.as_slice() {
+                return Err(ServeError::InvalidArgument(format!(
+                    "sample shape {} does not match the model's {per_sample}",
+                    sample.shape()
+                )));
+            }
+            sample
+        };
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            state.queue.push_back(Request { sample, enqueued: Instant::now(), tx });
+        }
+        self.shared.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Convenience wrapper: submit and block for the completion.
+    ///
+    /// # Errors
+    /// Returns an error when submission fails or the worker dropped the
+    /// request.
+    pub fn infer_blocking(&self, sample: Tensor) -> Result<Completion> {
+        let rx = self.submit(sample)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// A snapshot of the engine's latency/batching metrics since start.
+    pub fn metrics(&self) -> LatencyRecorder {
+        self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Wall-clock time since the engine started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Drains the queue, stops the workers and returns the final metrics.
+    pub fn shutdown(mut self) -> LatencyRecorder {
+        self.stop_workers();
+        self.metrics()
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Takes the next batch off the queue, or `None` when shutting down and
+/// drained. Blocks while the queue is empty; once a request is pending,
+/// waits at most until that request's deadline for co-batchers.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        if state.queue.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = shared.cv.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+            continue;
+        }
+        let oldest = state.queue.front().map(|r| r.enqueued.elapsed()).unwrap_or_default();
+        let full = state.queue.len() >= shared.config.max_batch;
+        if full || oldest >= shared.config.max_wait || state.shutdown {
+            let take = state.queue.len().min(shared.config.max_batch);
+            return Some(state.queue.drain(..take).collect());
+        }
+        let remaining = shared.config.max_wait - oldest;
+        let (guard, _timeout) = shared
+            .cv
+            .wait_timeout(state, remaining)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state = guard;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Executors are stamped per coalesced batch size and cached per worker.
+    let mut executors: HashMap<usize, FrozenExecutor> = HashMap::new();
+    while let Some(batch) = next_batch(shared) {
+        let size = batch.len();
+        let result = run_batch(shared, &mut executors, &batch);
+        let completed = Instant::now();
+        {
+            let mut metrics =
+                shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            metrics.record_batch(size);
+            if result.is_ok() {
+                for request in &batch {
+                    metrics.record(completed.duration_since(request.enqueued));
+                }
+            }
+        }
+        match result {
+            Ok(rows) => {
+                for (request, scores) in batch.into_iter().zip(rows) {
+                    let latency = completed.duration_since(request.enqueued);
+                    let _ = request.tx.send(Ok(Completion { scores, latency, batch_size: size }));
+                }
+            }
+            Err(err) => {
+                for request in batch {
+                    let _ = request.tx.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Stacks the batch, runs one forward pass and slices the score rows back
+/// out (one 1-D logits tensor per request, in submission order).
+fn run_batch(
+    shared: &Shared,
+    executors: &mut HashMap<usize, FrozenExecutor>,
+    batch: &[Request],
+) -> Result<Vec<Tensor>> {
+    let size = batch.len();
+    let executor = match executors.entry(size) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => v.insert(shared.model.executor(size)?),
+    };
+    let sample_volume = batch[0].sample.len();
+    let mut stacked = Vec::with_capacity(size * sample_volume);
+    for request in batch {
+        stacked.extend_from_slice(request.sample.as_slice());
+    }
+    let mut dims = executor.input_shape().dims().to_vec();
+    dims[0] = size;
+    let data = Tensor::from_vec(Shape::new(dims), stacked).map_err(ServeError::Tensor)?;
+    let scores = executor.infer_owned(data)?;
+    let classes = scores.len() / size.max(1);
+    Ok((0..size)
+        .map(|i| Tensor::from_slice(&scores.as_slice()[i * classes..(i + 1) * classes]))
+        .collect())
+}

@@ -1,0 +1,249 @@
+//! The forward-only frozen-graph executor.
+//!
+//! Structurally a sibling of the training executor, minus everything
+//! training needs: no backward retention (the memory plan comes from
+//! [`ExecutionPlan::for_inference`], so *every* intermediate activation
+//! recycles through the arena), no statistics, no loss head. Kernels are
+//! the same `bnff-kernels` entry points the trainer uses — including the
+//! inference-only `conv2d_forward_relu_into` and `channel_affine_into` —
+//! so inference saturates `BNFF_THREADS` cores with thread-count-identical
+//! results.
+
+use crate::error::ServeError;
+use crate::params::{FrozenParamSet, FrozenParams};
+use crate::Result;
+use bnff_graph::op::{OpKind, PoolKind};
+use bnff_graph::plan::ExecutionPlan;
+use bnff_graph::{Graph, Node, NodeId};
+use bnff_kernels::affine::channel_affine_into;
+use bnff_kernels::concat::concat_forward_into;
+use bnff_kernels::conv::{conv2d_forward_into, conv2d_forward_relu_into};
+use bnff_kernels::eltwise::eltwise_sum_forward_into;
+use bnff_kernels::fc::fc_forward;
+use bnff_kernels::pool::{avg_pool_forward_into, global_avg_pool_forward, max_pool_forward_into};
+use bnff_kernels::relu::relu_forward_into;
+use bnff_tensor::{Shape, Tensor};
+use std::sync::{Arc, Mutex};
+
+/// A forward-only executor bound to one frozen graph at one batch size.
+#[derive(Debug)]
+pub struct FrozenExecutor {
+    graph: Graph,
+    params: Arc<FrozenParamSet>,
+    plan: ExecutionPlan,
+    input: NodeId,
+    output: NodeId,
+    batch: usize,
+    /// Recycled arena buffers, one bin per plan slot (kept across calls).
+    workspace: Mutex<Vec<Option<Vec<f32>>>>,
+}
+
+impl FrozenExecutor {
+    /// Creates an executor over a frozen graph and its folded parameters.
+    ///
+    /// # Errors
+    /// Returns an error when the graph cannot be memory-planned.
+    pub fn new(
+        graph: Graph,
+        params: Arc<FrozenParamSet>,
+        input: NodeId,
+        output: NodeId,
+    ) -> Result<Self> {
+        let plan = ExecutionPlan::for_inference(&graph)?;
+        let batch = graph.node(input)?.output_shape.dim(0).map_err(ServeError::Tensor)?;
+        let workspace = Mutex::new(vec![None; plan.slot_count()]);
+        Ok(FrozenExecutor { graph, params, plan, input, output, batch, workspace })
+    }
+
+    /// The executor's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The inference memory plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The batch size this executor is bound to.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The expected input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.graph.node(self.input).map(|n| n.output_shape.clone()).unwrap_or(Shape::scalar())
+    }
+
+    fn conv_params(&self, node: &Node) -> Result<(&Tensor, Option<&[f32]>)> {
+        match self.params.get(node.id) {
+            Some(FrozenParams::Conv { weights, bias }) => Ok((weights, bias.as_deref())),
+            _ => Err(ServeError::Fold(format!("no frozen conv parameters for '{}'", node.name))),
+        }
+    }
+
+    fn alloc_output(&self, ws: &mut [Option<Vec<f32>>], id: NodeId, shape: &Shape) -> Tensor {
+        if let Some(slot) = self.plan.slot(id) {
+            if let Some(mut buf) = ws[slot].take() {
+                // Every kernel overwrites its whole output; leftover bytes
+                // in a grown buffer are never read.
+                buf.resize(shape.volume(), 0.0);
+                return Tensor::from_vec(shape.clone(), buf)
+                    .expect("arena buffer resized to the shape's volume");
+            }
+        }
+        Tensor::zeros(shape.clone())
+    }
+
+    fn release_dead(&self, ws: &mut [Option<Vec<f32>>], values: &mut [Option<Tensor>], pos: usize) {
+        for &dead in self.plan.released_after(pos) {
+            if let Some(tensor) = values[dead].take() {
+                let slot = self
+                    .plan
+                    .slot(NodeId::new(dead))
+                    .expect("released tensors always have a plan slot");
+                ws[slot] = Some(tensor.into_vec());
+            }
+        }
+    }
+
+    /// Runs one forward pass, returning the frozen graph's output (the
+    /// classifier scores).
+    ///
+    /// # Errors
+    /// Returns an error when the input shape disagrees with the graph or a
+    /// kernel fails.
+    pub fn infer(&self, data: &Tensor) -> Result<Tensor> {
+        self.infer_owned(data.clone())
+    }
+
+    /// [`FrozenExecutor::infer`] taking the batch by value, so the input
+    /// buffer recycles into the arena instead of being copied — the entry
+    /// point the batching engine drives (it builds the stacked batch tensor
+    /// anyway).
+    ///
+    /// # Errors
+    /// Returns an error when the input shape disagrees with the graph or a
+    /// kernel fails.
+    pub fn infer_owned(&self, data: Tensor) -> Result<Tensor> {
+        let expected = &self.graph.node(self.input)?.output_shape;
+        expected.expect_same(data.shape()).map_err(ServeError::Tensor)?;
+
+        let n = self.graph.node_count();
+        let mut values: Vec<Option<Tensor>> = vec![None; n];
+        values[self.input.index()] = Some(data);
+        let mut ws = self.workspace.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        for (pos, &id) in self.plan.order().iter().enumerate() {
+            let node = self.graph.node(id)?;
+            let out = match &node.op {
+                OpKind::Input => None, // Pre-seeded.
+                OpKind::Conv2d(a) | OpKind::ConvRelu(a) => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (w, b) = self.conv_params(node)?;
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    if matches!(node.op, OpKind::ConvRelu(_)) {
+                        conv2d_forward_relu_into(x, w, b, a, &mut out)?;
+                    } else {
+                        conv2d_forward_into(x, w, b, a, &mut out)?;
+                    }
+                    Some(out)
+                }
+                OpKind::ChannelAffine => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (scale, shift) = match self.params.get(id) {
+                        Some(FrozenParams::Affine { scale, shift }) => (scale, shift),
+                        _ => {
+                            return Err(ServeError::Fold(format!(
+                                "no frozen affine parameters for '{}'",
+                                node.name
+                            )))
+                        }
+                    };
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    channel_affine_into(x, scale, shift, &mut out)?;
+                    Some(out)
+                }
+                OpKind::Relu => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    relu_forward_into(x, &mut out)?;
+                    Some(out)
+                }
+                OpKind::Pool { kind, attrs } => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    match kind {
+                        // State-free inference kernel: no argmax retained.
+                        PoolKind::Max => max_pool_forward_into(x, attrs, &mut out)?,
+                        PoolKind::Average => avg_pool_forward_into(x, attrs, &mut out)?,
+                    }
+                    Some(out)
+                }
+                OpKind::GlobalAvgPool => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    Some(global_avg_pool_forward(x)?)
+                }
+                OpKind::Concat => {
+                    let refs = input_values(&self.plan, &values, node)?;
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    concat_forward_into(&refs, &mut out)?;
+                    Some(out)
+                }
+                OpKind::Split { .. } => None, // Alias, resolved by the plan.
+                OpKind::EltwiseSum => {
+                    let refs = input_values(&self.plan, &values, node)?;
+                    let mut out = self.alloc_output(&mut ws, id, &node.output_shape);
+                    eltwise_sum_forward_into(&refs, &mut out)?;
+                    Some(out)
+                }
+                OpKind::FullyConnected { .. } => {
+                    let x = input_value(&self.plan, &values, node, 0)?;
+                    let (w, b) = match self.params.get(id) {
+                        Some(FrozenParams::Fc { weights, bias }) => (weights, bias),
+                        _ => {
+                            return Err(ServeError::Fold(format!(
+                                "no frozen FC parameters for '{}'",
+                                node.name
+                            )))
+                        }
+                    };
+                    Some(fc_forward(x, w, b)?)
+                }
+                other => {
+                    return Err(ServeError::InvalidArgument(format!(
+                        "frozen graphs cannot contain the training operator {other}"
+                    )))
+                }
+            };
+            if let Some(out) = out {
+                values[id.index()] = Some(out);
+            }
+            self.release_dead(&mut ws, &mut values, pos);
+        }
+
+        values[self.plan.resolve(self.output).index()]
+            .take()
+            .ok_or_else(|| ServeError::InvalidArgument("frozen graph produced no output".into()))
+    }
+}
+
+fn input_value<'a>(
+    plan: &ExecutionPlan,
+    values: &'a [Option<Tensor>],
+    node: &Node,
+    idx: usize,
+) -> Result<&'a Tensor> {
+    let input = node.inputs[idx];
+    values[plan.resolve(input).index()]
+        .as_ref()
+        .ok_or_else(|| ServeError::InvalidArgument(format!("missing output of {input}")))
+}
+
+fn input_values<'a>(
+    plan: &ExecutionPlan,
+    values: &'a [Option<Tensor>],
+    node: &Node,
+) -> Result<Vec<&'a Tensor>> {
+    (0..node.inputs.len()).map(|i| input_value(plan, values, node, i)).collect()
+}

@@ -1,0 +1,76 @@
+//! # bnff-serve — the inference serving subsystem
+//!
+//! At inference time the paper's restructuring collapses entirely: Batch
+//! Normalization (and every BNFF-fused variant of it) normalizes with
+//! *running* statistics, which is a per-channel affine that folds into the
+//! adjacent convolution's weights and bias. This crate turns that
+//! observation into a servable system, in three layers:
+//!
+//! 1. **Freeze + fold** — [`FrozenModel`] applies the structural freeze
+//!    pass (`bnff_graph::passes::freeze`) to a trained graph at *any*
+//!    fusion level, then applies the fold plan numerically
+//!    ([`params::fold_params`]): scaled filters, folded biases, residual
+//!    [`ChannelAffine`](bnff_graph::op::OpKind::ChannelAffine) nodes only
+//!    where a Concat or element-wise sum blocks the fold.
+//! 2. **Execute** — [`FrozenExecutor`] runs the frozen graph forward-only
+//!    over an [`ExecutionPlan::for_inference`](bnff_graph::plan::ExecutionPlan::for_inference)
+//!    memory plan, so every intermediate activation recycles through one
+//!    small arena and the same `bnff-parallel`-threaded kernels the trainer
+//!    uses keep results bit-identical across `BNFF_THREADS`.
+//! 3. **Serve** — [`ServeEngine`] coalesces single-sample requests into
+//!    dynamic micro-batches (`max_batch`/`max_wait` bounded), fans them out
+//!    over a worker pool and reports latency percentiles + throughput
+//!    ([`metrics::ServeReport`]).
+//!
+//! Training and serving are separate processes in principle: the trainer
+//! writes a [`Checkpoint`](bnff_train::Checkpoint), the server loads it via
+//! [`FrozenModel::from_checkpoint`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bnff_graph::builder::GraphBuilder;
+//! use bnff_graph::op::Conv2dAttrs;
+//! use bnff_serve::FrozenModel;
+//! use bnff_tensor::{init::Initializer, Shape};
+//! use bnff_train::Executor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new("tiny");
+//! let x = b.input("data", Shape::nchw(4, 3, 8, 8))?;
+//! let labels = b.input("labels", Shape::vector(4))?;
+//! let c = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(4), "block")?;
+//! let gap = b.global_avg_pool(c, "gap")?;
+//! let fc = b.fully_connected(gap, 2, "fc")?;
+//! b.softmax_loss(fc, labels, "loss")?;
+//!
+//! let exec = Executor::new(b.finish(), 42)?;
+//! let model = FrozenModel::from_executor(&exec)?;
+//! // Stamp a single-sample executor and classify one image.
+//! let single = model.executor(1)?;
+//! let image = Initializer::seeded(1).uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0);
+//! let scores = single.infer(&image)?;
+//! assert_eq!(scores.shape(), &Shape::matrix(1, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod model;
+pub mod params;
+
+pub use engine::{BatchingConfig, Completion, ServeEngine};
+pub use error::ServeError;
+pub use executor::FrozenExecutor;
+pub use metrics::{LatencyRecorder, ServeReport};
+pub use model::FrozenModel;
+pub use params::{FrozenParamSet, FrozenParams};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

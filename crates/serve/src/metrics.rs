@@ -1,0 +1,146 @@
+//! Serving metrics: latency percentiles and throughput reporting.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// A recorder for per-request latencies plus batching counters.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    latencies_ms: Vec<f64>,
+    batches: usize,
+    samples_in_batches: usize,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one served request's end-to-end latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.latencies_ms.push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Records one executed batch of `size` coalesced requests.
+    pub fn record_batch(&mut self, size: usize) {
+        self.batches += 1;
+        self.samples_in_batches += size;
+    }
+
+    /// Number of recorded requests.
+    pub fn requests(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    /// Number of executed batches.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Mean samples per executed batch (the dynamic batcher's coalescing
+    /// factor).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples_in_batches as f64 / self.batches as f64
+        }
+    }
+
+    /// The `p`-th latency percentile in milliseconds (`p` in `[0, 100]`),
+    /// by nearest-rank over the recorded requests.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Folds the counters into a summary over `wall` seconds of serving.
+    pub fn report(&self, wall: Duration) -> ServeReport {
+        let wall_seconds = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        ServeReport {
+            requests: self.requests(),
+            batches: self.batches(),
+            wall_seconds,
+            throughput_rps: self.requests() as f64 / wall_seconds,
+            p50_ms: self.percentile_ms(50.0),
+            p99_ms: self.percentile_ms(99.0),
+            mean_batch_size: self.mean_batch_size(),
+        }
+    }
+
+    /// Merges another recorder's observations into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.latencies_ms.extend_from_slice(&other.latencies_ms);
+        self.batches += other.batches;
+        self.samples_in_batches += other.samples_in_batches;
+    }
+}
+
+/// A machine-readable serving summary (printed by `serve_synthetic` and
+/// appended to `BENCH_ci.json` by the CI serve-smoke step).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Requests served.
+    pub requests: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Wall-clock seconds the load took.
+    pub wall_seconds: f64,
+    /// Served requests per second.
+    pub throughput_rps: f64,
+    /// Median end-to-end request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean coalesced batch size.
+    pub mean_batch_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        assert_eq!(rec.percentile_ms(50.0), 50.0);
+        assert_eq!(rec.percentile_ms(99.0), 99.0);
+        assert_eq!(rec.percentile_ms(100.0), 100.0);
+        assert_eq!(rec.requests(), 100);
+    }
+
+    #[test]
+    fn report_and_merge() {
+        let mut a = LatencyRecorder::new();
+        a.record(Duration::from_millis(2));
+        a.record_batch(4);
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_millis(4));
+        b.record_batch(2);
+        a.merge(&b);
+        let report = a.report(Duration::from_secs(2));
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.batches, 2);
+        assert!((report.throughput_rps - 1.0).abs() < 1e-9);
+        assert!((report.mean_batch_size - 3.0).abs() < 1e-9);
+        assert!(report.p99_ms >= report.p50_ms);
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let rec = LatencyRecorder::new();
+        assert_eq!(rec.percentile_ms(99.0), 0.0);
+        assert_eq!(rec.mean_batch_size(), 0.0);
+        let report = rec.report(Duration::from_millis(1));
+        assert_eq!(report.requests, 0);
+    }
+}

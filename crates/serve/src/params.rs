@@ -1,0 +1,201 @@
+//! Numeric application of the freeze pass's fold plan.
+//!
+//! The freeze pass (`bnff_graph::passes::freeze`) is purely structural: it
+//! emits [`FoldRecipe`]s that reference *training-graph* nodes. This module
+//! applies them against a trained [`ParamSet`] and its [`RunningStatSet`],
+//! producing the frozen parameters:
+//!
+//! * a folded convolution's filters are scaled per **output** channel by
+//!   `scale[o] = γ[o]/√(running_var[o]+ε)` and its bias becomes
+//!   `scale[o]·b[o] + shift[o]` — BN at inference costs nothing;
+//! * a standalone affine keeps its `(scale, shift)` vectors;
+//! * everything else (FC, unfolded convs) is copied through.
+
+use crate::error::ServeError;
+use crate::Result;
+use bnff_graph::passes::freeze::{AffineSource, FoldRecipe, FrozenGraph};
+use bnff_graph::NodeId;
+use bnff_kernels::affine::bn_affine_coefficients;
+use bnff_tensor::Tensor;
+use bnff_train::params::NodeParams;
+use bnff_train::running::RunningStatSet;
+use bnff_train::ParamSet;
+use std::collections::HashMap;
+
+/// The inference-ready parameters of one frozen node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrozenParams {
+    /// Convolution filters (possibly scaled by a folded BN) and bias.
+    Conv {
+        /// Filter tensor `(Cout, Cin, Kh, Kw)`.
+        weights: Tensor,
+        /// Per-output-channel bias (present whenever an affine was folded).
+        bias: Option<Vec<f32>>,
+    },
+    /// Fully-connected weights `(out, in)` and bias.
+    Fc {
+        /// Weight matrix `(out, in)`.
+        weights: Tensor,
+        /// Bias of length `out`.
+        bias: Vec<f32>,
+    },
+    /// A standalone per-channel affine.
+    Affine {
+        /// Per-channel scale.
+        scale: Vec<f32>,
+        /// Per-channel shift.
+        shift: Vec<f32>,
+    },
+}
+
+/// All frozen parameters, keyed by frozen-graph node index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrozenParamSet {
+    entries: HashMap<usize, FrozenParams>,
+}
+
+impl FrozenParamSet {
+    /// Looks up the parameters of a frozen node.
+    pub fn get(&self, id: NodeId) -> Option<&FrozenParams> {
+        self.entries.get(&id.index())
+    }
+
+    /// Number of parameterised frozen nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters the frozen model carries.
+    pub fn scalar_count(&self) -> usize {
+        self.entries
+            .values()
+            .map(|p| match p {
+                FrozenParams::Conv { weights, bias } => {
+                    weights.len() + bias.as_ref().map(Vec::len).unwrap_or(0)
+                }
+                FrozenParams::Fc { weights, bias } => weights.len() + bias.len(),
+                FrozenParams::Affine { scale, shift } => scale.len() + shift.len(),
+            })
+            .sum()
+    }
+}
+
+/// The γ/β a recipe's `gamma_beta` node owns in the training parameters.
+fn gamma_beta(params: &ParamSet, id: NodeId) -> Result<(&[f32], &[f32])> {
+    match params.get(id) {
+        Some(NodeParams::Bn(bn)) => Ok((&bn.gamma, &bn.beta)),
+        Some(NodeParams::ConvBn { bn, .. }) => Ok((&bn.gamma, &bn.beta)),
+        _ => Err(ServeError::Fold(format!("node {id} owns no γ/β parameters"))),
+    }
+}
+
+/// The affine `(scale, shift)` of one [`AffineSource`].
+fn affine_coefficients(
+    params: &ParamSet,
+    running: &RunningStatSet,
+    src: &AffineSource,
+) -> Result<(Vec<f32>, Vec<f32>)> {
+    let (gamma, beta) = gamma_beta(params, src.gamma_beta)?;
+    let stats = running.get(src.stats).ok_or_else(|| {
+        ServeError::Fold(format!("no running statistics for stats node {}", src.stats))
+    })?;
+    Ok(bn_affine_coefficients(gamma, beta, &stats.mean, &stats.var, src.epsilon)?)
+}
+
+/// Scales weight "rows" (leading-axis slices) and folds the affine into the
+/// bias: `w'[o] = scale[o]·w[o]`, `b'[o] = scale[o]·b[o] + shift[o]`.
+fn fold_into_weights(
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    scale: &[f32],
+    shift: &[f32],
+) -> Result<(Tensor, Vec<f32>)> {
+    let out_channels = weights.shape().dim(0).map_err(ServeError::Tensor)?;
+    if scale.len() != out_channels {
+        return Err(ServeError::Fold(format!(
+            "affine covers {} channels but the producer has {out_channels} output channels",
+            scale.len()
+        )));
+    }
+    let row = weights.len() / out_channels.max(1);
+    let mut folded = weights.clone();
+    for (oc, chunk) in folded.as_mut_slice().chunks_mut(row.max(1)).enumerate() {
+        for v in chunk.iter_mut() {
+            *v *= scale[oc];
+        }
+    }
+    let folded_bias = (0..out_channels)
+        .map(|oc| scale[oc] * bias.map(|b| b[oc]).unwrap_or(0.0) + shift[oc])
+        .collect();
+    Ok((folded, folded_bias))
+}
+
+/// Applies a [`FrozenGraph`]'s fold plan to a trained parameter set and its
+/// running statistics.
+///
+/// # Errors
+/// Returns [`ServeError::Fold`] when a recipe references missing training
+/// state or the channel counts disagree.
+pub fn fold_params(
+    frozen: &FrozenGraph,
+    params: &ParamSet,
+    running: &RunningStatSet,
+) -> Result<FrozenParamSet> {
+    let mut entries = HashMap::new();
+    for (&idx, recipe) in &frozen.recipes {
+        let folded = match recipe {
+            FoldRecipe::Conv { source, affine } => {
+                let (weights, bias) = match params.get(*source) {
+                    Some(NodeParams::Conv { weights, bias }) => (weights, bias.as_deref()),
+                    Some(NodeParams::ConvBn { weights, bias, .. }) => (weights, bias.as_deref()),
+                    _ => {
+                        return Err(ServeError::Fold(format!(
+                            "node {source} owns no convolution parameters"
+                        )))
+                    }
+                };
+                match affine {
+                    Some(src) => {
+                        let (scale, shift) = affine_coefficients(params, running, src)?;
+                        let (weights, bias) = fold_into_weights(weights, bias, &scale, &shift)?;
+                        FrozenParams::Conv { weights, bias: Some(bias) }
+                    }
+                    None => FrozenParams::Conv {
+                        weights: weights.clone(),
+                        bias: bias.map(<[f32]>::to_vec),
+                    },
+                }
+            }
+            FoldRecipe::Fc { source, affine } => {
+                let (weights, bias) = match params.get(*source) {
+                    Some(NodeParams::Fc { weights, bias }) => (weights, bias),
+                    _ => {
+                        return Err(ServeError::Fold(format!(
+                            "node {source} owns no fully-connected parameters"
+                        )))
+                    }
+                };
+                match affine {
+                    Some(src) => {
+                        let (scale, shift) = affine_coefficients(params, running, src)?;
+                        let (weights, bias) =
+                            fold_into_weights(weights, Some(bias), &scale, &shift)?;
+                        FrozenParams::Fc { weights, bias }
+                    }
+                    None => FrozenParams::Fc { weights: weights.clone(), bias: bias.clone() },
+                }
+            }
+            FoldRecipe::Affine(src) => {
+                let (scale, shift) = affine_coefficients(params, running, src)?;
+                FrozenParams::Affine { scale, shift }
+            }
+        };
+        entries.insert(idx, folded);
+    }
+    Ok(FrozenParamSet { entries })
+}

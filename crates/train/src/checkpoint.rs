@@ -1,0 +1,173 @@
+//! Model checkpoints: a serde-based snapshot of everything serving needs.
+//!
+//! A [`Checkpoint`] captures the three things that define a trained model —
+//! the graph topology, the learnable parameters, and the running Batch
+//! Normalization statistics — as one JSON document, so training and serving
+//! can run as separate processes: the trainer writes a file, `bnff-serve`
+//! loads it, freezes the graph and folds the running statistics into the
+//! weights without ever touching the training code path again.
+//!
+//! The format round-trips **bit-identically**: every `f32` is serialized in
+//! its shortest round-trip decimal form, node ids stay dense, and
+//! `save → load` reproduces parameters, statistics and topology exactly
+//! (locked in by the round-trip proptest in `tests/checkpoint_roundtrip.rs`).
+
+use crate::error::TrainError;
+use crate::executor::Executor;
+use crate::params::ParamSet;
+use crate::running::RunningStatSet;
+use crate::Result;
+use bnff_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A serializable snapshot of a trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version, for forward-compatibility checks on load.
+    pub format_version: u32,
+    /// The (training) graph topology.
+    pub graph: Graph,
+    /// All learnable parameters, keyed by node index.
+    pub params: ParamSet,
+    /// Running BN statistics, keyed by statistics-producer node index.
+    pub running: RunningStatSet,
+}
+
+impl Checkpoint {
+    /// Snapshots an executor's graph, parameters and running statistics.
+    pub fn capture(executor: &Executor) -> Self {
+        Checkpoint {
+            format_version: FORMAT_VERSION,
+            graph: executor.graph().clone(),
+            params: executor.params().clone(),
+            running: executor.running_stats().clone(),
+        }
+    }
+
+    /// Rebuilds an executor from the snapshot (the inverse of
+    /// [`Checkpoint::capture`]).
+    ///
+    /// # Errors
+    /// Returns an error when the stored graph fails validation or memory
+    /// planning.
+    pub fn into_executor(self) -> Result<Executor> {
+        self.graph.validate()?;
+        Executor::with_state(self.graph, self.params, self.running)
+    }
+
+    /// Serializes the checkpoint as a JSON document.
+    ///
+    /// # Errors
+    /// Returns an error when serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| TrainError::Checkpoint(e.to_string()))
+    }
+
+    /// Parses a checkpoint from its JSON form, checking the format version.
+    ///
+    /// # Errors
+    /// Returns an error on malformed JSON, a shape mismatch, or an
+    /// unsupported format version.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let value = serde_json::parse(json).map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+        // Check the version *before* deserializing the body, so a
+        // future-format file fails with the version message rather than
+        // whatever shape mismatch its changed layout trips first.
+        let version = value
+            .get("format_version")
+            .and_then(|v| u32::from_value(v).ok())
+            .ok_or_else(|| TrainError::Checkpoint("missing format_version".to_string()))?;
+        if version != FORMAT_VERSION {
+            return Err(TrainError::Checkpoint(format!(
+                "unsupported checkpoint format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        serde_json::from_value(&value).map_err(|e| TrainError::Checkpoint(e.to_string()))
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    /// Returns an error when serialization or the write fails.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| TrainError::Checkpoint(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    /// Returns an error when the read, parse or version check fails.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| TrainError::Checkpoint(format!("reading {}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_graph::builder::GraphBuilder;
+    use bnff_graph::op::Conv2dAttrs;
+    use bnff_tensor::init::Initializer;
+    use bnff_tensor::Shape;
+
+    fn trained_executor() -> Executor {
+        let mut b = GraphBuilder::new("ckpt");
+        let x = b.input("data", Shape::nchw(2, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(2)).unwrap();
+        let c = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(4), "block").unwrap();
+        let gap = b.global_avg_pool(c, "gap").unwrap();
+        let fc = b.fully_connected(gap, 2, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        let mut exec = Executor::new(b.finish(), 7).unwrap();
+        // Move the running statistics off their identity initialization.
+        let mut init = Initializer::seeded(8);
+        let data = init.uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0);
+        let fwd = exec.forward(&data, &[0, 1]).unwrap();
+        exec.update_running_stats(&fwd).unwrap();
+        exec
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let exec = trained_executor();
+        let ckpt = Checkpoint::capture(&exec);
+        let back = Checkpoint::from_json(&ckpt.to_json().unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        let restored = back.into_executor().unwrap();
+        assert_eq!(restored.params(), exec.params());
+        assert_eq!(restored.running_stats(), exec.running_stats());
+        assert_eq!(restored.graph(), exec.graph());
+    }
+
+    #[test]
+    fn save_load_through_a_file() {
+        let exec = trained_executor();
+        let ckpt = Checkpoint::capture(&exec);
+        let dir = std::env::temp_dir().join(format!("bnff-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let exec = trained_executor();
+        let mut ckpt = Checkpoint::capture(&exec);
+        ckpt.format_version = 99;
+        let json = serde_json::to_string(&ckpt).unwrap();
+        assert!(Checkpoint::from_json(&json).is_err());
+        assert!(Checkpoint::load("/nonexistent/bnff.json").is_err());
+    }
+}

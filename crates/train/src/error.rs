@@ -17,6 +17,8 @@ pub enum TrainError {
     Kernel(bnff_kernels::KernelError),
     /// An error bubbled up from the tensor substrate.
     Tensor(bnff_tensor::TensorError),
+    /// A checkpoint could not be read or written.
+    Checkpoint(String),
 }
 
 impl fmt::Display for TrainError {
@@ -28,6 +30,7 @@ impl fmt::Display for TrainError {
             TrainError::Graph(err) => write!(f, "graph error: {err}"),
             TrainError::Kernel(err) => write!(f, "kernel error: {err}"),
             TrainError::Tensor(err) => write!(f, "tensor error: {err}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

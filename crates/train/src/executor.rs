@@ -23,6 +23,7 @@
 
 use crate::error::TrainError;
 use crate::params::{NodeParamGrads, NodeParams, ParamSet};
+use crate::running::RunningStatSet;
 use crate::Result;
 use bnff_graph::op::{OpKind, PoolKind};
 use bnff_graph::plan::ExecutionPlan;
@@ -52,6 +53,16 @@ use bnff_tensor::{ops, Shape, Tensor};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
+
+/// Which statistics a forward pass normalizes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    /// Training semantics: per-channel statistics of the current mini-batch.
+    Batch,
+    /// Inference (eval) semantics: the executor's running statistics — the
+    /// same numbers the freeze pass folds into a frozen graph.
+    Running,
+}
 
 /// Per-node state captured during the forward pass for reuse in backward.
 #[derive(Debug, Clone)]
@@ -188,6 +199,7 @@ pub struct Executor {
     graph: Graph,
     params: ParamSet,
     plan: ExecutionPlan,
+    running: RunningStatSet,
     workspace: Mutex<Workspace>,
 }
 
@@ -197,6 +209,7 @@ impl Clone for Executor {
             graph: self.graph.clone(),
             params: self.params.clone(),
             plan: self.plan.clone(),
+            running: self.running.clone(),
             // Recycled buffers are per-executor scratch, not state.
             workspace: Mutex::new(Workspace::for_plan(&self.plan)),
         }
@@ -220,9 +233,20 @@ impl Executor {
     /// Returns an error if the graph cannot be memory-planned (e.g. it is
     /// cyclic).
     pub fn with_params(graph: Graph, params: ParamSet) -> Result<Self> {
+        let running = RunningStatSet::initialize(&graph);
+        Self::with_state(graph, params, running)
+    }
+
+    /// Creates an executor around an existing parameter set *and* running
+    /// statistics (checkpoint restore).
+    ///
+    /// # Errors
+    /// Returns an error if the graph cannot be memory-planned (e.g. it is
+    /// cyclic).
+    pub fn with_state(graph: Graph, params: ParamSet, running: RunningStatSet) -> Result<Self> {
         let plan = ExecutionPlan::for_graph(&graph)?;
         let workspace = Mutex::new(Workspace::for_plan(&plan));
-        Ok(Executor { graph, params, plan, workspace })
+        Ok(Executor { graph, params, plan, running, workspace })
     }
 
     /// The executor's graph.
@@ -243,6 +267,36 @@ impl Executor {
     /// Mutable access to the parameters (used by the optimizer).
     pub fn params_mut(&mut self) -> &mut ParamSet {
         &mut self.params
+    }
+
+    /// The executor's running (inference) Batch Normalization statistics.
+    pub fn running_stats(&self) -> &RunningStatSet {
+        &self.running
+    }
+
+    /// Replaces the running statistics wholesale (checkpoint restore).
+    pub fn set_running_stats(&mut self, running: RunningStatSet) {
+        self.running = running;
+    }
+
+    /// Folds the mini-batch statistics recorded by a (training-mode)
+    /// forward pass into the running EMA — one call per optimization step,
+    /// mirroring what training frameworks do inside their BN layers.
+    ///
+    /// # Errors
+    /// Returns an error when a tracked node's statistics are absent from
+    /// `fwd` (e.g. the result came from an eval-mode forward).
+    pub fn update_running_stats(&mut self, fwd: &ForwardResult) -> Result<()> {
+        let tracked: Vec<usize> = self.running.iter().map(|(idx, _)| *idx).collect();
+        for idx in tracked {
+            let id = NodeId::new(idx);
+            let stats = fwd.stats(id).ok_or_else(|| {
+                TrainError::Missing(format!("mini-batch statistics of {id} in forward result"))
+            })?;
+            let stats = stats.clone();
+            self.running.observe(id, &stats)?;
+        }
+        Ok(())
     }
 
     fn data_input(&self) -> Result<NodeId> {
@@ -317,7 +371,20 @@ impl Executor {
     /// Returns an error if an operation cannot be executed or shapes are
     /// inconsistent with the graph.
     pub fn forward(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
-        self.run_forward(data, labels, true)
+        self.run_forward(data, labels, true, StatsMode::Batch)
+    }
+
+    /// Runs the plan-driven forward pass with *inference* semantics: every
+    /// normalization uses the executor's running statistics instead of the
+    /// mini-batch's, so the output is independent of which samples share
+    /// the batch — exactly what a frozen graph computes.
+    ///
+    /// # Errors
+    /// Returns an error if an operation cannot be executed, shapes are
+    /// inconsistent with the graph, or a normalization has no running
+    /// statistics entry.
+    pub fn forward_eval(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
+        self.run_forward(data, labels, true, StatsMode::Running)
     }
 
     /// The reference forward pass: one freshly allocated buffer per node,
@@ -328,10 +395,24 @@ impl Executor {
     /// Returns an error if an operation cannot be executed or shapes are
     /// inconsistent with the graph.
     pub fn forward_naive(&self, data: &Tensor, labels: &[usize]) -> Result<ForwardResult> {
-        self.run_forward(data, labels, false)
+        self.run_forward(data, labels, false, StatsMode::Batch)
     }
 
-    fn run_forward(&self, data: &Tensor, labels: &[usize], planned: bool) -> Result<ForwardResult> {
+    /// The running statistics of node `id` as kernel-ready [`ChannelStats`].
+    fn running_channel_stats(&self, id: NodeId) -> Result<ChannelStats> {
+        self.running
+            .get(id)
+            .map(crate::running::RunningStats::as_channel_stats)
+            .ok_or_else(|| TrainError::Missing(format!("running statistics for {id}")))
+    }
+
+    fn run_forward(
+        &self,
+        data: &Tensor,
+        labels: &[usize],
+        planned: bool,
+        mode: StatsMode,
+    ) -> Result<ForwardResult> {
         let data_id = self.data_input()?;
         let expected = &self.graph.node(data_id)?.output_shape;
         expected.expect_same(data.shape()).map_err(TrainError::Tensor)?;
@@ -387,22 +468,40 @@ impl Executor {
                     let x = input_value(&self.plan, &values, node, 0)?;
                     let (w, b) = self.conv_params(node)?;
                     let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
-                    let s = conv2d_forward_with_stats_into(x, w, b, a, &mut out)?;
+                    let s = match mode {
+                        StatsMode::Batch => conv2d_forward_with_stats_into(x, w, b, a, &mut out)?,
+                        StatsMode::Running => {
+                            // Inference needs no batch statistics: run the
+                            // plain convolution and hand consumers the
+                            // running statistics instead.
+                            conv2d_forward_into(x, w, b, a, &mut out)?;
+                            self.running_channel_stats(id)?
+                        }
+                    };
                     stats[id.index()] = Some(s);
                     Some(out)
                 }
                 OpKind::BatchNorm(attrs) => {
                     let x = input_value(&self.plan, &values, node, 0)?;
                     let p = self.bn_params(node)?;
-                    let s = bn_statistics(x, attrs.one_pass_stats)?;
+                    let s = match mode {
+                        StatsMode::Batch => bn_statistics(x, attrs.one_pass_stats)?,
+                        StatsMode::Running => self.running_channel_stats(id)?,
+                    };
+                    stats[id.index()] = Some(s.clone());
                     let mut y = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
                     let x_hat = bn_normalize_into(x, &s, p, attrs.epsilon, &mut y)?;
                     states[id.index()] = Some(NodeState::Bn(BnForwardState { stats: s, x_hat }));
                     Some(y)
                 }
                 OpKind::SubBnStats(attrs) => {
-                    let x = input_value(&self.plan, &values, node, 0)?;
-                    let s = bn_statistics(x, attrs.one_pass_stats)?;
+                    let s = match mode {
+                        StatsMode::Batch => {
+                            let x = input_value(&self.plan, &values, node, 0)?;
+                            bn_statistics(x, attrs.one_pass_stats)?
+                        }
+                        StatsMode::Running => self.running_channel_stats(id)?,
+                    };
                     // The 2×C summary is assembled directly from the
                     // mean/var slices.
                     let mut summary = Vec::with_capacity(2 * s.channels());
@@ -453,7 +552,10 @@ impl Executor {
                         &mut out,
                     )?;
                     if let OpKind::NormReluConvStats { bn_out, .. } = &node.op {
-                        stats[id.index()] = Some(bn_statistics(&out, bn_out.one_pass_stats)?);
+                        stats[id.index()] = Some(match mode {
+                            StatsMode::Batch => bn_statistics(&out, bn_out.one_pass_stats)?,
+                            StatsMode::Running => self.running_channel_stats(id)?,
+                        });
                     }
                     states[id.index()] = Some(NodeState::NormReluConv(state));
                     Some(out)
@@ -495,7 +597,13 @@ impl Executor {
                 OpKind::ConcatStats(_) => {
                     let refs = input_values(&self.plan, &values, node)?;
                     let mut out = self.alloc_output(ws.as_deref_mut(), id, &node.output_shape);
-                    let s = concat_forward_with_stats_into(&refs, &mut out)?;
+                    let s = match mode {
+                        StatsMode::Batch => concat_forward_with_stats_into(&refs, &mut out)?,
+                        StatsMode::Running => {
+                            concat_forward_into(&refs, &mut out)?;
+                            self.running_channel_stats(id)?
+                        }
+                    };
                     stats[id.index()] = Some(s);
                     Some(out)
                 }
@@ -522,6 +630,13 @@ impl Executor {
                         }
                     };
                     Some(fc_forward(x, w, b)?)
+                }
+                OpKind::ConvRelu(_) | OpKind::ChannelAffine => {
+                    return Err(TrainError::Unsupported(format!(
+                        "'{}' is an inference-only operator; run frozen graphs on the \
+                         bnff-serve executor",
+                        node.name
+                    )));
                 }
                 OpKind::SoftmaxLoss => {
                     let x = input_value(&self.plan, &values, node, 0)?;
@@ -789,6 +904,12 @@ impl Executor {
                                 NodeParamGrads::Fc { d_weights: d_w, d_bias: d_b },
                             );
                             accumulate(&mut d_vals, node.inputs[0], d_x)?;
+                        }
+                        OpKind::ConvRelu(_) | OpKind::ChannelAffine => {
+                            return Err(TrainError::Unsupported(format!(
+                                "'{}' is an inference-only operator with no backward pass",
+                                node.name
+                            )));
                         }
                         OpKind::Input
                         | OpKind::SoftmaxLoss

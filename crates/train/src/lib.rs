@@ -51,18 +51,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod data;
 pub mod error;
 pub mod executor;
 pub mod optimizer;
 pub mod params;
+pub mod running;
 pub mod trainer;
 pub mod validate;
 
+pub use checkpoint::Checkpoint;
 pub use error::TrainError;
 pub use executor::{Executor, ForwardResult, Gradients};
 pub use optimizer::SgdOptimizer;
 pub use params::{NodeParams, ParamSet};
+pub use running::{RunningStatSet, RunningStats};
 pub use trainer::{TrainConfig, Trainer};
 
 /// Convenience result alias used across the crate.

@@ -7,10 +7,11 @@ use bnff_graph::{Graph, NodeId};
 use bnff_kernels::batchnorm::BnParams;
 use bnff_tensor::init::Initializer;
 use bnff_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The learnable parameters owned by one graph node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NodeParams {
     /// A convolution's filters and optional bias.
     Conv {
@@ -78,7 +79,7 @@ pub enum NodeParamGrads {
 }
 
 /// All parameters of a graph, keyed by node id index.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ParamSet {
     entries: HashMap<usize, NodeParams>,
 }

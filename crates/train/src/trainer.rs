@@ -94,6 +94,9 @@ impl Trainer {
         let (data, labels) = self.dataset.batch(self.config.batch_size, step_index as u64)?;
         let fwd = self.executor.forward(&data, &labels)?;
         let grads = self.executor.backward(&fwd)?;
+        // Fold this batch's BN statistics into the running EMA the eval
+        // forward (and the freeze pass) normalizes with.
+        self.executor.update_running_stats(&fwd)?;
         self.optimizer.step(self.executor.params_mut(), &grads)?;
         let metrics = StepMetrics { step: step_index, loss: fwd.loss, accuracy: fwd.accuracy };
         self.history.push(metrics);
@@ -115,11 +118,15 @@ impl Trainer {
     /// size as training, since the graph's input shape is fixed) without
     /// updating them.
     ///
+    /// Evaluation runs with *inference* semantics — running statistics, not
+    /// the held-out batch's — so the result does not depend on which
+    /// samples happen to share the evaluation batch.
+    ///
     /// # Errors
     /// Returns an error if the forward pass fails.
     pub fn evaluate(&self, seed: u64) -> Result<StepMetrics> {
         let (data, labels) = self.dataset.batch(self.config.batch_size, seed)?;
-        let fwd = self.executor.forward(&data, &labels)?;
+        let fwd = self.executor.forward_eval(&data, &labels)?;
         Ok(StepMetrics { step: usize::MAX, loss: fwd.loss, accuracy: fwd.accuracy })
     }
 }

@@ -13,6 +13,12 @@
 //!    ([`compare_training`]).
 //! 3. **Kernel-level equivalence** of the fused operators, covered by the
 //!    `bnff-kernels` test-suite.
+//! 4. **Inference equivalence** — the eval-mode forward pass (running
+//!    statistics) must match the frozen graph's output within `1e-5` for
+//!    every zoo model at every measured fusion level. The frozen executor
+//!    lives above this crate in `bnff-serve`, so the assertion itself runs
+//!    in that crate's test-suite and the workspace `serve_equivalence`
+//!    integration tests, both built on [`score_divergence`].
 
 use crate::data::SyntheticDataset;
 use crate::executor::Executor;
@@ -89,6 +95,16 @@ pub fn mvf_divergence(
         loss_diff: (fwd_base.loss - fwd_mvf.loss).abs(),
         max_grad_diff,
     })
+}
+
+/// Largest absolute element-wise difference between two score tensors —
+/// the metric the freeze-equivalence tests bound by `1e-5` when comparing
+/// an eval-mode forward against a frozen-graph inference.
+///
+/// # Errors
+/// Returns an error when the shapes differ.
+pub fn score_divergence(a: &Tensor, b: &Tensor) -> Result<f32> {
+    a.max_abs_diff(b).map_err(crate::TrainError::Tensor)
 }
 
 /// Result of training two graph variants on the same synthetic task.

@@ -1,0 +1,146 @@
+//! Property tests: a checkpoint's save → load cycle must be bit-identical
+//! for parameters, running statistics and topology — including ragged
+//! tensor shapes and graphs at every fusion level.
+
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_graph::passes::{BnffPass, Pass};
+use bnff_tensor::{Shape, Tensor};
+use bnff_train::checkpoint::Checkpoint;
+use bnff_train::params::NodeParams;
+use bnff_train::running::RunningStats;
+use bnff_train::Executor;
+use proptest::prelude::*;
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// A tensor of any (ragged) shape with arbitrary finite values
+    /// round-trips through JSON bit-for-bit.
+    #[test]
+    fn tensor_serde_round_trip_is_bit_identical(
+        dims in prop::collection::vec(1usize..5, 1..5),
+        seed in 0usize..1_000_000,
+    ) {
+        let shape = Shape::new(dims);
+        let volume = shape.volume();
+        // A value mix covering subnormals, huge magnitudes and exact zeros.
+        let data: Vec<f32> = (0..volume)
+            .map(|i| {
+                let k = (i + seed) % 7;
+                match k {
+                    0 => 0.0,
+                    1 => -1.5e-42,                         // subnormal
+                    2 => 3.4e38,                           // near f32::MAX
+                    3 => -(i as f32 + 0.1) * 1e-7,
+                    _ => ((i * 2654435761 + seed) % 10_007) as f32 * 0.001 - 5.0,
+                }
+            })
+            .collect();
+        let tensor = Tensor::from_vec(shape, data).unwrap();
+        let json = serde_json::to_string(&tensor).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.shape(), tensor.shape());
+        prop_assert_eq!(bits(back.as_slice()), bits(tensor.as_slice()));
+    }
+
+    /// A whole checkpoint (graph + params + running stats) round-trips
+    /// bit-identically, for ragged layer widths, at baseline and BNFF
+    /// fusion.
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical(
+        channels in 1usize..9,
+        kernel_odd in 0usize..2,
+        classes in 2usize..5,
+        seed in 0usize..10_000,
+        fused in 0usize..2,
+    ) {
+        let kernel = 1 + 2 * kernel_odd; // 1 or 3
+        let mut b = GraphBuilder::new("prop");
+        let batch = 2;
+        let x = b.input("data", Shape::nchw(batch, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(batch)).unwrap();
+        let c = b.conv_bn_relu(x, Conv2dAttrs::same(channels, kernel), "block").unwrap();
+        let c2 = b.bn_relu_conv(c, Conv2dAttrs::pointwise(channels + 1), "cpl").unwrap();
+        let gap = b.global_avg_pool(c2, "gap").unwrap();
+        let fc = b.fully_connected(gap, classes, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        let graph = if fused == 1 {
+            BnffPass::new().run(&b.finish()).unwrap()
+        } else {
+            b.finish()
+        };
+
+        let mut exec = Executor::new(graph, seed as u64 + 1).unwrap();
+        // Move the running statistics off identity with one training batch.
+        let mut init = bnff_tensor::init::Initializer::seeded(seed as u64 ^ 77);
+        let data = init.uniform(Shape::nchw(batch, 3, 8, 8), -1.0, 1.0);
+        let fwd = exec.forward(&data, &[0, 1]).unwrap();
+        exec.update_running_stats(&fwd).unwrap();
+
+        let ckpt = Checkpoint::capture(&exec);
+        let back = Checkpoint::from_json(&ckpt.to_json().unwrap()).unwrap();
+
+        // Topology: node-for-node identical.
+        prop_assert_eq!(&back.graph, &ckpt.graph);
+
+        // Parameters: bit-identical tensor by tensor.
+        for node in ckpt.graph.nodes() {
+            let (a, b) = (ckpt.params.get(node.id), back.params.get(node.id));
+            match (a, b) {
+                (None, None) => {}
+                (Some(pa), Some(pb)) => {
+                    prop_assert!(params_bits_equal(pa, pb), "params of '{}' differ", node.name);
+                }
+                _ => return Err(TestCaseError::fail(format!(
+                    "param presence differs for '{}'", node.name
+                ))),
+            }
+            let (ra, rb) = (ckpt.running.get(node.id), back.running.get(node.id));
+            match (ra, rb) {
+                (None, None) => {}
+                (Some(sa), Some(sb)) => {
+                    prop_assert!(running_bits_equal(sa, sb), "stats of '{}' differ", node.name);
+                }
+                _ => return Err(TestCaseError::fail(format!(
+                    "running-stats presence differs for '{}'", node.name
+                ))),
+            }
+        }
+        prop_assert_eq!(back.running.momentum().to_bits(), ckpt.running.momentum().to_bits());
+    }
+}
+
+fn params_bits_equal(a: &NodeParams, b: &NodeParams) -> bool {
+    match (a, b) {
+        (
+            NodeParams::Conv { weights: wa, bias: ba },
+            NodeParams::Conv { weights: wb, bias: bb },
+        ) => {
+            bits(wa.as_slice()) == bits(wb.as_slice())
+                && ba.as_deref().map(bits) == bb.as_deref().map(bits)
+        }
+        (NodeParams::Bn(pa), NodeParams::Bn(pb)) => {
+            bits(&pa.gamma) == bits(&pb.gamma) && bits(&pa.beta) == bits(&pb.beta)
+        }
+        (
+            NodeParams::ConvBn { weights: wa, bias: ba, bn: pa },
+            NodeParams::ConvBn { weights: wb, bias: bb, bn: pb },
+        ) => {
+            bits(wa.as_slice()) == bits(wb.as_slice())
+                && ba.as_deref().map(bits) == bb.as_deref().map(bits)
+                && bits(&pa.gamma) == bits(&pb.gamma)
+                && bits(&pa.beta) == bits(&pb.beta)
+        }
+        (NodeParams::Fc { weights: wa, bias: ba }, NodeParams::Fc { weights: wb, bias: bb }) => {
+            bits(wa.as_slice()) == bits(wb.as_slice()) && bits(ba) == bits(bb)
+        }
+        _ => false,
+    }
+}
+
+fn running_bits_equal(a: &RunningStats, b: &RunningStats) -> bool {
+    bits(&a.mean) == bits(&b.mean) && bits(&a.var) == bits(&b.var)
+}

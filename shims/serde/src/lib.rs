@@ -2,19 +2,22 @@
 //!
 //! The build environment has no access to crates.io, so this crate provides
 //! an API-compatible stand-in: a [`Serialize`] trait that lowers values into
-//! the [`value::Value`] JSON data model, re-exported derive macros, and a
-//! no-op `Deserialize` derive (nothing in the workspace deserializes yet).
+//! the [`value::Value`] JSON data model, a [`Deserialize`] trait that lifts
+//! values back out of it (the checkpoint subsystem round-trips models
+//! through JSON), and re-exported derive macros for both.
 //!
 //! The design intentionally deviates from real serde's visitor architecture:
-//! the workspace only ever serializes *to JSON*, so `Serialize` produces a
-//! `Value` tree directly and `serde_json` pretty-prints it. Swapping back to
-//! the real crates is a `[workspace.dependencies]` edit in the root manifest.
+//! the workspace only ever (de)serializes *JSON*, so `Serialize` produces a
+//! `Value` tree directly, `Deserialize` consumes one, and `serde_json`
+//! prints/parses the tree. Swapping back to the real crates is a
+//! `[workspace.dependencies]` edit in the root manifest.
 
 pub mod value;
 
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use value::Value;
 
 /// Types that can be lowered into the JSON [`Value`] data model.
@@ -199,6 +202,235 @@ impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+/// Error produced when a [`Value`] tree cannot be lifted into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// An "expected X, got Y" mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {got}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be lifted back out of the JSON [`Value`] data model.
+///
+/// The same-named derive macro implements this for structs and enums using
+/// the exact conventions the [`Serialize`] derive emits, so any derived type
+/// round-trips through [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape does not match the type.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // The serializer prints non-finite floats as `null`; lifting
+            // that back as NaN would silently corrupt values (a +inf weight
+            // becoming NaN), so refuse instead of guessing.
+            Value::Null => Err(DeError::new(
+                "null where a number was expected (non-finite floats do not round-trip)",
+            )),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // The serializer emits the f32's shortest round-trip decimal form;
+        // parsing it as f64 and narrowing recovers the original bit pattern
+        // for every finite value (shortest f32 decimals are never close
+        // enough to an f32 rounding boundary for the double rounding through
+        // f64 to land differently).
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $arity:literal))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $arity => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", stringify!($arity)),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+}
+
+/// Map keys parsed back from their JSON object-key string form.
+pub trait DeserializeKey: Sized {
+    /// Parses the key from its JSON string form.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the string is not a valid key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_deserialize_key_int {
+    ($($t:ty),*) => {$(
+        impl DeserializeKey for $t {
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse::<$t>().map_err(|_| {
+                    DeError::new(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: DeserializeKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 

@@ -54,7 +54,45 @@ fn float_repr(f: f64) -> String {
     }
 }
 
+/// The shared `Null` constant the derive-generated deserializers substitute
+/// for absent object fields (so `Option` fields read as `None`).
+pub const NULL: Value = Value::Null;
+
+/// Looks up a field of an object's entry list by key.
+pub fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 impl Value {
+    /// The entry list if the value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The item list if the value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The field of an object value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|entries| field(entries, key))
+    }
+
     /// Renders the value as compact single-line JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

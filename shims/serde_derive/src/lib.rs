@@ -35,12 +35,134 @@ pub fn derive_serialize(item: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive: generated impl failed to parse")
 }
 
-/// No-op `Deserialize` derive: the workspace never deserializes, but the
-/// derive must exist so `#[derive(Deserialize)]` and
-/// `use serde::Deserialize` compile.
+/// Derives the shim's `serde::Deserialize` for a non-generic struct or
+/// enum, inverting the exact `Value` conventions the `Serialize` derive
+/// emits so derived types round-trip through the JSON data model.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let parsed = parse_item(&tokens);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                     serde::DeError::expected(\"object for {name}\", value))?;\n\
+                 Ok({name} {{ {inits} }})",
+                inits = named_field_inits(fields),
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                     serde::DeError::expected(\"array for {name}\", value))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(serde::DeError::expected(\"array of {arity} for {name}\", value));\n\
+                 }}\n\
+                 Ok({name}({inits}))",
+                inits = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        }
+        Shape::UnitStruct => format!("let _ = value; Ok({name})"),
+        Shape::Enum(variants) => enum_from_value(name, variants),
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(\n\
+                 value: &serde::value::Value,\n\
+             ) -> ::std::result::Result<{name}, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+/// `field: Deserialize::from_value(obj["field"] or Null)?, ...` initializers
+/// for a named-field struct or struct-like enum variant.
+fn named_field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(\
+                     serde::value::field(obj, \"{f}\").unwrap_or(&serde::value::NULL))?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The externally-tagged enum deserializer: unit variants arrive as strings,
+/// data-carrying variants as single-entry `{ "Variant": payload }` objects.
+fn enum_from_value(type_name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => return Ok({type_name}::{vname}),\n"));
+            }
+            VariantShape::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => return Ok({type_name}::{vname}(\
+                         serde::Deserialize::from_value(payload)?)),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let inits = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let items = payload.as_array().ok_or_else(|| \
+                             serde::DeError::expected(\"array for {type_name}::{vname}\", payload))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return Err(serde::DeError::expected(\
+                                 \"array of {arity} for {type_name}::{vname}\", payload));\n\
+                         }}\n\
+                         return Ok({type_name}::{vname}({inits}));\n\
+                     }}\n"
+                ));
+            }
+            VariantShape::Named(fields) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let obj = payload.as_object().ok_or_else(|| \
+                             serde::DeError::expected(\"object for {type_name}::{vname}\", payload))?;\n\
+                         return Ok({type_name}::{vname} {{ {inits} }});\n\
+                     }}\n",
+                    inits = named_field_inits(fields),
+                ));
+            }
+        }
+    }
+    format!(
+        "if let Some(tag) = value.as_str() {{\n\
+             match tag {{\n\
+                 {unit_arms}\
+                 _ => {{}}\n\
+             }}\n\
+         }}\n\
+         if let Some(entries) = value.as_object() {{\n\
+             if entries.len() == 1 {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\
+                     _ => {{}}\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         Err(serde::DeError::expected(\"variant of {type_name}\", value))"
+    )
 }
 
 enum Shape {

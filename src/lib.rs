@@ -37,6 +37,7 @@
 //!
 //! See the crate-level docs of each re-exported module for the details:
 //! [`tensor`], [`graph`], [`kernels`], [`memsim`], [`models`], [`train`],
+//! [`serve`] (frozen-graph inference + dynamic batching),
 //! [`core`] and [`parallel`] (the thread pool behind the kernels; set
 //! `BNFF_THREADS` to bound it). `ARCHITECTURE.md` at the workspace root
 //! maps every crate to the paper sections it reproduces.
@@ -47,6 +48,7 @@ pub use bnff_kernels as kernels;
 pub use bnff_memsim as memsim;
 pub use bnff_models as models;
 pub use bnff_parallel as parallel;
+pub use bnff_serve as serve;
 pub use bnff_tensor as tensor;
 pub use bnff_train as train;
 
