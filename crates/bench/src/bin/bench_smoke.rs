@@ -95,12 +95,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let single_exec = bnff_train::Executor::new(single, 9)?;
     let image = init.uniform(Shape::nchw(1, 3, 32, 32), -1.0, 1.0);
     let image_labels = vec![0usize];
-    report.measure("single_image_training_eval_forward", None, 3, budget, || {
-        single_exec.forward_eval(&image, &image_labels).unwrap();
-    });
+    // The single-image records feed the CI-gated `tape_over_interpreted`
+    // summary, so they use the interleaved min-of-windows estimator: a
+    // host load spike cannot sink the ratio, and all three forwards sample
+    // the same frequency/thermal regimes instead of the first one pocketing
+    // the boost clock. `single_image_tape_forward` is the serving hot path
+    // proper — the same frozen graph compiled to a linear instruction tape
+    // (pre-resolved kernel recipes and arena offsets, no per-node
+    // dispatch); the frozen record is its per-node interpreted baseline.
+    // All three run under a pinned 4-worker pool, the condition the serve
+    // engine actually executes under: per-node walkers fan every kernel
+    // out to the pool, while the tape's compile-time FLOPs analysis pins
+    // this sub-100-MFLOP model to one worker — that whole-program serial
+    // hint is part of what the ratio measures, and pinning the pool size
+    // makes the snapshot reproducible across hosts with different core
+    // counts.
     let frozen = FrozenModel::from_executor(&single_exec)?.executor(1)?;
-    report.measure("single_image_frozen_forward", None, 3, budget, || {
-        frozen.infer(&image).unwrap();
+    with_threads(4, || {
+        report.measure_min_interleaved(
+            7,
+            3,
+            budget,
+            &mut [
+                ("single_image_training_eval_forward", None, &mut || {
+                    single_exec.forward_eval(&image, &image_labels).unwrap();
+                }),
+                ("single_image_frozen_forward", None, &mut || {
+                    frozen.infer_interpreted(&image).unwrap();
+                }),
+                ("single_image_tape_forward", None, &mut || {
+                    frozen.infer(&image).unwrap();
+                }),
+            ],
+        );
     });
 
     let blocked_speedup =
@@ -114,6 +141,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .speedup("single_image_frozen_forward", "single_image_training_eval_forward")
         .unwrap_or(0.0);
     report.summarize("frozen_over_training_single_image", frozen_speedup);
+    let tape_speedup =
+        report.speedup("single_image_tape_forward", "single_image_frozen_forward").unwrap_or(0.0);
+    report.summarize("tape_over_interpreted", tape_speedup);
+    let tape_over_training = report
+        .speedup("single_image_tape_forward", "single_image_training_eval_forward")
+        .unwrap_or(0.0);
+    report.summarize("tape_over_training_single_image", tape_over_training);
 
     let rows: Vec<Vec<String>> = report
         .records
@@ -131,6 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "frozen-graph speedup over training eval forward (single image): {frozen_speedup:.2}x"
     );
+    println!("tape speedup over interpreted frozen walk (single image): {tape_speedup:.2}x");
 
     std::fs::write(&out_path, report.to_json()?)?;
     println!("wrote {out_path}");

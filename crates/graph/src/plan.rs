@@ -334,6 +334,21 @@ impl ExecutionPlan {
         &self.slot_bytes
     }
 
+    /// Byte offset of each reuse slot when the slots are laid out back to
+    /// back in one contiguous arena, each aligned to `align` bytes. A tape
+    /// compiler resolves these once so no slot lookup survives to request
+    /// time.
+    pub fn slot_offsets(&self, align: usize) -> Vec<usize> {
+        let align = align.max(1);
+        let mut offsets = Vec::with_capacity(self.slot_bytes.len());
+        let mut off = 0usize;
+        for &bytes in &self.slot_bytes {
+            offsets.push(off);
+            off += bytes.div_ceil(align) * align;
+        }
+        offsets
+    }
+
     /// Peak bytes of node outputs the planned execution holds at once.
     pub fn planned_peak_bytes(&self) -> usize {
         self.saved_bytes + self.slot_bytes.iter().sum::<usize>()
@@ -405,6 +420,24 @@ mod tests {
         for pos in 0..g.node_count() {
             assert!(!plan.released_after(pos).contains(&ids[3].index()));
         }
+    }
+
+    #[test]
+    fn slot_offsets_are_aligned_disjoint_prefix_sums() {
+        let (g, _) = conv_chain();
+        let plan = ExecutionPlan::for_graph(&g).unwrap();
+        let offsets = plan.slot_offsets(64);
+        let sizes = plan.slot_sizes();
+        assert_eq!(offsets.len(), sizes.len());
+        for (i, (&off, &bytes)) in offsets.iter().zip(sizes.iter()).enumerate() {
+            assert_eq!(off % 64, 0, "slot {i} offset {off} unaligned");
+            if let Some(&next) = offsets.get(i + 1) {
+                assert!(off + bytes <= next, "slot {i} overlaps its successor");
+            }
+        }
+        // Degenerate alignment of 0 is clamped rather than dividing by zero.
+        let tight = plan.slot_offsets(0);
+        assert_eq!(tight.len(), sizes.len());
     }
 
     #[test]

@@ -74,6 +74,94 @@ pub fn channel_affine_into(
     shift: &[f32],
     out: &mut Tensor,
 ) -> Result<()> {
+    channel_affine_into_impl(x, scale, shift, out, false)
+}
+
+/// `y = max(scale[c]·x + shift[c], 0)`: [`channel_affine_into`] with the
+/// ReLU clamp fused into the same write sweep, so a frozen
+/// `affine → ReLU` pair costs one pass instead of two. Bit-identical to
+/// running the two kernels back to back — `max(·, 0)` of the stored value
+/// equals `max(·, 0)` of the just-computed value.
+///
+/// # Errors
+/// Returns an error if shapes or channel counts disagree.
+pub fn channel_affine_relu_into(
+    x: &Tensor,
+    scale: &[f32],
+    shift: &[f32],
+    out: &mut Tensor,
+) -> Result<()> {
+    channel_affine_into_impl(x, scale, shift, out, true)
+}
+
+/// In-place [`channel_affine_into`]: `x = scale[c]·x + shift[c]`
+/// overwriting the input buffer. Each element is read once and written
+/// once, so the result is bit-identical to the out-of-place kernel; a tape
+/// executor uses this when the planner proved the input buffer dead and
+/// recycled it for the output.
+///
+/// # Errors
+/// Returns an error if channel counts disagree.
+pub fn channel_affine_in_place(x: &mut Tensor, scale: &[f32], shift: &[f32]) -> Result<()> {
+    channel_affine_in_place_impl(x, scale, shift, false)
+}
+
+/// In-place [`channel_affine_relu_into`]: `x = max(scale[c]·x + shift[c],
+/// 0)` overwriting the input buffer (see [`channel_affine_in_place`]).
+///
+/// # Errors
+/// Returns an error if channel counts disagree.
+pub fn channel_affine_relu_in_place(x: &mut Tensor, scale: &[f32], shift: &[f32]) -> Result<()> {
+    channel_affine_in_place_impl(x, scale, shift, true)
+}
+
+fn channel_affine_in_place_impl(
+    x: &mut Tensor,
+    scale: &[f32],
+    shift: &[f32],
+    fuse_relu: bool,
+) -> Result<()> {
+    let c = affine_channels(x)?;
+    if scale.len() != c || shift.len() != c {
+        return Err(KernelError::ShapeMismatch(format!(
+            "input has {c} channels but coefficients have {} / {}",
+            scale.len(),
+            shift.len()
+        )));
+    }
+    let plane_len = x.shape().volume() / (x.shape().dim(0).unwrap_or(1).max(1) * c.max(1));
+    let plane_len = plane_len.max(1);
+    parallel_rows_mut(
+        x.as_mut_slice(),
+        plane_len,
+        min_items_per_thread(plane_len.saturating_mul(2)),
+        |first_plane, block| {
+            for (p_local, plane) in block.chunks_mut(plane_len).enumerate() {
+                let p = first_plane + p_local;
+                let ci = p % c;
+                let (s, b) = (scale[ci], shift[ci]);
+                if fuse_relu {
+                    for v in plane.iter_mut() {
+                        *v = (s * *v + b).max(0.0);
+                    }
+                } else {
+                    for v in plane.iter_mut() {
+                        *v = s * *v + b;
+                    }
+                }
+            }
+        },
+    );
+    Ok(())
+}
+
+fn channel_affine_into_impl(
+    x: &Tensor,
+    scale: &[f32],
+    shift: &[f32],
+    out: &mut Tensor,
+    fuse_relu: bool,
+) -> Result<()> {
     let c = affine_channels(x)?;
     if scale.len() != c || shift.len() != c {
         return Err(KernelError::ShapeMismatch(format!(
@@ -98,8 +186,14 @@ pub fn channel_affine_into(
                 let ci = p % c;
                 let (s, b) = (scale[ci], shift[ci]);
                 let src_plane = &src[p * plane_len..(p + 1) * plane_len];
-                for (dst, &v) in plane.iter_mut().zip(src_plane) {
-                    *dst = s * v + b;
+                if fuse_relu {
+                    for (dst, &v) in plane.iter_mut().zip(src_plane) {
+                        *dst = (s * v + b).max(0.0);
+                    }
+                } else {
+                    for (dst, &v) in plane.iter_mut().zip(src_plane) {
+                        *dst = s * v + b;
+                    }
                 }
             }
         },
@@ -159,6 +253,30 @@ mod tests {
                 .unwrap();
         let affine = channel_affine(&x, &scale, &shift).unwrap();
         assert!(affine.all_close(&reference, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn fused_relu_matches_two_kernels_and_in_place_matches_fused() {
+        let mut init = Initializer::seeded(5);
+        let x = init.uniform(Shape::nchw(2, 3, 4, 4), -2.0, 2.0);
+        let scale = [1.5, -0.5, 0.25];
+        let shift = [0.1, -0.3, 0.0];
+        let affine = channel_affine(&x, &scale, &shift).unwrap();
+        let mut fused = Tensor::zeros(x.shape().clone());
+        channel_affine_relu_into(&x, &scale, &shift, &mut fused).unwrap();
+        for (f, a) in fused.as_slice().iter().zip(affine.as_slice()) {
+            assert_eq!(f.to_bits(), a.max(0.0).to_bits());
+        }
+        let mut in_place = x.clone();
+        channel_affine_relu_in_place(&mut in_place, &scale, &shift).unwrap();
+        for (i, f) in in_place.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(i.to_bits(), f.to_bits());
+        }
+        let mut plain = x.clone();
+        channel_affine_in_place(&mut plain, &scale, &shift).unwrap();
+        for (p, a) in plain.as_slice().iter().zip(affine.as_slice()) {
+            assert_eq!(p.to_bits(), a.to_bits());
+        }
     }
 
     #[test]

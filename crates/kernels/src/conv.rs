@@ -8,7 +8,7 @@
 //! thread-count-independent results.
 
 use crate::error::KernelError;
-use crate::gemm::{gemm, gemm_tn};
+use crate::gemm::{gemm, gemm_im2col, gemm_tn, Im2colView};
 use crate::im2col::{col2im_accumulate, col_shape, conv_out_dim, im2col_into};
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
@@ -213,15 +213,69 @@ pub fn conv2d_forward_relu_into(
     conv2d_forward_into_impl(input, weights, bias, attrs, out, true)
 }
 
-fn conv2d_forward_into_impl(
+/// Convolution forward pass with the im2col lowering **fused into the GEMM's
+/// B-packing**: window elements are gathered straight from the input sample
+/// while the `KC × NR` strips are packed, so the `(C·Kh·Kw) × (Ho·Wo)` column
+/// matrix is never written or re-read. Bit-identical to
+/// [`conv2d_forward_into`] (same microkernel, bitwise-equal packed panels,
+/// same accumulation order, same bias/ReLU epilogues) — this is the entry
+/// point the serving tape dispatches its pre-resolved conv recipes to.
+///
+/// # Errors
+/// Returns an error if the shapes (including `out`'s) are inconsistent.
+pub fn conv2d_forward_gather_into(
     input: &Tensor,
     weights: &Tensor,
     bias: Option<&[f32]>,
     attrs: &Conv2dAttrs,
-    out: &mut Tensor,
     fuse_relu: bool,
+    out: &mut Tensor,
 ) -> Result<()> {
-    let (_in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    let (in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    check_bias(bias, attrs)?;
+    let n = input.shape().n();
+    let (h, w) = (input.shape().h(), input.shape().w());
+    let (rows, cols) = col_shape(input.shape(), attrs)?;
+    let expected = Shape::nchw(n, attrs.out_channels, out_h, out_w);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, convolution produces {}",
+            out.shape(),
+            expected
+        )));
+    }
+    let w_mat = weights.as_slice();
+    let pointwise = is_pointwise(attrs);
+    for ni in 0..n {
+        let start = out.shape().offset4(ni, 0, 0, 0);
+        let out_slice = &mut out.as_mut_slice()[start..start + attrs.out_channels * cols];
+        let in_start = input.shape().offset4(ni, 0, 0, 0);
+        let sample = &input.as_slice()[in_start..in_start + in_c * h * w];
+        if pointwise {
+            // The sample already is the column matrix; same path as the
+            // materializing kernel.
+            gemm(attrs.out_channels, cols, rows, 1.0, w_mat, sample, 0.0, out_slice)?;
+        } else {
+            let view = Im2colView {
+                sample,
+                channels: in_c,
+                in_h: h,
+                in_w: w,
+                kernel_h: attrs.kernel_h,
+                kernel_w: attrs.kernel_w,
+                stride: attrs.stride,
+                pad: attrs.pad,
+                out_h,
+                out_w,
+            };
+            gemm_im2col(attrs.out_channels, cols, rows, 1.0, w_mat, view, 0.0, out_slice)?;
+        }
+        apply_bias_relu(out_slice, bias, cols, fuse_relu);
+    }
+    Ok(())
+}
+
+fn check_bias(bias: Option<&[f32]>, attrs: &Conv2dAttrs) -> Result<()> {
     if let Some(b) = bias {
         if b.len() != attrs.out_channels {
             return Err(KernelError::ShapeMismatch(format!(
@@ -231,6 +285,38 @@ fn conv2d_forward_into_impl(
             )));
         }
     }
+    Ok(())
+}
+
+/// The shared convolution epilogue: per-output-channel bias add and the
+/// optional fused ReLU clamp, applied to one sample's output plane run.
+/// Both forward entry points use this same code so their results stay
+/// bit-identical.
+fn apply_bias_relu(out_slice: &mut [f32], bias: Option<&[f32]>, cols: usize, fuse_relu: bool) {
+    if let Some(b) = bias {
+        for (oc, &bv) in b.iter().enumerate() {
+            for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
+                *v += bv;
+            }
+        }
+    }
+    if fuse_relu {
+        for v in out_slice.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+}
+
+fn conv2d_forward_into_impl(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+    fuse_relu: bool,
+) -> Result<()> {
+    let (_in_c, out_h, out_w) = check_conv(input, weights, attrs)?;
+    check_bias(bias, attrs)?;
     let n = input.shape().n();
     let (rows, cols) = col_shape(input.shape(), attrs)?;
     let expected = Shape::nchw(n, attrs.out_channels, out_h, out_w);
@@ -257,18 +343,7 @@ fn conv2d_forward_into_impl(
             im2col_into(input, ni, attrs, &mut col)?;
             gemm(attrs.out_channels, cols, rows, 1.0, w_mat, &col, 0.0, out_slice)?;
         }
-        if let Some(b) = bias {
-            for oc in 0..attrs.out_channels {
-                for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
-                    *v += b[oc];
-                }
-            }
-        }
-        if fuse_relu {
-            for v in out_slice.iter_mut() {
-                *v = v.max(0.0);
-            }
-        }
+        apply_bias_relu(out_slice, bias, cols, fuse_relu);
     }
     COL_POOL.give(col);
     Ok(())
@@ -452,6 +527,48 @@ mod tests {
         let direct = conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
         let lowered = conv2d_forward_im2col(&x, &w, None, &attrs).unwrap();
         assert!(direct.all_close(&lowered, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn gather_path_is_bit_identical_to_materialized() {
+        // Strided, padded, pointwise and biased variants, with and without
+        // the fused ReLU; the gather path must match bit for bit.
+        for (case, attrs, in_c, hw) in [
+            ("same3x3", Conv2dAttrs::same_3x3(6), 4usize, 9usize),
+            ("strided", Conv2dAttrs::new(5, 3, 2, 1), 4, 9),
+            ("pointwise", Conv2dAttrs::pointwise(7), 3, 8),
+            ("biased", Conv2dAttrs::new(6, 5, 2, 2).with_bias(), 2, 11),
+        ] {
+            let x = random(Shape::nchw(2, in_c, hw, hw), 3);
+            let w =
+                random(Shape::nchw(attrs.out_channels, in_c, attrs.kernel_h, attrs.kernel_w), 4);
+            let bias: Option<Vec<f32>> =
+                attrs.bias.then(|| (0..attrs.out_channels).map(|i| i as f32 * 0.3 - 0.5).collect());
+            for fuse_relu in [false, true] {
+                let (_, oh, ow) = check_conv(&x, &w, &attrs).unwrap();
+                let shape = Shape::nchw(2, attrs.out_channels, oh, ow);
+                let mut reference = Tensor::zeros(shape.clone());
+                if fuse_relu {
+                    conv2d_forward_relu_into(&x, &w, bias.as_deref(), &attrs, &mut reference)
+                        .unwrap();
+                } else {
+                    conv2d_forward_into(&x, &w, bias.as_deref(), &attrs, &mut reference).unwrap();
+                }
+                let mut gathered = Tensor::zeros(shape);
+                conv2d_forward_gather_into(
+                    &x,
+                    &w,
+                    bias.as_deref(),
+                    &attrs,
+                    fuse_relu,
+                    &mut gathered,
+                )
+                .unwrap();
+                let ref_bits: Vec<u32> = reference.as_slice().iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u32> = gathered.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, ref_bits, "{case} relu={fuse_relu}");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,21 @@ fn flatten_dims(x: &Tensor) -> Result<(usize, usize)> {
 /// # Errors
 /// Returns an error if the dimensions are inconsistent.
 pub fn fc_forward(x: &Tensor, weights: &Tensor, bias: &[f32]) -> Result<Tensor> {
+    let (n, _) = flatten_dims(x)?;
+    let out_features = weights.shape().dim(0).map_err(KernelError::Tensor)?;
+    let mut out = Tensor::zeros(Shape::matrix(n, out_features));
+    fc_forward_into(x, weights, bias, &mut out)?;
+    Ok(out)
+}
+
+/// [`fc_forward`] into a caller-provided `(N, out)` output tensor, so a
+/// plan-driven executor can hand the classifier head a recycled buffer.
+/// Every element of `out` is overwritten (the GEMM's `beta == 0` path never
+/// reads it).
+///
+/// # Errors
+/// Returns an error if the dimensions (including `out`'s) are inconsistent.
+pub fn fc_forward_into(x: &Tensor, weights: &Tensor, bias: &[f32], out: &mut Tensor) -> Result<()> {
     let (n, in_features) = flatten_dims(x)?;
     let out_features = weights.shape().dim(0).map_err(KernelError::Tensor)?;
     if weights.len() != out_features * in_features {
@@ -36,17 +51,20 @@ pub fn fc_forward(x: &Tensor, weights: &Tensor, bias: &[f32]) -> Result<Tensor> 
             bias.len()
         )));
     }
-    let mut out = Tensor::zeros(Shape::matrix(n, out_features));
+    if out.len() != n * out_features {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, fully-connected produces ({n}, {out_features})",
+            out.shape()
+        )));
+    }
     // y (N x out) = x (N x in) · Wᵀ (in x out)
     gemm_nt(n, out_features, in_features, x.as_slice(), weights.as_slice(), out.as_mut_slice())?;
-    for row in 0..n {
-        for (j, b) in bias.iter().enumerate() {
-            let idx = row * out_features + j;
-            let v = out.get(idx)? + b;
-            out.set(idx, v)?;
+    for row in out.as_mut_slice().chunks_mut(out_features) {
+        for (v, b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Fully-connected backward pass.

@@ -89,6 +89,41 @@ enum Operand<'a> {
     /// The transpose of the logical matrix, row-major (so logical `(i, j)`
     /// lives at `data[j * rows + i]`).
     Transposed(&'a [f32]),
+    /// A convolution's im2col column matrix, described by its geometry and
+    /// gathered from the input sample during packing (B side only).
+    Im2col(Im2colView<'a>),
+}
+
+/// A *virtual* `B` operand for the convolution GEMM: the im2col column
+/// matrix of one sample, described by its geometry instead of being
+/// materialized. [`gemm_im2col`] packs window elements straight from the
+/// sample's `C × H × W` plane into the `KC × NR` strips the microkernel
+/// consumes. The packed strips are bit-identical to packing a materialized
+/// column matrix (same values, same zero padding), so the product is
+/// bit-identical to the two-step `im2col → gemm` lowering — while skipping
+/// one full write plus one full read of the `(C·Kh·Kw) × (Ho·Wo)` matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colView<'a> {
+    /// One sample's `C × H × W` values, contiguous.
+    pub sample: &'a [f32],
+    /// Input channels `C`.
+    pub channels: usize,
+    /// Input height `H`.
+    pub in_h: usize,
+    /// Input width `W`.
+    pub in_w: usize,
+    /// Filter height `Kh`.
+    pub kernel_h: usize,
+    /// Filter width `Kw`.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height `Ho`.
+    pub out_h: usize,
+    /// Output width `Wo`.
+    pub out_w: usize,
 }
 
 /// Packs the `mc × kc` block of logical `A` starting at `(row0, pc)` into
@@ -131,6 +166,9 @@ fn pack_a(a: Operand<'_>, m: usize, row0: usize, mc: usize, pc: usize, kc: usize
                     }
                 }
             }
+            Operand::Im2col(_) => {
+                unreachable!("im2col operands only appear on the B side of a multiply")
+            }
         }
     }
 }
@@ -168,6 +206,42 @@ fn pack_b_strip(
                 let step = &mut strip[kk * NR..(kk + 1) * NR];
                 for (j, slot) in step.iter_mut().enumerate() {
                     *slot = if j < nr_eff { data[(col0 + j) * k + pc + kk] } else { 0.0 };
+                }
+            }
+        }
+        Operand::Im2col(v) => {
+            // Logical element (kk, j) of the column matrix is input value
+            // `(ci, oh·s + kh − pad, ow·s + kw − pad)` with zeros outside
+            // the image — exactly what `im2col` would have written. The
+            // per-column window origins are fixed across the strip, so they
+            // are resolved once (one div/mod per column, not per element).
+            let mut ih_base = [0isize; NR];
+            let mut iw_base = [0isize; NR];
+            for j in 0..nr_eff {
+                let col = col0 + j;
+                ih_base[j] = ((col / v.out_w) * v.stride) as isize - v.pad as isize;
+                iw_base[j] = ((col % v.out_w) * v.stride) as isize - v.pad as isize;
+            }
+            let plane_len = v.in_h * v.in_w;
+            for kk in 0..kc {
+                let row = pc + kk;
+                let kw_off = (row % v.kernel_w) as isize;
+                let kh_off = ((row / v.kernel_w) % v.kernel_h) as isize;
+                let ci = row / (v.kernel_w * v.kernel_h);
+                let plane = &v.sample[ci * plane_len..(ci + 1) * plane_len];
+                let step = &mut strip[kk * NR..(kk + 1) * NR];
+                for (j, slot) in step.iter_mut().enumerate() {
+                    *slot = if j < nr_eff {
+                        let ih = ih_base[j] + kh_off;
+                        let iw = iw_base[j] + kw_off;
+                        if ih >= 0 && iw >= 0 && (ih as usize) < v.in_h && (iw as usize) < v.in_w {
+                            plane[ih as usize * v.in_w + iw as usize]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
@@ -355,6 +429,39 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     check_len(b.len(), k, n, "b")?;
     check_len(c.len(), m, n, "c")?;
     gemm_packed(m, n, k, 1.0, Operand::Transposed(a), Operand::Normal(b), 0.0, c);
+    Ok(())
+}
+
+/// `c = alpha * a·B + beta * c` where `a` is `m×k` row-major and `B` is the
+/// `k×n` im2col column matrix described by an [`Im2colView`] — gathered
+/// during packing, never materialized. Bit-identical to materializing the
+/// column matrix and calling [`gemm`]: the microkernel consumes bitwise
+/// equal packed panels in the same accumulation order.
+///
+/// # Errors
+/// Returns [`KernelError::ShapeMismatch`] when the slice lengths or the
+/// view's geometry do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_im2col(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: Im2colView<'_>,
+    beta: f32,
+    c: &mut [f32],
+) -> Result<()> {
+    check_len(a.len(), m, k, "a")?;
+    check_len(c.len(), m, n, "c")?;
+    check_len(b.sample.len(), b.channels, b.in_h * b.in_w, "im2col sample")?;
+    if k != b.channels * b.kernel_h * b.kernel_w || n != b.out_h * b.out_w {
+        return Err(KernelError::ShapeMismatch(format!(
+            "im2col view ({}·{}·{} rows, {}·{} cols) does not describe a {k}x{n} matrix",
+            b.channels, b.kernel_h, b.kernel_w, b.out_h, b.out_w
+        )));
+    }
+    gemm_packed(m, n, k, alpha, Operand::Normal(a), Operand::Im2col(b), beta, c);
     Ok(())
 }
 
@@ -559,6 +666,84 @@ mod tests {
         for (x, y) in packed.iter().zip(streamed.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn gemm_im2col_is_bit_identical_to_materialized() {
+        // Geometries straddling KC/NC edges and exercising stride + padding.
+        for &(channels, in_h, in_w, kernel, stride, pad, m) in &[
+            (3usize, 8usize, 8usize, 3usize, 1usize, 1usize, 5usize),
+            (32, 10, 10, 3, 2, 1, MC + 2),
+            (40, 9, 7, 3, 1, 0, 4),
+            (2, 33, 33, 5, 2, 2, 7),
+        ] {
+            let out_h = (in_h + 2 * pad - kernel) / stride + 1;
+            let out_w = (in_w + 2 * pad - kernel) / stride + 1;
+            let k = channels * kernel * kernel;
+            let n = out_h * out_w;
+            let sample: Vec<f32> =
+                (0..channels * in_h * in_w).map(|i| ((i * 31 % 23) as f32 - 11.0) * 0.37).collect();
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 29 % 17) as f32 - 8.0) * 0.21).collect();
+            // Materialize the column matrix the view describes.
+            let mut col = vec![0.0f32; k * n];
+            for row in 0..k {
+                let kw = row % kernel;
+                let kh = (row / kernel) % kernel;
+                let ci = row / (kernel * kernel);
+                for j in 0..n {
+                    let ih = ((j / out_w) * stride + kh) as isize - pad as isize;
+                    let iw = ((j % out_w) * stride + kw) as isize - pad as isize;
+                    if ih >= 0 && iw >= 0 && (ih as usize) < in_h && (iw as usize) < in_w {
+                        col[row * n + j] =
+                            sample[ci * in_h * in_w + ih as usize * in_w + iw as usize];
+                    }
+                }
+            }
+            let mut expected = vec![0.0f32; m * n];
+            gemm(m, n, k, 1.0, &a, &col, 0.0, &mut expected).unwrap();
+            let view = Im2colView {
+                sample: &sample,
+                channels,
+                in_h,
+                in_w,
+                kernel_h: kernel,
+                kernel_w: kernel,
+                stride,
+                pad,
+                out_h,
+                out_w,
+            };
+            let mut fused = vec![f32::NAN; m * n];
+            gemm_im2col(m, n, k, 1.0, &a, view, 0.0, &mut fused).unwrap();
+            let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+            let expected_bits: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fused_bits, expected_bits, "c{channels} {in_h}x{in_w} k{kernel}");
+        }
+    }
+
+    #[test]
+    fn gemm_im2col_rejects_inconsistent_views() {
+        let sample = vec![0.0f32; 3 * 4 * 4];
+        let view = Im2colView {
+            sample: &sample,
+            channels: 3,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            pad: 1,
+            out_h: 4,
+            out_w: 4,
+        };
+        let a = vec![0.0f32; 2 * 27];
+        let mut c = vec![0.0f32; 2 * 16];
+        assert!(gemm_im2col(2, 16, 27, 1.0, &a, view, 0.0, &mut c).is_ok());
+        // k disagrees with the view's row count.
+        assert!(gemm_im2col(2, 16, 26, 1.0, &a[..52], view, 0.0, &mut c).is_err());
+        // Sample shorter than C·H·W.
+        let short = Im2colView { sample: &sample[..47], ..view };
+        assert!(gemm_im2col(2, 16, 27, 1.0, &a, short, 0.0, &mut c).is_err());
     }
 
     #[test]

@@ -286,9 +286,27 @@ pub fn avg_pool_backward(d_y: &Tensor, input_shape: &Shape, attrs: &PoolAttrs) -
 /// Returns an error if the input is not 4-D.
 pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
     x.shape().expect_nchw()?;
+    let mut out = Tensor::zeros(Shape::nchw(x.shape().n(), x.shape().c(), 1, 1));
+    global_avg_pool_forward_into(x, &mut out)?;
+    Ok(out)
+}
+
+/// [`global_avg_pool_forward`] into a caller-provided `N × C × 1 × 1`
+/// output tensor; every element of `out` is overwritten.
+///
+/// # Errors
+/// Returns an error if the input is not 4-D or `out` has the wrong shape.
+pub fn global_avg_pool_forward_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
+    x.shape().expect_nchw()?;
     let (n, c) = (x.shape().n(), x.shape().c());
+    let expected = Shape::nchw(n, c, 1, 1);
+    if out.shape() != &expected {
+        return Err(KernelError::ShapeMismatch(format!(
+            "output tensor is {}, global average pooling produces {expected}",
+            out.shape()
+        )));
+    }
     let plane_len = (x.shape().h() * x.shape().w()) as f32;
-    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
     let min_planes = min_planes_per_thread(x.shape().h() * x.shape().w());
     parallel_rows_mut(out.as_mut_slice(), 1, min_planes, |first_plane, block| {
         for (p_local, slot) in block.iter_mut().enumerate() {
@@ -297,7 +315,7 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
             *slot = sum / plane_len;
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Global average pooling backward.

@@ -16,7 +16,7 @@ use crate::metrics::LatencyRecorder;
 use crate::model::FrozenModel;
 use crate::Result;
 use bnff_tensor::{Shape, Tensor};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -32,11 +32,21 @@ pub struct BatchingConfig {
     pub max_wait: Duration,
     /// Number of executor worker threads.
     pub workers: usize,
+    /// Largest number of batch-size-specialized executors (compiled tapes
+    /// plus their register files) each worker keeps cached. Least-recently
+    /// used sizes are evicted and recompiled on demand, bounding the
+    /// memory a worker holds for rare batch sizes.
+    pub executor_cache: usize,
 }
 
 impl Default for BatchingConfig {
     fn default() -> Self {
-        BatchingConfig { max_batch: 8, max_wait: Duration::from_millis(2), workers: 1 }
+        BatchingConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            workers: 1,
+            executor_cache: 4,
+        }
     }
 }
 
@@ -93,17 +103,19 @@ impl ServeEngine {
     /// # Errors
     /// Returns an error for a zero `max_batch`/`workers` configuration.
     pub fn start(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
-        if config.max_batch == 0 || config.workers == 0 {
+        if config.max_batch == 0 || config.workers == 0 || config.executor_cache == 0 {
             return Err(ServeError::InvalidArgument(
-                "max_batch and workers must be positive".to_string(),
+                "max_batch, workers and executor_cache must be positive".to_string(),
             ));
         }
+        let mut recorder = LatencyRecorder::new();
+        recorder.set_batch_capacity(config.max_batch);
         let shared = Arc::new(Shared {
             model,
             config: config.clone(),
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             cv: Condvar::new(),
-            metrics: Mutex::new(LatencyRecorder::new()),
+            metrics: Mutex::new(recorder),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -141,13 +153,19 @@ impl ServeEngine {
             sample
         };
         let (tx, rx) = mpsc::channel();
-        {
+        let depth = {
             let mut state =
                 self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if state.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
             state.queue.push_back(Request { sample, enqueued: Instant::now(), tx });
+            state.queue.len()
+        };
+        {
+            let mut metrics =
+                self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            metrics.record_queue_depth(depth);
         }
         self.shared.cv.notify_one();
         Ok(rx)
@@ -226,17 +244,52 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
+/// A bounded per-worker cache of batch-size-specialized executors, evicting
+/// the least-recently-used size. Entries are kept most-recently-used first.
+struct ExecutorCache {
+    cap: usize,
+    entries: Vec<(usize, FrozenExecutor)>,
+}
+
+impl ExecutorCache {
+    fn new(cap: usize) -> Self {
+        ExecutorCache { cap: cap.max(1), entries: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The executor for `size`, compiling (and possibly evicting) on miss.
+    fn get_or_compile(&mut self, size: usize, model: &FrozenModel) -> Result<&FrozenExecutor> {
+        if let Some(i) = self.entries.iter().position(|(s, _)| *s == size) {
+            let hit = self.entries.remove(i);
+            self.entries.insert(0, hit);
+        } else {
+            let executor = model.executor(size)?;
+            self.entries.insert(0, (size, executor));
+            self.entries.truncate(self.cap);
+        }
+        Ok(&self.entries[0].1)
+    }
+}
+
 fn worker_loop(shared: &Shared) {
-    // Executors are stamped per coalesced batch size and cached per worker.
-    let mut executors: HashMap<usize, FrozenExecutor> = HashMap::new();
+    // Executors (compiled tapes + register files) are stamped per coalesced
+    // batch size and cached per worker, bounded by `executor_cache`.
+    let mut executors = ExecutorCache::new(shared.config.executor_cache);
     while let Some(batch) = next_batch(shared) {
         let size = batch.len();
         let result = run_batch(shared, &mut executors, &batch);
         let completed = Instant::now();
         {
+            let queued =
+                shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).queue.len();
             let mut metrics =
                 shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             metrics.record_batch(size);
+            metrics.record_queue_depth(queued);
+            metrics.record_executor_cache(executors.len());
             if result.is_ok() {
                 for request in &batch {
                     metrics.record(completed.duration_since(request.enqueued));
@@ -263,14 +316,11 @@ fn worker_loop(shared: &Shared) {
 /// out (one 1-D logits tensor per request, in submission order).
 fn run_batch(
     shared: &Shared,
-    executors: &mut HashMap<usize, FrozenExecutor>,
+    executors: &mut ExecutorCache,
     batch: &[Request],
 ) -> Result<Vec<Tensor>> {
     let size = batch.len();
-    let executor = match executors.entry(size) {
-        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(v) => v.insert(shared.model.executor(size)?),
-    };
+    let executor = executors.get_or_compile(size, &shared.model)?;
     let sample_volume = batch[0].sample.len();
     let mut stacked = Vec::with_capacity(size * sample_volume);
     for request in batch {

@@ -1,27 +1,50 @@
 //! The forward-only frozen-graph executor.
 //!
-//! Structurally a sibling of the training executor, minus everything
-//! training needs: no backward retention (the memory plan comes from
-//! [`ExecutionPlan::for_inference`], so *every* intermediate activation
-//! recycles through the arena), no statistics, no loss head. Kernels are
-//! the same `bnff-kernels` entry points the trainer uses — including the
-//! inference-only `conv2d_forward_relu_into` and `channel_affine_into` —
-//! so inference saturates `BNFF_THREADS` cores with thread-count-identical
-//! results.
+//! Serving requests used to walk the graph: match on every node's `OpKind`,
+//! look parameters up in a hash map, resolve Split aliases and query the
+//! memory plan's liveness tables — all request-invariant work. The executor
+//! now compiles the frozen graph once, at construction, into a
+//! [`LinearProgram`]: a flat instruction tape in topological order whose
+//! instructions carry fully-resolved kernel recipes (op kind, shapes,
+//! fused-ReLU flag, conv lowering strategy) and pre-resolved register
+//! operands. [`FrozenExecutor::infer`] is a tape walker — `for instr in
+//! program` dispatching straight into the `*_into` kernels with
+//! pre-bound parameter handles; no dispatch decision survives to request
+//! time.
+//!
+//! Kernels are the same `bnff-kernels` entry points the trainer uses, so
+//! inference saturates `BNFF_THREADS` cores with thread-count-identical
+//! results — which also makes the program's serial hint free to honour:
+//! cheap batch-1 programs run under a single thread to skip the fan-out
+//! cost without changing a single bit of output.
+//!
+//! The per-node interpreted walk survives as
+//! [`FrozenExecutor::infer_interpreted`] — the reference implementation the
+//! tape is tested bit-identical against.
 
 use crate::error::ServeError;
 use crate::params::{FrozenParamSet, FrozenParams};
 use crate::Result;
+use bnff_graph::linear::{Instr, Kernel, LinearProgram};
 use bnff_graph::op::{OpKind, PoolKind};
 use bnff_graph::plan::ExecutionPlan;
 use bnff_graph::{Graph, Node, NodeId};
-use bnff_kernels::affine::channel_affine_into;
+use bnff_kernels::affine::{
+    channel_affine_in_place, channel_affine_into, channel_affine_relu_in_place,
+    channel_affine_relu_into,
+};
 use bnff_kernels::concat::concat_forward_into;
-use bnff_kernels::conv::{conv2d_forward_into, conv2d_forward_relu_into};
+use bnff_kernels::conv::{
+    conv2d_forward_gather_into, conv2d_forward_into, conv2d_forward_relu_into,
+};
 use bnff_kernels::eltwise::eltwise_sum_forward_into;
-use bnff_kernels::fc::fc_forward;
-use bnff_kernels::pool::{avg_pool_forward_into, global_avg_pool_forward, max_pool_forward_into};
-use bnff_kernels::relu::relu_forward_into;
+use bnff_kernels::fc::{fc_forward, fc_forward_into};
+use bnff_kernels::pool::{
+    avg_pool_forward_into, global_avg_pool_forward, global_avg_pool_forward_into,
+    max_pool_forward_into,
+};
+use bnff_kernels::relu::{relu_forward_inplace, relu_forward_into};
+use bnff_parallel::with_threads;
 use bnff_tensor::{Shape, Tensor};
 use std::sync::{Arc, Mutex};
 
@@ -31,18 +54,31 @@ pub struct FrozenExecutor {
     graph: Graph,
     params: Arc<FrozenParamSet>,
     plan: ExecutionPlan,
+    program: LinearProgram,
+    /// Per-instruction parameter handles, aligned with `program.instrs()` —
+    /// bound once at compile time so the request path never touches the
+    /// parameter hash map.
+    bound: Vec<Option<Arc<FrozenParams>>>,
     input: NodeId,
     output: NodeId,
     batch: usize,
-    /// Recycled arena buffers, one bin per plan slot (kept across calls).
+    /// The tape's register file (kept across calls so buffers recycle).
+    registers: Mutex<Vec<Option<Tensor>>>,
+    /// Recycled arena buffers for the interpreted path, one bin per plan
+    /// slot (kept across calls).
     workspace: Mutex<Vec<Option<Vec<f32>>>>,
 }
 
 impl FrozenExecutor {
-    /// Creates an executor over a frozen graph and its folded parameters.
+    /// Creates an executor over a frozen graph and its folded parameters:
+    /// plans the graph's memory, lowers it to a [`LinearProgram`] and binds
+    /// every instruction's parameters. All lowering errors (training-only
+    /// operators, missing parameters, register hazards) surface here, not
+    /// at request time.
     ///
     /// # Errors
-    /// Returns an error when the graph cannot be memory-planned.
+    /// Returns an error when the graph cannot be memory-planned, lowered,
+    /// or a parameterised instruction has no folded parameters.
     pub fn new(
         graph: Graph,
         params: Arc<FrozenParamSet>,
@@ -50,9 +86,23 @@ impl FrozenExecutor {
         output: NodeId,
     ) -> Result<Self> {
         let plan = ExecutionPlan::for_inference(&graph)?;
+        let program = LinearProgram::lower(&graph, &plan, input, output)?;
         let batch = graph.node(input)?.output_shape.dim(0).map_err(ServeError::Tensor)?;
+        let bound = bind_params(&program, &params)?;
+        let registers = Mutex::new((0..program.reg_count()).map(|_| None).collect());
         let workspace = Mutex::new(vec![None; plan.slot_count()]);
-        Ok(FrozenExecutor { graph, params, plan, input, output, batch, workspace })
+        Ok(FrozenExecutor {
+            graph,
+            params,
+            plan,
+            program,
+            bound,
+            input,
+            output,
+            batch,
+            registers,
+            workspace,
+        })
     }
 
     /// The executor's graph.
@@ -65,6 +115,11 @@ impl FrozenExecutor {
         &self.plan
     }
 
+    /// The compiled instruction tape.
+    pub fn program(&self) -> &LinearProgram {
+        &self.program
+    }
+
     /// The batch size this executor is bound to.
     pub fn batch(&self) -> usize {
         self.batch
@@ -72,7 +127,48 @@ impl FrozenExecutor {
 
     /// The expected input shape.
     pub fn input_shape(&self) -> Shape {
-        self.graph.node(self.input).map(|n| n.output_shape.clone()).unwrap_or(Shape::scalar())
+        self.program.input_shape().clone()
+    }
+
+    /// Runs one forward pass over the compiled tape, returning the frozen
+    /// graph's output (the classifier scores).
+    ///
+    /// # Errors
+    /// Returns an error when the input shape disagrees with the graph or a
+    /// kernel fails.
+    pub fn infer(&self, data: &Tensor) -> Result<Tensor> {
+        self.infer_owned(data.clone())
+    }
+
+    /// [`FrozenExecutor::infer`] taking the batch by value, so the input
+    /// buffer moves into the register file instead of being copied — the
+    /// entry point the batching engine drives (it builds the stacked batch
+    /// tensor anyway).
+    ///
+    /// # Errors
+    /// Returns an error when the input shape disagrees with the graph or a
+    /// kernel fails.
+    pub fn infer_owned(&self, data: Tensor) -> Result<Tensor> {
+        if self.program.prefers_serial() {
+            // Cheap pass: per-kernel thread fan-out costs more than it
+            // buys. Kernels are thread-count bit-identical, so this cannot
+            // change the result.
+            with_threads(1, || self.run_tape(data))
+        } else {
+            self.run_tape(data)
+        }
+    }
+
+    fn run_tape(&self, data: Tensor) -> Result<Tensor> {
+        self.program.input_shape().expect_same(data.shape()).map_err(ServeError::Tensor)?;
+        let mut regs = self.registers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        regs[self.program.input_reg()] = Some(data);
+        for (instr, params) in self.program.instrs().iter().zip(&self.bound) {
+            exec_instr(&mut regs, instr, params.as_deref())?;
+        }
+        regs[self.program.output_reg()]
+            .take()
+            .ok_or_else(|| ServeError::InvalidArgument("tape produced no output".into()))
     }
 
     fn conv_params(&self, node: &Node) -> Result<(&Tensor, Option<&[f32]>)> {
@@ -107,31 +203,23 @@ impl FrozenExecutor {
         }
     }
 
-    /// Runs one forward pass, returning the frozen graph's output (the
-    /// classifier scores).
+    /// Runs one forward pass by interpreting the graph node by node — the
+    /// pre-tape reference implementation. The tape is tested bit-identical
+    /// against this walk across the model zoo. The walk deliberately does
+    /// *not* honour the tape's serial-execution hint: the hint comes from
+    /// the linear IR's compile-time FLOPs analysis, so it is part of what
+    /// the `tape_over_interpreted` comparison measures.
     ///
     /// # Errors
     /// Returns an error when the input shape disagrees with the graph or a
     /// kernel fails.
-    pub fn infer(&self, data: &Tensor) -> Result<Tensor> {
-        self.infer_owned(data.clone())
-    }
-
-    /// [`FrozenExecutor::infer`] taking the batch by value, so the input
-    /// buffer recycles into the arena instead of being copied — the entry
-    /// point the batching engine drives (it builds the stacked batch tensor
-    /// anyway).
-    ///
-    /// # Errors
-    /// Returns an error when the input shape disagrees with the graph or a
-    /// kernel fails.
-    pub fn infer_owned(&self, data: Tensor) -> Result<Tensor> {
+    pub fn infer_interpreted(&self, data: &Tensor) -> Result<Tensor> {
         let expected = &self.graph.node(self.input)?.output_shape;
         expected.expect_same(data.shape()).map_err(ServeError::Tensor)?;
 
         let n = self.graph.node_count();
         let mut values: Vec<Option<Tensor>> = vec![None; n];
-        values[self.input.index()] = Some(data);
+        values[self.input.index()] = Some(data.clone());
         let mut ws = self.workspace.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
 
         for (pos, &id) in self.plan.order().iter().enumerate() {
@@ -226,6 +314,168 @@ impl FrozenExecutor {
             .take()
             .ok_or_else(|| ServeError::InvalidArgument("frozen graph produced no output".into()))
     }
+}
+
+/// Pre-binds every instruction's parameter handle and checks the handle's
+/// kind against the kernel recipe, so the tape walker can assume both.
+fn bind_params(
+    program: &LinearProgram,
+    params: &FrozenParamSet,
+) -> Result<Vec<Option<Arc<FrozenParams>>>> {
+    program
+        .instrs()
+        .iter()
+        .map(|instr| {
+            let handle = params.get_shared(instr.op_node);
+            let ok = match &instr.kernel {
+                Kernel::Conv { .. } => {
+                    matches!(handle.as_deref(), Some(FrozenParams::Conv { .. }))
+                }
+                Kernel::Affine { .. } => {
+                    matches!(handle.as_deref(), Some(FrozenParams::Affine { .. }))
+                }
+                Kernel::FullyConnected => {
+                    matches!(handle.as_deref(), Some(FrozenParams::Fc { .. }))
+                }
+                _ => return Ok(None),
+            };
+            if ok {
+                Ok(handle)
+            } else {
+                Err(ServeError::Fold(format!(
+                    "no frozen parameters for instruction '{}'",
+                    instr.name
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Takes the output register's buffer (or allocates one) shaped for the
+/// instruction.
+fn take_out(regs: &mut [Option<Tensor>], instr: &Instr) -> Tensor {
+    match regs[instr.out].take() {
+        Some(t) => {
+            let mut buf = t.into_vec();
+            // Every kernel overwrites its whole output; leftover values in
+            // a grown buffer are never read.
+            buf.resize(instr.out_volume, 0.0);
+            Tensor::from_vec(instr.out_shape.clone(), buf)
+                .expect("register buffer resized to the instruction's volume")
+        }
+        None => Tensor::zeros(instr.out_shape.clone()),
+    }
+}
+
+fn reg_ref<'a>(regs: &'a [Option<Tensor>], instr: &Instr, idx: usize) -> Result<&'a Tensor> {
+    regs[instr.inputs[idx]].as_ref().ok_or_else(|| {
+        ServeError::InvalidArgument(format!(
+            "register {} read by '{}' is empty",
+            instr.inputs[idx], instr.name
+        ))
+    })
+}
+
+/// Executes one instruction against the register file.
+fn exec_instr(
+    regs: &mut [Option<Tensor>],
+    instr: &Instr,
+    params: Option<&FrozenParams>,
+) -> Result<()> {
+    // The in-place pointwise kernels: the planner recycled the input's
+    // register for the output (it proved the input dead), so the kernel
+    // sweeps the buffer once in place.
+    if instr.inputs.first() == Some(&instr.out) {
+        let mut buf = regs[instr.out].take().ok_or_else(|| {
+            ServeError::InvalidArgument(format!(
+                "register {} read by '{}' is empty",
+                instr.out, instr.name
+            ))
+        })?;
+        match (&instr.kernel, params) {
+            (Kernel::Affine { fused_relu }, Some(FrozenParams::Affine { scale, shift })) => {
+                if *fused_relu {
+                    channel_affine_relu_in_place(&mut buf, scale, shift)?;
+                } else {
+                    channel_affine_in_place(&mut buf, scale, shift)?;
+                }
+            }
+            (Kernel::Relu, _) => relu_forward_inplace(&mut buf),
+            _ => {
+                return Err(ServeError::InvalidArgument(format!(
+                    "instruction '{}' runs in place but is not pointwise",
+                    instr.name
+                )))
+            }
+        }
+        regs[instr.out] = Some(buf);
+        return Ok(());
+    }
+    let mut out = take_out(regs, instr);
+    match (&instr.kernel, params) {
+        (
+            Kernel::Conv { attrs, fused_relu, gather },
+            Some(FrozenParams::Conv { weights, bias }),
+        ) => {
+            let x = reg_ref(regs, instr, 0)?;
+            if *gather {
+                conv2d_forward_gather_into(
+                    x,
+                    weights,
+                    bias.as_deref(),
+                    attrs,
+                    *fused_relu,
+                    &mut out,
+                )?;
+            } else if *fused_relu {
+                conv2d_forward_relu_into(x, weights, bias.as_deref(), attrs, &mut out)?;
+            } else {
+                conv2d_forward_into(x, weights, bias.as_deref(), attrs, &mut out)?;
+            }
+        }
+        (Kernel::Affine { fused_relu }, Some(FrozenParams::Affine { scale, shift })) => {
+            let x = reg_ref(regs, instr, 0)?;
+            if *fused_relu {
+                channel_affine_relu_into(x, scale, shift, &mut out)?;
+            } else {
+                channel_affine_into(x, scale, shift, &mut out)?;
+            }
+        }
+        (Kernel::Relu, _) => {
+            relu_forward_into(reg_ref(regs, instr, 0)?, &mut out)?;
+        }
+        (Kernel::Pool { kind, attrs }, _) => {
+            let x = reg_ref(regs, instr, 0)?;
+            match kind {
+                PoolKind::Max => max_pool_forward_into(x, attrs, &mut out)?,
+                PoolKind::Average => avg_pool_forward_into(x, attrs, &mut out)?,
+            }
+        }
+        (Kernel::GlobalAvgPool, _) => {
+            global_avg_pool_forward_into(reg_ref(regs, instr, 0)?, &mut out)?;
+        }
+        (Kernel::Concat, _) => {
+            let refs: Vec<&Tensor> =
+                (0..instr.inputs.len()).map(|i| reg_ref(regs, instr, i)).collect::<Result<_>>()?;
+            concat_forward_into(&refs, &mut out)?;
+        }
+        (Kernel::EltwiseSum, _) => {
+            let refs: Vec<&Tensor> =
+                (0..instr.inputs.len()).map(|i| reg_ref(regs, instr, i)).collect::<Result<_>>()?;
+            eltwise_sum_forward_into(&refs, &mut out)?;
+        }
+        (Kernel::FullyConnected, Some(FrozenParams::Fc { weights, bias })) => {
+            fc_forward_into(reg_ref(regs, instr, 0)?, weights, bias, &mut out)?;
+        }
+        _ => {
+            return Err(ServeError::InvalidArgument(format!(
+                "instruction '{}' has no parameters bound for its kernel",
+                instr.name
+            )))
+        }
+    }
+    regs[instr.out] = Some(out);
+    Ok(())
 }
 
 fn input_value<'a>(

@@ -1,14 +1,22 @@
-//! Serving metrics: latency percentiles and throughput reporting.
+//! Serving metrics: latency percentiles, throughput, queue-pressure and
+//! cache-occupancy reporting.
 
 use serde::Serialize;
 use std::time::Duration;
 
-/// A recorder for per-request latencies plus batching counters.
+/// A recorder for per-request latencies plus batching, queue-depth and
+/// executor-cache counters.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     latencies_ms: Vec<f64>,
     batches: usize,
     samples_in_batches: usize,
+    /// The engine's `max_batch`, for occupancy reporting.
+    batch_capacity: usize,
+    queue_depth_sum: usize,
+    queue_depth_samples: usize,
+    queue_depth_max: usize,
+    executor_cache_peak: usize,
 }
 
 impl LatencyRecorder {
@@ -26,6 +34,25 @@ impl LatencyRecorder {
     pub fn record_batch(&mut self, size: usize) {
         self.batches += 1;
         self.samples_in_batches += size;
+    }
+
+    /// Sets the batch capacity (`max_batch`) occupancy is reported against.
+    pub fn set_batch_capacity(&mut self, capacity: usize) {
+        self.batch_capacity = self.batch_capacity.max(capacity);
+    }
+
+    /// Records one observation of the request-queue depth (sampled at
+    /// submission and when a worker takes a batch).
+    pub fn record_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_sum += depth;
+        self.queue_depth_samples += 1;
+        self.queue_depth_max = self.queue_depth_max.max(depth);
+    }
+
+    /// Records a worker's executor-cache size; the report exposes the peak
+    /// across all observations.
+    pub fn record_executor_cache(&mut self, size: usize) {
+        self.executor_cache_peak = self.executor_cache_peak.max(size);
     }
 
     /// Number of recorded requests.
@@ -46,6 +73,34 @@ impl LatencyRecorder {
         } else {
             self.samples_in_batches as f64 / self.batches as f64
         }
+    }
+
+    /// Mean fraction of `max_batch` each executed batch filled (`0..=1`).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batch_capacity == 0 {
+            0.0
+        } else {
+            self.mean_batch_size() / self.batch_capacity as f64
+        }
+    }
+
+    /// Mean sampled request-queue depth.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Largest sampled request-queue depth.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth_max
+    }
+
+    /// Peak per-worker executor-cache size observed.
+    pub fn executor_cache_peak(&self) -> usize {
+        self.executor_cache_peak
     }
 
     /// The `p`-th latency percentile in milliseconds (`p` in `[0, 100]`),
@@ -71,6 +126,10 @@ impl LatencyRecorder {
             p50_ms: self.percentile_ms(50.0),
             p99_ms: self.percentile_ms(99.0),
             mean_batch_size: self.mean_batch_size(),
+            mean_batch_occupancy: self.mean_batch_occupancy(),
+            mean_queue_depth: self.mean_queue_depth(),
+            max_queue_depth: self.max_queue_depth(),
+            executor_cache_peak: self.executor_cache_peak(),
         }
     }
 
@@ -79,6 +138,11 @@ impl LatencyRecorder {
         self.latencies_ms.extend_from_slice(&other.latencies_ms);
         self.batches += other.batches;
         self.samples_in_batches += other.samples_in_batches;
+        self.batch_capacity = self.batch_capacity.max(other.batch_capacity);
+        self.queue_depth_sum += other.queue_depth_sum;
+        self.queue_depth_samples += other.queue_depth_samples;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.executor_cache_peak = self.executor_cache_peak.max(other.executor_cache_peak);
     }
 }
 
@@ -100,6 +164,15 @@ pub struct ServeReport {
     pub p99_ms: f64,
     /// Mean coalesced batch size.
     pub mean_batch_size: f64,
+    /// Mean fraction of `max_batch` each executed batch filled.
+    pub mean_batch_occupancy: f64,
+    /// Mean sampled request-queue depth.
+    pub mean_queue_depth: f64,
+    /// Largest sampled request-queue depth.
+    pub max_queue_depth: usize,
+    /// Peak per-worker executor-cache size (bounded by the engine's
+    /// `executor_cache` configuration).
+    pub executor_cache_peak: usize,
 }
 
 #[cfg(test)]
@@ -136,10 +209,34 @@ mod tests {
     }
 
     #[test]
+    fn queue_and_cache_gauges() {
+        let mut a = LatencyRecorder::new();
+        a.set_batch_capacity(8);
+        a.record_batch(4);
+        a.record_batch(8);
+        a.record_queue_depth(1);
+        a.record_queue_depth(5);
+        a.record_executor_cache(2);
+        let mut b = LatencyRecorder::new();
+        b.record_queue_depth(3);
+        b.record_executor_cache(3);
+        a.merge(&b);
+        let report = a.report(Duration::from_secs(1));
+        assert!((report.mean_batch_occupancy - 0.75).abs() < 1e-9);
+        assert!((report.mean_queue_depth - 3.0).abs() < 1e-9);
+        assert_eq!(report.max_queue_depth, 5);
+        assert_eq!(report.executor_cache_peak, 3);
+    }
+
+    #[test]
     fn empty_recorder_is_safe() {
         let rec = LatencyRecorder::new();
         assert_eq!(rec.percentile_ms(99.0), 0.0);
         assert_eq!(rec.mean_batch_size(), 0.0);
+        assert_eq!(rec.mean_batch_occupancy(), 0.0);
+        assert_eq!(rec.mean_queue_depth(), 0.0);
+        assert_eq!(rec.max_queue_depth(), 0);
+        assert_eq!(rec.executor_cache_peak(), 0);
         let report = rec.report(Duration::from_millis(1));
         assert_eq!(report.requests, 0);
     }

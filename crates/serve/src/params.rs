@@ -21,6 +21,7 @@ use bnff_train::params::NodeParams;
 use bnff_train::running::RunningStatSet;
 use bnff_train::ParamSet;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The inference-ready parameters of one frozen node.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,16 +49,24 @@ pub enum FrozenParams {
     },
 }
 
-/// All frozen parameters, keyed by frozen-graph node index.
+/// All frozen parameters, keyed by frozen-graph node index. Entries are
+/// reference-counted so a tape compiler can pre-bind per-instruction
+/// parameter handles without cloning weights.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrozenParamSet {
-    entries: HashMap<usize, FrozenParams>,
+    entries: HashMap<usize, Arc<FrozenParams>>,
 }
 
 impl FrozenParamSet {
     /// Looks up the parameters of a frozen node.
     pub fn get(&self, id: NodeId) -> Option<&FrozenParams> {
-        self.entries.get(&id.index())
+        self.entries.get(&id.index()).map(Arc::as_ref)
+    }
+
+    /// Looks up the parameters of a frozen node as a shared handle, for
+    /// executors that bind parameters per instruction ahead of time.
+    pub fn get_shared(&self, id: NodeId) -> Option<Arc<FrozenParams>> {
+        self.entries.get(&id.index()).cloned()
     }
 
     /// Number of parameterised frozen nodes.
@@ -74,7 +83,7 @@ impl FrozenParamSet {
     pub fn scalar_count(&self) -> usize {
         self.entries
             .values()
-            .map(|p| match p {
+            .map(|p| match p.as_ref() {
                 FrozenParams::Conv { weights, bias } => {
                     weights.len() + bias.as_ref().map(Vec::len).unwrap_or(0)
                 }
@@ -195,7 +204,7 @@ pub fn fold_params(
                 FrozenParams::Affine { scale, shift }
             }
         };
-        entries.insert(idx, folded);
+        entries.insert(idx, Arc::new(folded));
     }
     Ok(FrozenParamSet { entries })
 }

@@ -185,7 +185,12 @@ fn engine_serves_correct_scores_under_concurrent_load() {
 
     let engine = ServeEngine::start(
         model,
-        BatchingConfig { max_batch: 4, max_wait: Duration::from_millis(5), workers: 2 },
+        BatchingConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            workers: 2,
+            executor_cache: 4,
+        },
     )
     .unwrap();
 

@@ -80,11 +80,12 @@ impl Checkpoint {
         let version = value
             .get("format_version")
             .and_then(|v| u32::from_value(v).ok())
-            .ok_or_else(|| TrainError::Checkpoint("missing format_version".to_string()))?;
+            .ok_or(TrainError::CheckpointVersion { found: None, supported: FORMAT_VERSION })?;
         if version != FORMAT_VERSION {
-            return Err(TrainError::Checkpoint(format!(
-                "unsupported checkpoint format version {version} (expected {FORMAT_VERSION})"
-            )));
+            return Err(TrainError::CheckpointVersion {
+                found: Some(version),
+                supported: FORMAT_VERSION,
+            });
         }
         serde_json::from_value(&value).map_err(|e| TrainError::Checkpoint(e.to_string()))
     }
@@ -167,7 +168,18 @@ mod tests {
         let mut ckpt = Checkpoint::capture(&exec);
         ckpt.format_version = 99;
         let json = serde_json::to_string(&ckpt).unwrap();
-        assert!(Checkpoint::from_json(&json).is_err());
+        let err = Checkpoint::from_json(&json).unwrap_err();
+        assert_eq!(err, TrainError::CheckpointVersion { found: Some(99), supported: 1 });
+        assert!(err.to_string().contains("format version 99"));
         assert!(Checkpoint::load("/nonexistent/bnff.json").is_err());
+    }
+
+    #[test]
+    fn missing_version_is_a_typed_error() {
+        let err = Checkpoint::from_json("{\"graph\": {}}").unwrap_err();
+        assert_eq!(err, TrainError::CheckpointVersion { found: None, supported: 1 });
+        assert!(err.to_string().contains("format_version"));
+        let err = Checkpoint::from_json("{\"format_version\": \"one\"}").unwrap_err();
+        assert_eq!(err, TrainError::CheckpointVersion { found: None, supported: 1 });
     }
 }

@@ -19,6 +19,14 @@ pub enum TrainError {
     Tensor(bnff_tensor::TensorError),
     /// A checkpoint could not be read or written.
     Checkpoint(String),
+    /// A checkpoint declares a format version this build does not support.
+    CheckpointVersion {
+        /// The version the file declares (`None` when the field is missing
+        /// or not an unsigned integer).
+        found: Option<u32>,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -31,6 +39,16 @@ impl fmt::Display for TrainError {
             TrainError::Kernel(err) => write!(f, "kernel error: {err}"),
             TrainError::Tensor(err) => write!(f, "tensor error: {err}"),
             TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            TrainError::CheckpointVersion { found: Some(found), supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads version \
+                 {supported}); re-export the checkpoint with a matching toolchain"
+            ),
+            TrainError::CheckpointVersion { found: None, supported } => write!(
+                f,
+                "checkpoint declares no numeric format_version field (this build reads \
+                 version {supported}); the file is not a bnff checkpoint or predates versioning"
+            ),
         }
     }
 }

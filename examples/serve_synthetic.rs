@@ -97,7 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = ServeEngine::start(
         model,
-        BatchingConfig { max_batch, max_wait: Duration::from_millis(2), workers },
+        BatchingConfig {
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            workers,
+            executor_cache: 4,
+        },
     )?;
     let started = Instant::now();
     let receivers: Vec<_> =
