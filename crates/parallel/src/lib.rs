@@ -57,6 +57,7 @@
 
 pub mod pool;
 pub mod range;
+pub mod topology;
 
 pub use pool::{
     current_grain, current_threads, is_nested, min_items_per_thread, parallel_for,
@@ -64,3 +65,4 @@ pub use pool::{
     parallel_rows_mut2, tree_reduce, with_grain, with_threads,
 };
 pub use range::chunk_ranges;
+pub use topology::{partition_threads, worker_thread_budgets};

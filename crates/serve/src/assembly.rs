@@ -1,0 +1,116 @@
+//! The batch-assembly state machine, factored out of the engine.
+//!
+//! A serve worker holding its shard's lock must decide, from the queue it
+//! can see, whether to take a batch now, sleep bounded for co-batchers,
+//! park until new work arrives, or exit. Getting this handoff wrong is how
+//! the previous single-queue engine lost throughput under load: a worker
+//! that parks while requests are pending strands them until the next
+//! submission's wakeup, and a worker that dwells past `max_wait` turns the
+//! batching delay bound into a lie. Keeping the decision a pure function of
+//! `(queue length, oldest wait, shutdown flag)` makes every interleaving
+//! checkable: the `handoff_schedules` test enumerates operation orders
+//! against a virtual clock and asserts the invariants below over all of
+//! them, which no amount of sleep-based stress testing can.
+//!
+//! Invariants (tested exhaustively over schedule permutations):
+//!
+//! - [`BatchStep::Park`] is returned **only** for an empty queue — pending
+//!   work never waits on a wakeup that might not come.
+//! - [`BatchStep::Take`] never exceeds `max_batch`, and fires exactly when
+//!   the batch is full, the oldest request has waited `max_wait`, or the
+//!   engine is shutting down (drain-on-shutdown).
+//! - [`BatchStep::WaitFor`] bounds are positive and never exceed the oldest
+//!   request's remaining `max_wait` allowance, so repeated waits make
+//!   progress and a request's assembly delay is bounded by `max_wait`.
+//! - [`BatchStep::Exit`] is returned only when shutdown has been observed
+//!   *and* the queue is drained.
+
+use std::time::Duration;
+
+/// What a worker should do next with its shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStep {
+    /// Drain this many requests from the queue front and run them as one
+    /// coalesced batch.
+    Take(usize),
+    /// Keep the batch open: sleep at most this long for co-batchers (or an
+    /// earlier wakeup), then re-decide.
+    WaitFor(Duration),
+    /// The queue is empty: park until a submission signals new work.
+    Park,
+    /// The queue is empty and the engine is shutting down: the worker is
+    /// done.
+    Exit,
+}
+
+/// Decides the next step for a shard whose queue currently holds `queued`
+/// requests, the oldest of which has been waiting `oldest_wait`.
+///
+/// `oldest_wait` is ignored when `queued == 0`; callers pass the elapsed
+/// queueing delay of the front (oldest) request otherwise.
+#[must_use]
+pub fn plan_step(
+    queued: usize,
+    oldest_wait: Duration,
+    shutdown: bool,
+    max_batch: usize,
+    max_wait: Duration,
+) -> BatchStep {
+    let max_batch = max_batch.max(1);
+    if queued == 0 {
+        return if shutdown { BatchStep::Exit } else { BatchStep::Park };
+    }
+    if queued >= max_batch || shutdown || oldest_wait >= max_wait {
+        return BatchStep::Take(queued.min(max_batch));
+    }
+    BatchStep::WaitFor(max_wait - oldest_wait)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn empty_queue_parks_or_exits() {
+        assert_eq!(plan_step(0, Duration::ZERO, false, 8, 2 * MS), BatchStep::Park);
+        assert_eq!(plan_step(0, Duration::ZERO, true, 8, 2 * MS), BatchStep::Exit);
+        // A stale oldest_wait must not matter for an empty queue.
+        assert_eq!(plan_step(0, 100 * MS, false, 8, 2 * MS), BatchStep::Park);
+    }
+
+    #[test]
+    fn full_queue_takes_at_most_max_batch() {
+        assert_eq!(plan_step(8, Duration::ZERO, false, 8, 2 * MS), BatchStep::Take(8));
+        assert_eq!(plan_step(13, Duration::ZERO, false, 8, 2 * MS), BatchStep::Take(8));
+        assert_eq!(plan_step(3, Duration::ZERO, false, 3, 2 * MS), BatchStep::Take(3));
+    }
+
+    #[test]
+    fn ripe_or_shutdown_queues_take_partial_batches() {
+        assert_eq!(plan_step(3, 2 * MS, false, 8, 2 * MS), BatchStep::Take(3));
+        assert_eq!(plan_step(3, 5 * MS, false, 8, 2 * MS), BatchStep::Take(3));
+        assert_eq!(plan_step(1, Duration::ZERO, true, 8, 2 * MS), BatchStep::Take(1));
+    }
+
+    #[test]
+    fn unripe_partial_batches_wait_the_remaining_allowance() {
+        match plan_step(3, MS / 2, false, 8, 2 * MS) {
+            BatchStep::WaitFor(d) => assert_eq!(d, 2 * MS - MS / 2),
+            other => panic!("expected WaitFor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_max_batch_is_clamped_not_divided() {
+        assert_eq!(plan_step(5, Duration::ZERO, false, 0, 2 * MS), BatchStep::Take(1));
+    }
+
+    #[test]
+    fn zero_max_wait_never_waits() {
+        // max_wait == 0 means "no coalescing delay": any pending request is
+        // immediately ripe.
+        assert_eq!(plan_step(1, Duration::ZERO, false, 8, Duration::ZERO), BatchStep::Take(1));
+    }
+}

@@ -1,24 +1,59 @@
-//! The dynamic micro-batching engine.
+//! The sharded dynamic micro-batching engine.
 //!
-//! Single-sample requests enter a shared queue; a pool of worker threads
-//! coalesces them into batches bounded by `max_batch` samples and
-//! `max_wait` queueing delay (whichever comes first), stamps a
-//! [`FrozenExecutor`] for the coalesced size, runs one forward pass and
-//! fans the score rows back out to the callers. Because the frozen graph
-//! has no batch-coupled operators left (BN folded into the weights) and
-//! every kernel partitions per sample, a request's scores are **identical**
-//! whether it was served alone or coalesced into a full batch — the
-//! batcher trades latency for throughput, never numerics.
+//! Single-sample requests are admitted into **per-worker bounded shard
+//! queues**; each worker coalesces its own shard into batches bounded by
+//! `max_batch` samples and `max_wait` queueing delay (whichever comes
+//! first), stamps a [`FrozenExecutor`] for the coalesced size, runs one
+//! forward pass and fans the score rows back out to the callers. Because
+//! the frozen graph has no batch-coupled operators left (BN folded into the
+//! weights) and every kernel partitions per sample, a request's scores are
+//! **identical** whether it was served alone or coalesced into a full batch
+//! — the batcher trades latency for throughput, never numerics.
+//!
+//! ## Why shards
+//!
+//! The previous engine funneled every submission and every worker wakeup
+//! through one `Mutex + Condvar` pair (and a second global metrics lock on
+//! the submit path), and each worker fanned its kernels out to the full
+//! `BNFF_THREADS` budget — `workers × BNFF_THREADS` runnable threads on
+//! `BNFF_THREADS` cores. Throughput *fell* as workers were added. The
+//! sharded design gives every worker its own queue, condvar and
+//! [`LatencyRecorder`], keeps the submit path lock-local to one shard, and
+//! partitions the kernel-thread budget disjointly across workers
+//! ([`bnff_parallel::partition_threads`]), so adding workers adds serving
+//! capacity instead of contention.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! submit ──admit──▶ shard queue ──coalesce──▶ infer ──▶ completion
+//!            │            │
+//!            │            └─ deadline passed ──▶ Err(DeadlineExceeded)
+//!            └─ all shards full ──▶ Err(Overloaded)   (shed at admission)
+//! ```
+//!
+//! Admission is work-conserving: a submission whose home shard (picked
+//! round-robin) is full spills to the next shard with room, and is shed
+//! with [`ServeError::Overloaded`] only when **every** bounded queue is
+//! full. Workers are work-conserving too: a worker whose own shard is empty
+//! steals a *ripe* batch (full, past `max_wait`, or shutting down) from a
+//! sibling shard before parking, so one hot shard cannot idle the rest of
+//! the pool. The take/wait/park/exit decision itself is the pure
+//! [`assembly::plan_step`](crate::assembly::plan_step) state machine,
+//! exhaustively schedule-tested on its own.
 
+use crate::assembly::{plan_step, BatchStep};
 use crate::error::ServeError;
 use crate::executor::FrozenExecutor;
 use crate::metrics::LatencyRecorder;
 use crate::model::FrozenModel;
 use crate::Result;
+use bnff_parallel::{current_threads, partition_threads, with_threads};
 use bnff_tensor::{Shape, Tensor};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -30,13 +65,27 @@ pub struct BatchingConfig {
     /// Longest a request may wait in the queue for co-batchers before the
     /// engine runs it in whatever batch has formed.
     pub max_wait: Duration,
-    /// Number of executor worker threads.
+    /// Number of executor worker threads (one shard queue each).
     pub workers: usize,
     /// Largest number of batch-size-specialized executors (compiled tapes
     /// plus their register files) each worker keeps cached. Least-recently
     /// used sizes are evicted and recompiled on demand, bounding the
     /// memory a worker holds for rare batch sizes.
     pub executor_cache: usize,
+    /// Bound on each shard queue. A submission finding **every** shard at
+    /// this depth is shed with [`ServeError::Overloaded`]; total admission
+    /// capacity is therefore `workers × queue_depth`.
+    pub queue_depth: usize,
+    /// Optional queueing deadline: a request still waiting for a worker
+    /// after this long is expired with [`ServeError::DeadlineExceeded`]
+    /// instead of served (the time already lost exceeds what the caller
+    /// would accept, so serving it would only waste a batch slot).
+    pub deadline: Option<Duration>,
+    /// Total kernel-thread budget to partition disjointly across workers;
+    /// `0` inherits the caller's effective thread count (`BNFF_THREADS`, a
+    /// `with_threads` scope, or the machine's parallelism) at
+    /// [`ServeEngine::start`] time.
+    pub kernel_threads: usize,
 }
 
 impl Default for BatchingConfig {
@@ -46,6 +95,9 @@ impl Default for BatchingConfig {
             max_wait: Duration::from_millis(2),
             workers: 1,
             executor_cache: 4,
+            queue_depth: 64,
+            deadline: None,
+            kernel_threads: 0,
         }
     }
 }
@@ -67,23 +119,59 @@ struct Request {
     tx: mpsc::Sender<Result<Completion>>,
 }
 
-struct QueueState {
+struct ShardState {
     queue: VecDeque<Request>,
     shutdown: bool,
+}
+
+/// One bounded request queue with its own wakeup channel: the unit of
+/// submit-side and worker-side locking.
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            state: Mutex::new(ShardState { queue: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 struct Shared {
     model: FrozenModel,
     config: BatchingConfig,
-    state: Mutex<QueueState>,
-    cv: Condvar,
-    metrics: Mutex<LatencyRecorder>,
+    shards: Vec<Shard>,
+    /// Round-robin home-shard cursor for admissions.
+    next_shard: AtomicUsize,
+    /// Engine-wide queued-request count (kept outside the shard locks so
+    /// the `Overloaded` error can report it without a scan).
+    queued: AtomicUsize,
+    /// Requests shed at admission (all shards full).
+    shed: AtomicUsize,
+    /// One recorder per worker: the request path never touches a shared
+    /// metrics lock; [`ServeEngine::metrics`] merges on demand.
+    recorders: Vec<Mutex<LatencyRecorder>>,
 }
 
-/// The serving engine: a request queue plus its worker pool.
+/// What a take attempt on one shard produced: requests to serve and/or
+/// requests that expired at the queue front.
+struct Assembled {
+    batch: Vec<Request>,
+    expired: Vec<Request>,
+}
+
+/// The serving engine: sharded request queues plus their worker pool.
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    budgets: Vec<usize>,
     started: Instant,
 }
 
@@ -91,50 +179,72 @@ impl std::fmt::Debug for ServeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeEngine")
             .field("workers", &self.workers.len())
+            .field("kernel_budgets", &self.budgets)
             .field("max_batch", &self.shared.config.max_batch)
             .field("max_wait", &self.shared.config.max_wait)
+            .field("queue_depth", &self.shared.config.queue_depth)
             .finish()
     }
 }
 
 impl ServeEngine {
-    /// Starts an engine over a frozen model.
+    /// Starts an engine over a frozen model: one bounded shard queue per
+    /// worker, each worker's kernel fan-out pinned to a disjoint slice of
+    /// the kernel-thread budget.
     ///
     /// # Errors
-    /// Returns an error for a zero `max_batch`/`workers` configuration.
+    /// Returns an error for a zero `max_batch`/`workers`/`executor_cache`/
+    /// `queue_depth` configuration.
     pub fn start(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
-        if config.max_batch == 0 || config.workers == 0 || config.executor_cache == 0 {
+        if config.max_batch == 0
+            || config.workers == 0
+            || config.executor_cache == 0
+            || config.queue_depth == 0
+        {
             return Err(ServeError::InvalidArgument(
-                "max_batch, workers and executor_cache must be positive".to_string(),
+                "max_batch, workers, executor_cache and queue_depth must be positive".to_string(),
             ));
         }
+        let total_threads =
+            if config.kernel_threads > 0 { config.kernel_threads } else { current_threads() };
+        let budgets = partition_threads(total_threads, config.workers);
         let mut recorder = LatencyRecorder::new();
         recorder.set_batch_capacity(config.max_batch);
         let shared = Arc::new(Shared {
             model,
-            config: config.clone(),
-            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
-            cv: Condvar::new(),
-            metrics: Mutex::new(recorder),
+            shards: (0..config.workers).map(|_| Shard::new()).collect(),
+            next_shard: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            recorders: (0..config.workers).map(|_| Mutex::new(recorder.clone())).collect(),
+            config,
         });
-        let workers = (0..config.workers)
-            .map(|i| {
+        let workers = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &budget)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bnff-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || with_threads(budget, || worker_loop(&shared, i)))
                     .expect("spawning a serve worker")
             })
             .collect();
-        Ok(ServeEngine { shared, workers, started: Instant::now() })
+        Ok(ServeEngine { shared, workers, budgets, started: Instant::now() })
     }
 
     /// Submits one sample (`C × H × W`, or `1 × C × H × W`) for inference.
     /// Returns the channel the [`Completion`] arrives on.
     ///
+    /// The home shard is picked round-robin; a full home shard spills to
+    /// the next shard with room.
+    ///
     /// # Errors
-    /// Returns an error when the sample shape disagrees with the model or
-    /// the engine is shutting down.
+    /// Returns [`ServeError::Overloaded`] when every shard queue is full
+    /// (the request is shed at admission and owns no channel),
+    /// [`ServeError::ShuttingDown`] after [`ServeEngine::shutdown`], and an
+    /// invalid-argument error when the sample shape disagrees with the
+    /// model.
     pub fn submit(&self, sample: Tensor) -> Result<mpsc::Receiver<Result<Completion>>> {
         let per_sample = self.shared.model.sample_shape()?;
         let sample = if sample.shape() == &per_sample {
@@ -153,37 +263,57 @@ impl ServeEngine {
             sample
         };
         let (tx, rx) = mpsc::channel();
-        let depth = {
-            let mut state =
-                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shards = &self.shared.shards;
+        let home = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
+        for probe in 0..shards.len() {
+            let idx = (home + probe) % shards.len();
+            let shard = &shards[idx];
+            let mut state = shard.lock();
             if state.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
-            state.queue.push_back(Request { sample, enqueued: Instant::now(), tx });
-            state.queue.len()
-        };
-        {
-            let mut metrics =
-                self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            metrics.record_queue_depth(depth);
+            if state.queue.len() < self.shared.config.queue_depth {
+                state.queue.push_back(Request { sample, enqueued: Instant::now(), tx });
+                drop(state);
+                self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                shard.cv.notify_one();
+                return Ok(rx);
+            }
         }
-        self.shared.cv.notify_one();
-        Ok(rx)
+        self.shared.shed.fetch_add(1, Ordering::Relaxed);
+        Err(ServeError::Overloaded { queued: self.shared.queued.load(Ordering::Relaxed) })
     }
 
     /// Convenience wrapper: submit and block for the completion.
     ///
     /// # Errors
-    /// Returns an error when submission fails or the worker dropped the
-    /// request.
+    /// Returns an error when submission fails (including shed-load) or the
+    /// worker dropped the request.
     pub fn infer_blocking(&self, sample: Tensor) -> Result<Completion> {
         let rx = self.submit(sample)?;
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
-    /// A snapshot of the engine's latency/batching metrics since start.
+    /// A snapshot of the engine's latency/batching metrics since start:
+    /// every worker's recorder merged, plus the admission-side shed count.
     pub fn metrics(&self) -> LatencyRecorder {
-        self.shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        let mut merged = LatencyRecorder::new();
+        merged.set_batch_capacity(self.shared.config.max_batch);
+        for recorder in &self.shared.recorders {
+            merged.merge(&recorder.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+        }
+        merged.record_shed(self.shared.shed.load(Ordering::Relaxed));
+        merged
+    }
+
+    /// Total admission capacity: `workers × queue_depth` queued requests.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.shards.len() * self.shared.config.queue_depth
+    }
+
+    /// The disjoint kernel-thread budgets the workers were started with.
+    pub fn kernel_budgets(&self) -> &[usize] {
+        &self.budgets
     }
 
     /// Wall-clock time since the engine started.
@@ -191,19 +321,19 @@ impl ServeEngine {
         self.started.elapsed()
     }
 
-    /// Drains the queue, stops the workers and returns the final metrics.
+    /// Drains the queues, stops the workers and returns the final metrics.
+    /// Every request admitted before shutdown still receives its
+    /// completion.
     pub fn shutdown(mut self) -> LatencyRecorder {
         self.stop_workers();
         self.metrics()
     }
 
     fn stop_workers(&mut self) {
-        {
-            let mut state =
-                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            state.shutdown = true;
+        for shard in &self.shared.shards {
+            shard.lock().shutdown = true;
+            shard.cv.notify_all();
         }
-        self.shared.cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -216,31 +346,105 @@ impl Drop for ServeEngine {
     }
 }
 
-/// Takes the next batch off the queue, or `None` when shutting down and
-/// drained. Blocks while the queue is empty; once a request is pending,
-/// waits at most until that request's deadline for co-batchers.
-fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
-    let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+/// How long an idle worker parks before re-scanning sibling shards for
+/// ripe batches to steal. Bounded staleness: a ripe batch on a shard whose
+/// owner is busy waits at most this long past `max_wait` for a thief.
+fn steal_poll(config: &BatchingConfig) -> Duration {
+    config.max_wait.clamp(Duration::from_micros(500), Duration::from_millis(5))
+}
+
+/// Attempts to assemble a batch from one shard. With `dwell`, blocks on the
+/// shard's condvar for up to the oldest request's remaining `max_wait`
+/// allowance (the owner's path); without, only ripe batches are taken (the
+/// stealing path — half-formed batches stay with their owner so stealing
+/// never degrades coalescing). Returns `None` when the shard has nothing
+/// takeable.
+fn take_from(shared: &Shared, shard_idx: usize, dwell: bool) -> Option<Assembled> {
+    let config = &shared.config;
+    let shard = &shared.shards[shard_idx];
+    let mut state = shard.lock();
     loop {
-        if state.queue.is_empty() {
-            if state.shutdown {
-                return None;
+        // Expire over-deadline requests at the queue front before deciding:
+        // they must not be counted toward the batch nor hold the wait open.
+        let mut expired = Vec::new();
+        if let Some(deadline) = config.deadline {
+            while state.queue.front().is_some_and(|r| r.enqueued.elapsed() > deadline) {
+                expired.push(state.queue.pop_front().expect("front checked"));
             }
-            state = shared.cv.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
-            continue;
         }
         let oldest = state.queue.front().map(|r| r.enqueued.elapsed()).unwrap_or_default();
-        let full = state.queue.len() >= shared.config.max_batch;
-        if full || oldest >= shared.config.max_wait || state.shutdown {
-            let take = state.queue.len().min(shared.config.max_batch);
-            return Some(state.queue.drain(..take).collect());
+        let step =
+            plan_step(state.queue.len(), oldest, state.shutdown, config.max_batch, config.max_wait);
+        match step {
+            BatchStep::Take(n) => {
+                let batch: Vec<Request> = state.queue.drain(..n).collect();
+                drop(state);
+                shared.queued.fetch_sub(n + expired.len(), Ordering::Relaxed);
+                return Some(Assembled { batch, expired });
+            }
+            BatchStep::WaitFor(remaining) if dwell && expired.is_empty() => {
+                let (guard, _timeout) = shard
+                    .cv
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = guard;
+            }
+            BatchStep::WaitFor(_) | BatchStep::Park | BatchStep::Exit => {
+                drop(state);
+                if expired.is_empty() {
+                    return None;
+                }
+                shared.queued.fetch_sub(expired.len(), Ordering::Relaxed);
+                return Some(Assembled { batch: Vec::new(), expired });
+            }
         }
-        let remaining = shared.config.max_wait - oldest;
-        let (guard, _timeout) = shared
-            .cv
-            .wait_timeout(state, remaining)
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        state = guard;
+    }
+}
+
+/// Takes the next batch for `worker`, preferring its own shard, stealing
+/// ripe batches from siblings otherwise. Returns `None` only when the
+/// engine is shutting down and every shard has drained.
+fn next_batch(shared: &Shared, worker: usize) -> Option<(Assembled, bool)> {
+    let shards = shared.shards.len();
+    loop {
+        // 1. Own shard: dwell up to the coalescing window.
+        if let Some(assembled) = take_from(shared, worker, true) {
+            return Some((assembled, false));
+        }
+        // 2. Steal pass: ripe batches on sibling shards whose owners are
+        //    busy. One shard lock at a time — never nested, so no deadlock.
+        for probe in 1..shards {
+            let idx = (worker + probe) % shards;
+            if let Some(assembled) = take_from(shared, idx, false) {
+                return Some((assembled, true));
+            }
+        }
+        // 3. Nothing takeable anywhere: exit if drained-and-shutdown, else
+        //    park until a submission or the steal-poll interval.
+        let shard = &shared.shards[worker];
+        let state = shard.lock();
+        if state.queue.is_empty() && state.shutdown {
+            drop(state);
+            // Own shard is empty+shutdown (checked under its lock: the
+            // owner is the guaranteed drainer, so no request can still be
+            // admitted here). Exit once the siblings are drained too.
+            let all_drained = (0..shards).all(|idx| shared.shards[idx].lock().queue.is_empty());
+            if all_drained {
+                return None;
+            }
+        } else if state.queue.is_empty() {
+            let timeout = steal_poll(&shared.config);
+            if shards == 1 {
+                drop(shard.cv.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner));
+            } else {
+                drop(
+                    shard
+                        .cv
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+            }
+        }
     }
 }
 
@@ -274,22 +478,37 @@ impl ExecutorCache {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     // Executors (compiled tapes + register files) are stamped per coalesced
     // batch size and cached per worker, bounded by `executor_cache`.
     let mut executors = ExecutorCache::new(shared.config.executor_cache);
-    while let Some(batch) = next_batch(shared) {
+    while let Some((assembled, stolen)) = next_batch(shared, worker) {
+        let Assembled { batch, expired } = assembled;
+        for request in expired {
+            {
+                let mut metrics = shared.recorders[worker]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                metrics.record_expired(1);
+            }
+            let _ = request.tx.send(Err(ServeError::DeadlineExceeded));
+        }
+        if batch.is_empty() {
+            continue;
+        }
         let size = batch.len();
         let result = run_batch(shared, &mut executors, &batch);
         let completed = Instant::now();
         {
-            let queued =
-                shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).queue.len();
+            let own_depth = shared.shards[worker].lock().queue.len();
             let mut metrics =
-                shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                shared.recorders[worker].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             metrics.record_batch(size);
-            metrics.record_queue_depth(queued);
+            metrics.record_queue_depth(own_depth);
             metrics.record_executor_cache(executors.len());
+            if stolen {
+                metrics.record_stolen_batch();
+            }
             if result.is_ok() {
                 for request in &batch {
                     metrics.record(completed.duration_since(request.enqueued));

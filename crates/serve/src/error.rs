@@ -13,6 +13,16 @@ pub enum ServeError {
     InvalidArgument(String),
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// Admission control shed the request: every shard's bounded queue was
+    /// full. Carries the total number of requests queued across shards at
+    /// the moment of rejection, for callers that log or adapt their rate.
+    Overloaded {
+        /// Requests queued engine-wide when admission was refused.
+        queued: usize,
+    },
+    /// The request waited in the queue past the engine's configured
+    /// deadline and was expired instead of served.
+    DeadlineExceeded,
     /// An error bubbled up from the graph crate.
     Graph(bnff_graph::GraphError),
     /// An error bubbled up from a kernel.
@@ -29,6 +39,12 @@ impl fmt::Display for ServeError {
             ServeError::Fold(msg) => write!(f, "fold error: {msg}"),
             ServeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             ServeError::ShuttingDown => write!(f, "the serving engine is shutting down"),
+            ServeError::Overloaded { queued } => {
+                write!(f, "engine overloaded: all bounded shard queues full ({queued} queued)")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request expired in the queue past its deadline")
+            }
             ServeError::Graph(err) => write!(f, "graph error: {err}"),
             ServeError::Kernel(err) => write!(f, "kernel error: {err}"),
             ServeError::Tensor(err) => write!(f, "tensor error: {err}"),
@@ -83,6 +99,8 @@ mod tests {
         let e: ServeError = bnff_tensor::TensorError::InvalidArgument("x".into()).into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::Overloaded { queued: 7 }.to_string().contains("7 queued"));
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
         fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<ServeError>();
     }

@@ -17,10 +17,15 @@
 //!    memory plan, so every intermediate activation recycles through one
 //!    small arena and the same `bnff-parallel`-threaded kernels the trainer
 //!    uses keep results bit-identical across `BNFF_THREADS`.
-//! 3. **Serve** — [`ServeEngine`] coalesces single-sample requests into
-//!    dynamic micro-batches (`max_batch`/`max_wait` bounded), fans them out
-//!    over a worker pool and reports latency percentiles + throughput
-//!    ([`metrics::ServeReport`]).
+//! 3. **Serve** — [`ServeEngine`] admits single-sample requests into
+//!    per-worker bounded shard queues (spilling to siblings, shedding with
+//!    [`ServeError::Overloaded`] only when every queue is full), coalesces
+//!    them into dynamic micro-batches (`max_batch`/`max_wait` bounded, with
+//!    optional deadline expiry), partitions the kernel-thread budget
+//!    disjointly across workers, and reports latency percentiles +
+//!    throughput ([`metrics::ServeReport`]). The [`loadgen`] module drives
+//!    open-loop arrival-rate sweeps against the engine to trace its
+//!    latency-vs-throughput curve.
 //!
 //! Training and serving are separate processes in principle: the trainer
 //! writes a [`Checkpoint`](bnff_train::Checkpoint), the server loads it via
@@ -58,9 +63,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod assembly;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod loadgen;
 pub mod metrics;
 pub mod model;
 pub mod params;
@@ -68,6 +75,7 @@ pub mod params;
 pub use engine::{BatchingConfig, Completion, ServeEngine};
 pub use error::ServeError;
 pub use executor::FrozenExecutor;
+pub use loadgen::{LoadPoint, OpenLoopConfig};
 pub use metrics::{LatencyRecorder, ServeReport};
 pub use model::FrozenModel;
 pub use params::{FrozenParamSet, FrozenParams};

@@ -1,0 +1,286 @@
+//! Open- and closed-loop load generation against a [`ServeEngine`].
+//!
+//! Closed-loop clients (submit, wait, repeat) can never observe
+//! overload: their arrival rate falls to whatever the engine sustains, so
+//! latency looks flat right up to the cliff. The **open-loop** generator
+//! here submits on a fixed wall-clock schedule regardless of completions —
+//! the arrival process real traffic presents — so as the offered rate
+//! crosses the engine's capacity, queues fill, latency percentiles climb
+//! and admission control starts shedding. Sweeping the offered rate
+//! ([`sweep`]) therefore traces the engine's whole latency-vs-throughput
+//! curve, including the saturated region a closed loop cannot reach.
+//!
+//! The closed-loop generator ([`closed_loop`]) is kept for the one thing it
+//! measures well: peak sustainable throughput (drive `concurrency` ≥
+//! `workers × max_batch` outstanding requests and the engine never idles),
+//! which is the number the CI scaling gate compares across worker counts.
+//!
+//! Arrivals are paced on a deterministic uniform grid from an absolute
+//! schedule (`start + i·interval`), so a late submission is followed by a
+//! catch-up burst rather than a silently lowered offered rate.
+
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::metrics::LatencyRecorder;
+use crate::Result;
+use bnff_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One measured point on a latency-vs-throughput curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// The arrival rate the generator offered (requests/second); `0.0` for
+    /// closed-loop runs (arrivals track completions instead of a clock).
+    pub offered_rps: f64,
+    /// Completions per second of wall clock actually achieved.
+    pub achieved_rps: f64,
+    /// Requests the generator attempted to submit.
+    pub submitted: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed: usize,
+    /// Requests expired in the queue ([`ServeError::DeadlineExceeded`]).
+    pub expired: usize,
+    /// Median end-to-end latency (ms) over completed requests.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency (ms) over completed requests.
+    pub p99_ms: f64,
+    /// 99.9th-percentile end-to-end latency (ms) over completed requests.
+    pub p999_ms: f64,
+    /// Mean coalesced batch size the engine reported for the run.
+    pub mean_batch_size: f64,
+}
+
+/// Configuration for one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target arrival rate, requests per second. Must be positive.
+    pub offered_rps: f64,
+    /// Number of requests to offer.
+    pub requests: usize,
+}
+
+fn percentiles(latencies: &[Duration]) -> LatencyRecorder {
+    let mut recorder = LatencyRecorder::new();
+    for latency in latencies {
+        recorder.record(*latency);
+    }
+    recorder
+}
+
+fn drain(
+    receivers: Vec<mpsc::Receiver<Result<crate::engine::Completion>>>,
+    latencies: &mut Vec<Duration>,
+    batch_sizes: &mut Vec<usize>,
+    expired: &mut usize,
+) -> Result<()> {
+    for rx in receivers {
+        match rx.recv() {
+            Ok(Ok(completion)) => {
+                latencies.push(completion.latency);
+                batch_sizes.push(completion.batch_size);
+            }
+            Ok(Err(ServeError::DeadlineExceeded)) => *expired += 1,
+            Ok(Err(err)) => return Err(err),
+            Err(_) => return Err(ServeError::ShuttingDown),
+        }
+    }
+    Ok(())
+}
+
+fn point(
+    offered_rps: f64,
+    submitted: usize,
+    shed: usize,
+    expired: usize,
+    wall: Duration,
+    latencies: &[Duration],
+    batch_sizes: &[usize],
+) -> LoadPoint {
+    let recorder = percentiles(latencies);
+    let wall_seconds = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mean_batch_size = if batch_sizes.is_empty() {
+        0.0
+    } else {
+        batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64
+    };
+    LoadPoint {
+        offered_rps,
+        achieved_rps: latencies.len() as f64 / wall_seconds,
+        submitted,
+        completed: latencies.len(),
+        shed,
+        expired,
+        p50_ms: recorder.percentile_ms(50.0),
+        p99_ms: recorder.percentile_ms(99.0),
+        p999_ms: recorder.percentile_ms(99.9),
+        mean_batch_size,
+    }
+}
+
+/// Drives one open-loop run: `config.requests` arrivals on a uniform grid
+/// at `config.offered_rps`, cycling through `samples`. Sheds and expiries
+/// are counted, not errors; every other engine failure aborts the run.
+///
+/// # Errors
+/// Returns an error for a non-positive rate, an empty sample set, or an
+/// engine failure other than shed-load/deadline.
+pub fn open_loop(
+    engine: &ServeEngine,
+    samples: &[Tensor],
+    config: &OpenLoopConfig,
+) -> Result<LoadPoint> {
+    // NaN must fail too, hence the explicit "not a positive finite" check.
+    if !(config.offered_rps.is_finite() && config.offered_rps > 0.0) {
+        return Err(ServeError::InvalidArgument("offered_rps must be positive".into()));
+    }
+    if samples.is_empty() {
+        return Err(ServeError::InvalidArgument("open_loop needs at least one sample".into()));
+    }
+    let interval = Duration::from_secs_f64(1.0 / config.offered_rps);
+    let mut receivers = Vec::with_capacity(config.requests);
+    let mut shed = 0usize;
+    let start = Instant::now();
+    for i in 0..config.requests {
+        // Absolute schedule: late submissions catch up in a burst instead
+        // of quietly lowering the offered rate.
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        match engine.submit(samples[i % samples.len()].clone()) {
+            Ok(rx) => receivers.push(rx),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(err) => return Err(err),
+        }
+    }
+    let mut latencies = Vec::new();
+    let mut batch_sizes = Vec::new();
+    let mut expired = 0usize;
+    drain(receivers, &mut latencies, &mut batch_sizes, &mut expired)?;
+    let wall = start.elapsed();
+    Ok(point(config.offered_rps, config.requests, shed, expired, wall, &latencies, &batch_sizes))
+}
+
+/// Drives a closed loop keeping `concurrency` requests outstanding until
+/// `total` have been submitted, then drains. Arrivals track completions, so
+/// the achieved rate *is* the engine's sustainable throughput when
+/// `concurrency ≥ workers × max_batch`.
+///
+/// # Errors
+/// Returns an error for zero `concurrency`/`total`, an empty sample set, a
+/// shed request (a closed loop under total queue capacity should never be
+/// shed — see the stress suite), or any engine failure.
+pub fn closed_loop(
+    engine: &ServeEngine,
+    samples: &[Tensor],
+    total: usize,
+    concurrency: usize,
+) -> Result<LoadPoint> {
+    if concurrency == 0 || total == 0 {
+        return Err(ServeError::InvalidArgument("concurrency and total must be positive".into()));
+    }
+    if samples.is_empty() {
+        return Err(ServeError::InvalidArgument("closed_loop needs at least one sample".into()));
+    }
+    let mut window: std::collections::VecDeque<mpsc::Receiver<Result<crate::engine::Completion>>> =
+        std::collections::VecDeque::with_capacity(concurrency);
+    let mut latencies = Vec::with_capacity(total);
+    let mut batch_sizes = Vec::with_capacity(total);
+    let mut expired = 0usize;
+    let start = Instant::now();
+    for i in 0..total {
+        if window.len() == concurrency {
+            let rx = window.pop_front().expect("window is non-empty at capacity");
+            match rx.recv() {
+                Ok(Ok(completion)) => {
+                    latencies.push(completion.latency);
+                    batch_sizes.push(completion.batch_size);
+                }
+                Ok(Err(ServeError::DeadlineExceeded)) => expired += 1,
+                Ok(Err(err)) => return Err(err),
+                Err(_) => return Err(ServeError::ShuttingDown),
+            }
+        }
+        window.push_back(engine.submit(samples[i % samples.len()].clone())?);
+    }
+    drain(window.into(), &mut latencies, &mut batch_sizes, &mut expired)?;
+    let wall = start.elapsed();
+    Ok(point(0.0, total, 0, expired, wall, &latencies, &batch_sizes))
+}
+
+/// Sweeps the offered rate over `rates`, starting a **fresh engine per
+/// point** from `model` and `config` so one saturated point's backlog
+/// cannot leak into the next. Returns one [`LoadPoint`] per rate, in order
+/// — the latency-vs-throughput curve.
+///
+/// # Errors
+/// Returns the first engine-start or run error.
+pub fn sweep(
+    model: &crate::FrozenModel,
+    config: &crate::BatchingConfig,
+    samples: &[Tensor],
+    rates: &[f64],
+    requests_per_rate: usize,
+) -> Result<Vec<LoadPoint>> {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let engine = ServeEngine::start(model.clone(), config.clone())?;
+        let run = open_loop(
+            &engine,
+            samples,
+            &OpenLoopConfig { offered_rps: rate, requests: requests_per_rate },
+        )?;
+        engine.shutdown();
+        points.push(run);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_math_is_consistent() {
+        let latencies = vec![Duration::from_millis(2); 10];
+        let batches = vec![4usize; 10];
+        let p = point(100.0, 12, 1, 1, Duration::from_secs(2), &latencies, &batches);
+        assert_eq!(p.completed, 10);
+        assert_eq!(p.submitted, 12);
+        assert_eq!(p.shed, 1);
+        assert_eq!(p.expired, 1);
+        assert!((p.achieved_rps - 5.0).abs() < 1e-9);
+        assert_eq!(p.p50_ms, 2.0);
+        assert_eq!(p.p999_ms, 2.0);
+        assert!((p.mean_batch_size - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let p = point(50.0, 0, 0, 0, Duration::from_millis(1), &[], &[]);
+        assert_eq!(p.completed, 0);
+        assert_eq!(p.achieved_rps, 0.0);
+        assert_eq!(p.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn load_point_serde_round_trip() {
+        let p = point(
+            250.0,
+            100,
+            3,
+            2,
+            Duration::from_secs(1),
+            &[Duration::from_millis(4), Duration::from_millis(9)],
+            &[2, 3],
+        );
+        let json = serde_json::to_string(&p).unwrap();
+        let back: LoadPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

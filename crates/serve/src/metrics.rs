@@ -1,7 +1,7 @@
 //! Serving metrics: latency percentiles, throughput, queue-pressure and
 //! cache-occupancy reporting.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// A recorder for per-request latencies plus batching, queue-depth and
@@ -17,6 +17,9 @@ pub struct LatencyRecorder {
     queue_depth_samples: usize,
     queue_depth_max: usize,
     executor_cache_peak: usize,
+    shed: usize,
+    expired: usize,
+    stolen_batches: usize,
 }
 
 impl LatencyRecorder {
@@ -53,6 +56,36 @@ impl LatencyRecorder {
     /// across all observations.
     pub fn record_executor_cache(&mut self, size: usize) {
         self.executor_cache_peak = self.executor_cache_peak.max(size);
+    }
+
+    /// Counts `n` requests shed by admission control (bounded queues full).
+    pub fn record_shed(&mut self, n: usize) {
+        self.shed += n;
+    }
+
+    /// Counts `n` requests expired past their queueing deadline.
+    pub fn record_expired(&mut self, n: usize) {
+        self.expired += n;
+    }
+
+    /// Counts one batch a worker assembled from a sibling's shard.
+    pub fn record_stolen_batch(&mut self) {
+        self.stolen_batches += 1;
+    }
+
+    /// Requests shed by admission control.
+    pub fn shed(&self) -> usize {
+        self.shed
+    }
+
+    /// Requests expired past their queueing deadline.
+    pub fn expired(&self) -> usize {
+        self.expired
+    }
+
+    /// Batches assembled by work-stealing from a sibling shard.
+    pub fn stolen_batches(&self) -> usize {
+        self.stolen_batches
     }
 
     /// Number of recorded requests.
@@ -111,7 +144,9 @@ impl LatencyRecorder {
         }
         let mut sorted = self.latencies_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        // The epsilon guards the rank against binary-representation slop:
+        // p = 99.9 over 1000 samples must rank 999, not ceil(999.0000…1).
+        let rank = ((p * sorted.len() as f64) / 100.0 - 1e-9).ceil() as usize;
         sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
@@ -125,6 +160,10 @@ impl LatencyRecorder {
             throughput_rps: self.requests() as f64 / wall_seconds,
             p50_ms: self.percentile_ms(50.0),
             p99_ms: self.percentile_ms(99.0),
+            p999_ms: self.percentile_ms(99.9),
+            shed: self.shed,
+            expired: self.expired,
+            stolen_batches: self.stolen_batches,
             mean_batch_size: self.mean_batch_size(),
             mean_batch_occupancy: self.mean_batch_occupancy(),
             mean_queue_depth: self.mean_queue_depth(),
@@ -143,12 +182,15 @@ impl LatencyRecorder {
         self.queue_depth_samples += other.queue_depth_samples;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.executor_cache_peak = self.executor_cache_peak.max(other.executor_cache_peak);
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.stolen_batches += other.stolen_batches;
     }
 }
 
 /// A machine-readable serving summary (printed by `serve_synthetic` and
 /// appended to `BENCH_ci.json` by the CI serve-smoke step).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Requests served.
     pub requests: usize,
@@ -162,6 +204,14 @@ pub struct ServeReport {
     pub p50_ms: f64,
     /// 99th-percentile end-to-end request latency in milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile end-to-end request latency in milliseconds.
+    pub p999_ms: f64,
+    /// Requests shed by admission control (bounded queues full).
+    pub shed: usize,
+    /// Requests expired in the queue past the configured deadline.
+    pub expired: usize,
+    /// Batches a worker assembled by stealing from a sibling's shard.
+    pub stolen_batches: usize,
     /// Mean coalesced batch size.
     pub mean_batch_size: f64,
     /// Mean fraction of `max_batch` each executed batch filled.
@@ -226,6 +276,126 @@ mod tests {
         assert!((report.mean_queue_depth - 3.0).abs() < 1e-9);
         assert_eq!(report.max_queue_depth, 5);
         assert_eq!(report.executor_cache_peak, 3);
+    }
+
+    #[test]
+    fn quantiles_on_known_distributions() {
+        // Uniform 1..=1000 ms: nearest-rank percentiles are exact.
+        let mut uniform = LatencyRecorder::new();
+        for ms in 1..=1000u64 {
+            uniform.record(Duration::from_millis(ms));
+        }
+        assert_eq!(uniform.percentile_ms(50.0), 500.0);
+        assert_eq!(uniform.percentile_ms(99.0), 990.0);
+        assert_eq!(uniform.percentile_ms(99.9), 999.0);
+        assert_eq!(uniform.percentile_ms(0.0), 1.0);
+        assert_eq!(uniform.percentile_ms(100.0), 1000.0);
+
+        // Recording order must not matter: reversed and shuffled insertions
+        // give identical quantiles.
+        let mut reversed = LatencyRecorder::new();
+        for ms in (1..=1000u64).rev() {
+            reversed.record(Duration::from_millis(ms));
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(uniform.percentile_ms(p), reversed.percentile_ms(p), "p{p}");
+        }
+
+        // A two-point bimodal distribution: 990 fast requests at 1 ms and
+        // 10 stragglers at 100 ms. p50 sits in the fast mode, p99/p999 in
+        // the slow tail — the shape the load curves are meant to expose.
+        let mut bimodal = LatencyRecorder::new();
+        for _ in 0..990 {
+            bimodal.record(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            bimodal.record(Duration::from_millis(100));
+        }
+        assert_eq!(bimodal.percentile_ms(50.0), 1.0);
+        assert_eq!(bimodal.percentile_ms(99.0), 1.0);
+        assert_eq!(bimodal.percentile_ms(99.1), 100.0);
+        assert_eq!(bimodal.percentile_ms(99.9), 100.0);
+
+        // Quantiles are monotone in p.
+        let mut prev = 0.0;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let q = bimodal.percentile_ms(p);
+            assert!(q >= prev, "p{p}: {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn gauges_are_monotone_under_observation() {
+        let mut rec = LatencyRecorder::new();
+        rec.set_batch_capacity(8);
+        let mut max_depth = 0;
+        let mut cache_peak = 0;
+        let mut occupancy_partial_then_full = Vec::new();
+        for (i, depth) in [3usize, 1, 7, 2, 7, 0].into_iter().enumerate() {
+            rec.record_queue_depth(depth);
+            assert!(rec.max_queue_depth() >= max_depth, "max depth regressed");
+            max_depth = rec.max_queue_depth();
+            assert!(max_depth >= depth);
+            rec.record_executor_cache(i % 3);
+            assert!(rec.executor_cache_peak() >= cache_peak, "cache peak regressed");
+            cache_peak = rec.executor_cache_peak();
+            rec.record_batch(if i < 3 { 4 } else { 8 });
+            occupancy_partial_then_full.push(rec.mean_batch_occupancy());
+        }
+        // Occupancy climbs as full batches replace partial ones and is
+        // always within [0, 1].
+        for window in occupancy_partial_then_full.windows(2).skip(2) {
+            assert!(window[1] >= window[0], "occupancy fell while batches filled");
+        }
+        assert!(occupancy_partial_then_full.iter().all(|o| (0.0..=1.0).contains(o)));
+        // Counters accumulate monotonically too.
+        rec.record_shed(2);
+        rec.record_shed(3);
+        assert_eq!(rec.shed(), 5);
+        rec.record_expired(1);
+        assert_eq!(rec.expired(), 1);
+        rec.record_stolen_batch();
+        rec.record_stolen_batch();
+        assert_eq!(rec.stolen_batches(), 2);
+    }
+
+    #[test]
+    fn serve_report_serde_round_trip() {
+        let mut rec = LatencyRecorder::new();
+        rec.set_batch_capacity(4);
+        for ms in [1u64, 2, 3, 40] {
+            rec.record(Duration::from_millis(ms));
+        }
+        rec.record_batch(4);
+        rec.record_queue_depth(9);
+        rec.record_executor_cache(2);
+        rec.record_shed(6);
+        rec.record_expired(2);
+        rec.record_stolen_batch();
+        let report = rec.report(Duration::from_secs(2));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report, "ServeReport changed across the serde shims");
+        assert_eq!(back.shed, 6);
+        assert_eq!(back.expired, 2);
+        assert_eq!(back.stolen_batches, 1);
+        assert_eq!(back.p999_ms, report.p999_ms);
+    }
+
+    #[test]
+    fn merge_accumulates_shed_and_expired() {
+        let mut a = LatencyRecorder::new();
+        a.record_shed(1);
+        a.record_expired(4);
+        a.record_stolen_batch();
+        let mut b = LatencyRecorder::new();
+        b.record_shed(2);
+        b.record_stolen_batch();
+        a.merge(&b);
+        assert_eq!(a.shed(), 3);
+        assert_eq!(a.expired(), 4);
+        assert_eq!(a.stolen_batches(), 2);
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Concurrency stress suite for the sharded serving engine: many client
+//! threads in open- and closed-loop mixes against a small frozen model,
+//! asserting the engine's delivery contract — every admitted request is
+//! answered exactly once with the right scores, shed-load errors appear
+//! only when the bounded queues are genuinely full, deadlines expire
+//! rather than serve stale work, and shutdown drains in-flight requests
+//! instead of dropping them.
+
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_parallel::with_threads;
+use bnff_serve::{BatchingConfig, FrozenModel, ServeEngine, ServeError};
+use bnff_tensor::init::Initializer;
+use bnff_tensor::{Shape, Tensor};
+use bnff_train::Executor;
+use std::sync::mpsc::TryRecvError;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// A small frozen classifier shared by every test (compiling it once keeps
+/// the suite fast), plus distinct samples and their batch-1 reference
+/// scores.
+fn fixture() -> &'static (FrozenModel, Vec<Tensor>, Vec<Vec<u32>>) {
+    static FIXTURE: OnceLock<(FrozenModel, Vec<Tensor>, Vec<Vec<u32>>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut b = GraphBuilder::new("stress-cls");
+        let x = b.input("data", Shape::nchw(2, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(2)).unwrap();
+        let stem = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(6), "stem").unwrap();
+        let gap = b.global_avg_pool(stem, "gap").unwrap();
+        let fc = b.fully_connected(gap, 3, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        let mut exec = Executor::new(b.finish(), 7).unwrap();
+        let mut init = Initializer::seeded(17);
+        for _ in 0..2 {
+            let data = init.uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0);
+            let fwd = exec.forward(&data, &[0, 1]).unwrap();
+            exec.update_running_stats(&fwd).unwrap();
+        }
+        let model = FrozenModel::from_executor(&exec).unwrap();
+        let single = model.executor(1).unwrap();
+        let mut sample_init = Initializer::seeded(91);
+        let samples: Vec<Tensor> =
+            (0..64).map(|_| sample_init.uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0)).collect();
+        let references: Vec<Vec<u32>> = samples
+            .iter()
+            .map(|s| single.infer(s).unwrap().as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (model, samples, references)
+    })
+}
+
+/// Closed-loop clients under the queue capacity: every request must be
+/// answered exactly once, bit-identical to its batch-1 reference, with
+/// zero sheds — at kernel-thread budgets 1 and 4.
+#[test]
+fn closed_loop_clients_get_every_answer_exactly_once() {
+    let (model, samples, references) = fixture();
+    for threads in [1usize, 4] {
+        let engine = with_threads(threads, || {
+            ServeEngine::start(
+                model.clone(),
+                BatchingConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                    workers: 3,
+                    queue_depth: 16,
+                    ..BatchingConfig::default()
+                },
+            )
+            .unwrap()
+        });
+        let clients = 6usize;
+        let per_client = 12usize;
+        std::thread::scope(|s| {
+            for client in 0..clients {
+                let engine = &engine;
+                s.spawn(move || {
+                    for i in 0..per_client {
+                        let idx = (client * per_client + i) % samples.len();
+                        let rx = engine.submit(samples[idx].clone()).unwrap();
+                        let completion = rx.recv().unwrap().unwrap();
+                        assert_eq!(
+                            completion
+                                .scores
+                                .as_slice()
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect::<Vec<_>>(),
+                            references[idx],
+                            "client {client} request {i}: wrong scores (threads {threads})"
+                        );
+                        assert!(completion.batch_size >= 1 && completion.batch_size <= 4);
+                        // Exactly once: the channel must hold no second
+                        // completion (the worker hung up after one send).
+                        match rx.try_recv() {
+                            Err(TryRecvError::Disconnected) | Err(TryRecvError::Empty) => {}
+                            Ok(_) => panic!("duplicate completion delivered"),
+                        }
+                    }
+                });
+            }
+        });
+        let metrics = engine.shutdown();
+        assert_eq!(metrics.requests(), clients * per_client, "threads {threads}: lost requests");
+        assert_eq!(
+            metrics.shed(),
+            0,
+            "threads {threads}: shed while closed-loop load was under capacity"
+        );
+        assert_eq!(metrics.expired(), 0);
+    }
+}
+
+/// An open-loop burst far past the bounded queues: completions + sheds must
+/// exactly account for every submission, sheds must actually occur, shed
+/// errors must report a genuinely full engine, and every completion must
+/// still be bit-correct.
+#[test]
+fn open_loop_burst_sheds_only_when_genuinely_full() {
+    let (model, samples, references) = fixture();
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig {
+            max_batch: 2,
+            // A long coalescing window keeps workers from draining the tiny
+            // queues as fast as the burst fills them, making sheds
+            // deterministic.
+            max_wait: Duration::from_millis(40),
+            workers: 2,
+            queue_depth: 3,
+            ..BatchingConfig::default()
+        },
+    )
+    .unwrap();
+    let capacity = engine.queue_capacity();
+    assert_eq!(capacity, 6);
+    let burst = 64usize;
+    let mut receivers = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..burst {
+        match engine.submit(samples[i % samples.len()].clone()) {
+            Ok(rx) => receivers.push((i % samples.len(), rx)),
+            Err(ServeError::Overloaded { queued }) => {
+                shed += 1;
+                // A shed response must describe an engine at (or about to
+                // leave) capacity, never an empty one.
+                assert!(queued > 0, "shed with an empty engine");
+            }
+            Err(err) => panic!("unexpected submit error: {err}"),
+        }
+    }
+    assert!(shed > 0, "burst of {burst} into capacity {capacity} must shed");
+    let admitted = receivers.len();
+    assert!(admitted >= capacity.min(burst), "admission refused below the bound");
+    for (idx, rx) in receivers {
+        let completion = rx.recv().unwrap().unwrap();
+        assert_eq!(
+            completion.scores.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            references[idx],
+            "admitted request served wrong scores"
+        );
+    }
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.requests() + metrics.shed(), burst, "requests + sheds must cover the burst");
+    assert_eq!(metrics.requests(), admitted);
+}
+
+/// Mixed open/closed loop: firehose threads (tolerating sheds) racing
+/// closed-loop threads — total accounting must still be exact and no
+/// completion may be wrong or duplicated.
+#[test]
+fn mixed_open_and_closed_loop_accounting_is_exact() {
+    let (model, samples, references) = fixture();
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            queue_depth: 4,
+            ..BatchingConfig::default()
+        },
+    )
+    .unwrap();
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let shed = std::sync::atomic::AtomicUsize::new(0);
+    let submitted = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // Two firehose threads blast without waiting.
+        for f in 0..2 {
+            let engine = &engine;
+            let (completed, shed, submitted) = (&completed, &shed, &submitted);
+            s.spawn(move || {
+                let mut receivers = Vec::new();
+                for i in 0..40 {
+                    let idx = (f * 40 + i) % samples.len();
+                    submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match engine.submit(samples[idx].clone()) {
+                        Ok(rx) => receivers.push((idx, rx)),
+                        Err(ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(err) => panic!("unexpected submit error: {err}"),
+                    }
+                }
+                for (idx, rx) in receivers {
+                    let completion = rx.recv().unwrap().unwrap();
+                    assert_eq!(
+                        completion
+                            .scores
+                            .as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        references[idx]
+                    );
+                    completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Two polite closed-loop threads; sheds possible while the
+        // firehoses hold the queues full, and must surface as Overloaded,
+        // never as a hang or a wrong answer.
+        for c in 0..2 {
+            let engine = &engine;
+            let (completed, shed, submitted) = (&completed, &shed, &submitted);
+            s.spawn(move || {
+                for i in 0..20 {
+                    let idx = (c * 20 + i + 13) % samples.len();
+                    submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match engine.submit(samples[idx].clone()) {
+                        Ok(rx) => {
+                            let completion = rx.recv().unwrap().unwrap();
+                            assert_eq!(
+                                completion
+                                    .scores
+                                    .as_slice()
+                                    .iter()
+                                    .map(|v| v.to_bits())
+                                    .collect::<Vec<_>>(),
+                                references[idx]
+                            );
+                            completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(err) => panic!("unexpected submit error: {err}"),
+                    }
+                }
+            });
+        }
+    });
+    let metrics = engine.shutdown();
+    let completed = completed.load(std::sync::atomic::Ordering::Relaxed);
+    let shed = shed.load(std::sync::atomic::Ordering::Relaxed);
+    let submitted = submitted.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(completed + shed, submitted, "every submission must complete or shed");
+    assert_eq!(metrics.requests(), completed, "engine metrics disagree with client counts");
+    assert_eq!(metrics.shed(), shed);
+}
+
+/// Shutdown must drain: requests in flight when `shutdown` is called still
+/// receive real completions, and submissions after it fail typed.
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    let (model, samples, references) = fixture();
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig {
+            max_batch: 4,
+            // A long window guarantees requests are still queued (not yet
+            // coalesced) when shutdown lands; drain-on-shutdown must cut
+            // the wait short and serve them anyway.
+            max_wait: Duration::from_millis(250),
+            workers: 2,
+            queue_depth: 64,
+            ..BatchingConfig::default()
+        },
+    )
+    .unwrap();
+    let receivers: Vec<_> = (0..12)
+        .map(|i| (i % samples.len(), engine.submit(samples[i % samples.len()].clone()).unwrap()))
+        .collect();
+    let metrics = engine.shutdown();
+    for (idx, rx) in receivers {
+        let completion = rx.recv().unwrap().unwrap();
+        assert_eq!(
+            completion.scores.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            references[idx],
+            "in-flight request dropped or corrupted by shutdown"
+        );
+    }
+    assert_eq!(metrics.requests(), 12, "shutdown lost in-flight requests");
+
+    // After shutdown the engine object is gone (consumed); a fresh engine's
+    // post-stop behaviour is covered through drop + submit in
+    // freeze_equivalence. Here: an engine mid-drop refuses politely.
+    let engine = ServeEngine::start(model.clone(), BatchingConfig::default()).unwrap();
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.requests(), 0);
+}
+
+/// Deadline-based expiry: a zero deadline expires every queued request
+/// (typed, counted), a generous one expires none.
+#[test]
+fn deadlines_expire_requests_instead_of_serving_stale_work() {
+    let (model, samples, _references) = fixture();
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(30),
+            workers: 1,
+            queue_depth: 64,
+            deadline: Some(Duration::ZERO),
+            ..BatchingConfig::default()
+        },
+    )
+    .unwrap();
+    let receivers: Vec<_> =
+        (0..8).map(|i| engine.submit(samples[i % samples.len()].clone()).unwrap()).collect();
+    let mut expired = 0usize;
+    let mut served = 0usize;
+    for rx in receivers {
+        match rx.recv().unwrap() {
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Ok(_) => served += 1,
+            Err(err) => panic!("unexpected error: {err}"),
+        }
+    }
+    // A zero deadline can in principle race a worker to the very first
+    // submission; in practice every request must be accounted for and the
+    // overwhelming majority expire.
+    assert_eq!(expired + served, 8);
+    assert!(expired > 0, "zero deadline expired nothing");
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.expired(), expired);
+
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            deadline: Some(Duration::from_secs(30)),
+            ..BatchingConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..8 {
+        engine.infer_blocking(samples[i % samples.len()].clone()).unwrap();
+    }
+    let metrics = engine.shutdown();
+    assert_eq!(metrics.expired(), 0, "a generous deadline must expire nothing");
+    assert_eq!(metrics.requests(), 8);
+}
+
+/// The engine must reject nonsensical configurations with a typed error
+/// rather than spawning a broken pool.
+#[test]
+fn zero_bounds_are_rejected() {
+    let (model, _samples, _references) = fixture();
+    for config in [
+        BatchingConfig { max_batch: 0, ..BatchingConfig::default() },
+        BatchingConfig { workers: 0, ..BatchingConfig::default() },
+        BatchingConfig { executor_cache: 0, ..BatchingConfig::default() },
+        BatchingConfig { queue_depth: 0, ..BatchingConfig::default() },
+    ] {
+        assert!(matches!(
+            ServeEngine::start(model.clone(), config),
+            Err(ServeError::InvalidArgument(_))
+        ));
+    }
+}
+
+/// Kernel budgets partition the thread budget disjointly across workers.
+#[test]
+fn kernel_budgets_partition_the_thread_budget() {
+    let (model, _samples, _references) = fixture();
+    let engine = ServeEngine::start(
+        model.clone(),
+        BatchingConfig { workers: 3, kernel_threads: 7, ..BatchingConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(engine.kernel_budgets(), &[3, 2, 2]);
+    drop(engine);
+    // kernel_threads = 0 inherits the caller's scoped override.
+    let engine = with_threads(5, || {
+        ServeEngine::start(
+            model.clone(),
+            BatchingConfig { workers: 2, ..BatchingConfig::default() },
+        )
+        .unwrap()
+    });
+    assert_eq!(engine.kernel_budgets(), &[3, 2]);
+}

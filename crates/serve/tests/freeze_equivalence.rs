@@ -190,6 +190,7 @@ fn engine_serves_correct_scores_under_concurrent_load() {
             max_wait: Duration::from_millis(5),
             workers: 2,
             executor_cache: 4,
+            ..BatchingConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,270 @@
+//! Schedule-permutation tests for the queue/condvar handoff state machine.
+//!
+//! The engine's worker loop is `plan_step` driven: under the shard lock a
+//! worker observes `(queued, oldest_wait, shutdown)` and the pure function
+//! decides Take / WaitFor / Park / Exit. Because the decision is pure, the
+//! whole handoff can be model-checked: simulate a shard queue against a
+//! virtual clock, enumerate **every permutation** of a small operation
+//! alphabet (submissions, clock ticks, worker polls, shutdown), and assert
+//! the liveness and safety invariants on all of them. Sleep-based stress
+//! tests sample a handful of interleavings; this suite visits all of them
+//! for the small alphabets that historically hide the bugs (lost wakeups,
+//! premature exits, unbounded dwells).
+
+use bnff_serve::assembly::{plan_step, BatchStep};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+const MS: Duration = Duration::from_millis(1);
+
+/// One externally-scheduled event against the simulated shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// A client enqueues request `id`.
+    Submit(usize),
+    /// The virtual clock advances 1 ms.
+    Tick,
+    /// A worker wakes (by signal or timeout) and consults `plan_step`.
+    Poll,
+    /// Shutdown is flagged (idempotent).
+    Shutdown,
+}
+
+/// A virtual-clock shard: the queue holds (id, enqueue_time) pairs.
+struct Sim {
+    queue: VecDeque<(usize, Duration)>,
+    now: Duration,
+    shutdown: bool,
+    max_batch: usize,
+    max_wait: Duration,
+    taken: Vec<usize>,
+}
+
+impl Sim {
+    fn new(max_batch: usize, max_wait: Duration) -> Self {
+        Sim {
+            queue: VecDeque::new(),
+            now: Duration::ZERO,
+            shutdown: false,
+            max_batch,
+            max_wait,
+            taken: Vec::new(),
+        }
+    }
+
+    fn oldest_wait(&self) -> Duration {
+        self.queue.front().map_or(Duration::ZERO, |&(_, t)| self.now - t)
+    }
+
+    /// Applies one op; on Poll, checks every `plan_step` invariant and
+    /// executes the decision (Take drains, WaitFor advances the clock as a
+    /// timed-out wait would).
+    fn apply(&mut self, op: Op, trace: &[Op]) {
+        match op {
+            Op::Submit(id) => self.queue.push_back((id, self.now)),
+            Op::Tick => self.now += MS,
+            Op::Shutdown => self.shutdown = true,
+            Op::Poll => {
+                let queued = self.queue.len();
+                let oldest = self.oldest_wait();
+                let step = plan_step(queued, oldest, self.shutdown, self.max_batch, self.max_wait);
+                match step {
+                    BatchStep::Park => {
+                        assert_eq!(queued, 0, "{trace:?}: parked with {queued} pending requests");
+                        assert!(!self.shutdown, "{trace:?}: parked during shutdown");
+                    }
+                    BatchStep::Exit => {
+                        assert_eq!(queued, 0, "{trace:?}: exited with {queued} undrained requests");
+                        assert!(self.shutdown, "{trace:?}: exited without shutdown");
+                    }
+                    BatchStep::Take(n) => {
+                        assert!(n >= 1, "{trace:?}: empty Take");
+                        assert!(n <= self.max_batch, "{trace:?}: Take({n}) > max_batch");
+                        assert!(n <= queued, "{trace:?}: Take({n}) from {queued} queued");
+                        assert!(
+                            queued >= self.max_batch
+                                || self.shutdown
+                                || oldest >= self.max_wait,
+                            "{trace:?}: Take({n}) while unripe ({queued} queued, oldest {oldest:?})"
+                        );
+                        for _ in 0..n {
+                            self.taken.push(self.queue.pop_front().unwrap().0);
+                        }
+                    }
+                    BatchStep::WaitFor(d) => {
+                        assert!(d > Duration::ZERO, "{trace:?}: non-positive WaitFor");
+                        assert!(
+                            oldest + d <= self.max_wait,
+                            "{trace:?}: WaitFor({d:?}) overshoots max_wait for oldest {oldest:?}"
+                        );
+                        // A timed-out wait: the clock advances the full
+                        // bound, after which the oldest request is exactly
+                        // ripe — the *next* poll must Take, guaranteeing
+                        // progress.
+                        self.now += d;
+                        let next = plan_step(
+                            self.queue.len(),
+                            self.oldest_wait(),
+                            self.shutdown,
+                            self.max_batch,
+                            self.max_wait,
+                        );
+                        assert!(
+                            matches!(next, BatchStep::Take(_)),
+                            "{trace:?}: poll after a full WaitFor dwell did not take ({next:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// After the schedule: flag shutdown and poll until Exit, proving the
+    /// drain terminates and loses nothing. Returns the full take order.
+    fn drain(mut self, trace: &[Op]) -> Vec<usize> {
+        self.shutdown = true;
+        let bound = self.queue.len() + 2;
+        for _ in 0..bound {
+            let queued = self.queue.len();
+            let step = plan_step(queued, self.oldest_wait(), true, self.max_batch, self.max_wait);
+            match step {
+                BatchStep::Exit => {
+                    assert_eq!(queued, 0);
+                    return self.taken;
+                }
+                BatchStep::Take(n) => {
+                    assert!(n >= 1 && n <= self.max_batch.min(queued));
+                    for _ in 0..n {
+                        self.taken.push(self.queue.pop_front().unwrap().0);
+                    }
+                }
+                other => panic!("{trace:?}: drain poll produced {other:?}"),
+            }
+        }
+        panic!("{trace:?}: shutdown drain did not terminate in {bound} polls");
+    }
+}
+
+/// Heap's algorithm: all permutations of `items`, visited in place.
+fn permutations<T: Copy>(items: &mut Vec<T>, visit: &mut impl FnMut(&[T])) {
+    fn heap<T: Copy>(k: usize, items: &mut Vec<T>, visit: &mut impl FnMut(&[T])) {
+        if k <= 1 {
+            visit(items);
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, visit);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let k = items.len();
+    heap(k, items, visit);
+}
+
+/// Runs one schedule end to end and asserts exactly-once delivery in FIFO
+/// order of the ids that were submitted.
+fn check_schedule(trace: &[Op], max_batch: usize, max_wait: Duration) {
+    let mut sim = Sim::new(max_batch, max_wait);
+    let mut submitted = Vec::new();
+    for &op in trace {
+        if let Op::Submit(id) = op {
+            submitted.push(id);
+        }
+        sim.apply(op, trace);
+    }
+    let taken = sim.drain(trace);
+    // Exactly once, in arrival order: batching coalesces but never reorders
+    // or duplicates within a shard.
+    assert_eq!(taken, submitted, "{trace:?}: ids lost, duplicated, or reordered");
+}
+
+/// All 7! = 5040 permutations of 3 submissions, a tick, two polls and a
+/// shutdown, at a batch bound that forces partial takes.
+#[test]
+fn all_orders_of_submit_tick_poll_shutdown_deliver_exactly_once() {
+    let mut ops = vec![
+        Op::Submit(0),
+        Op::Submit(1),
+        Op::Submit(2),
+        Op::Tick,
+        Op::Poll,
+        Op::Poll,
+        Op::Shutdown,
+    ];
+    let mut count = 0usize;
+    permutations(&mut ops, &mut |trace| {
+        check_schedule(trace, 2, 2 * MS);
+        count += 1;
+    });
+    assert_eq!(count, 5040);
+}
+
+/// Polls racing a ripening queue: two ticks either side of polls means some
+/// schedules poll an unripe queue (must WaitFor) and some a ripe one (must
+/// Take) — all must still deliver exactly once.
+#[test]
+fn all_orders_of_ripening_polls_deliver_exactly_once() {
+    let mut ops = vec![Op::Submit(0), Op::Submit(1), Op::Tick, Op::Tick, Op::Poll, Op::Poll];
+    let mut count = 0usize;
+    permutations(&mut ops, &mut |trace| {
+        check_schedule(trace, 4, 2 * MS);
+        count += 1;
+    });
+    assert_eq!(count, 720);
+}
+
+/// Shutdown arriving at every possible point relative to submissions and
+/// polls: drains must complete, never park, never lose a request.
+#[test]
+fn shutdown_at_every_point_still_drains() {
+    let mut ops = vec![Op::Submit(0), Op::Poll, Op::Shutdown, Op::Submit(1), Op::Poll, Op::Tick];
+    let mut count = 0usize;
+    permutations(&mut ops, &mut |trace| {
+        check_schedule(trace, 1, MS);
+        count += 1;
+    });
+    assert_eq!(count, 720);
+}
+
+/// Batch-bound sweep over a fixed saturating schedule: whatever max_batch
+/// is, takes cap at it and everything is delivered.
+#[test]
+fn batch_bounds_cap_takes_across_all_schedules() {
+    for max_batch in 1..=5 {
+        let mut ops = vec![Op::Submit(0), Op::Submit(1), Op::Submit(2), Op::Submit(3), Op::Poll];
+        permutations(&mut ops, &mut |trace| {
+            check_schedule(trace, max_batch, 2 * MS);
+        });
+    }
+}
+
+/// Zero max_wait (no coalescing delay): every poll with pending work must
+/// take immediately; WaitFor must never appear.
+#[test]
+fn zero_max_wait_never_waits_in_any_schedule() {
+    let mut ops = vec![Op::Submit(0), Op::Poll, Op::Submit(1), Op::Poll, Op::Tick];
+    permutations(&mut ops, &mut |trace| {
+        let mut sim = Sim::new(8, Duration::ZERO);
+        for &op in trace {
+            if op == Op::Poll {
+                let step = plan_step(
+                    sim.queue.len(),
+                    sim.oldest_wait(),
+                    sim.shutdown,
+                    sim.max_batch,
+                    sim.max_wait,
+                );
+                assert!(
+                    !matches!(step, BatchStep::WaitFor(_)),
+                    "{trace:?}: waited despite max_wait == 0"
+                );
+            }
+            sim.apply(op, trace);
+        }
+        sim.drain(trace);
+    });
+}

@@ -102,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_wait: Duration::from_millis(2),
             workers,
             executor_cache: 4,
+            ..BatchingConfig::default()
         },
     )?;
     let started = Instant::now();
