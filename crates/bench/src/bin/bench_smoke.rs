@@ -13,12 +13,13 @@
 use bnff_bench::{print_table, training_step_executors, BenchReport};
 use bnff_graph::op::Conv2dAttrs;
 use bnff_kernels::conv::{conv2d_forward, conv2d_forward_direct};
+use bnff_kernels::dispatch::{active_isa, with_isa, SimdIsa};
 use bnff_kernels::gemm::{gemm, gemm_nt, gemm_streaming, gemm_tn, pack_pool_reuse};
-use bnff_kernels::{batchnorm, relu};
+use bnff_kernels::{affine, batchnorm, relu};
 use bnff_parallel::with_threads;
 use bnff_serve::FrozenModel;
 use bnff_tensor::init::Initializer;
-use bnff_tensor::Shape;
+use bnff_tensor::{Shape, Tensor};
 use std::time::Duration;
 
 const GEMM_DIM: usize = 256;
@@ -29,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Duration::from_millis(ms);
     let mut report = BenchReport::new();
 
+    // Which SIMD path produced every "active" record below; the scalar-named
+    // records force the fallback for the simd_over_scalar ratios.
+    let isa = active_isa();
+    println!("simd dispatch: {isa}");
+
     // --- GEMM: the acceptance measurement. 256x256x256, one worker, so the
-    // blocked-vs-streaming ratio isolates the packing/blocking win.
+    // blocked-vs-streaming ratio isolates the packing/blocking win and the
+    // scalar-vs-SIMD ratio isolates the microkernel win.
     let n = GEMM_DIM;
     let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
     let b: Vec<f32> = (0..n * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
@@ -39,6 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     with_threads(1, || {
         report.measure("gemm_256_blocked_1t", Some(gemm_flops), 3, budget, || {
             gemm(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        });
+        with_isa(SimdIsa::Scalar, || {
+            report.measure("gemm_256_scalar_1t", Some(gemm_flops), 3, budget, || {
+                gemm(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
+            });
         });
         report.measure("gemm_256_streaming_1t", Some(gemm_flops), 3, budget, || {
             gemm_streaming(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
@@ -49,6 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.measure("gemm_tn_256_blocked_1t", Some(gemm_flops), 3, budget, || {
             gemm_tn(n, n, n, &a, &b, &mut c).unwrap();
         });
+        // Per-size GFLOP/s trajectory for the microkernel (same data,
+        // leading sub-matrices keep the row stride at 256).
+        for dim in [64usize, 128] {
+            let mut c_small = vec![0.0f32; dim * dim];
+            let a_small: Vec<f32> = (0..dim * dim).map(|i| a[i]).collect();
+            let b_small: Vec<f32> = (0..dim * dim).map(|i| b[i]).collect();
+            let flops = 2.0 * (dim * dim * dim) as f64;
+            report.measure(&format!("gemm_{dim}_blocked_1t"), Some(flops), 3, budget, || {
+                gemm(dim, dim, dim, 1.0, &a_small, &b_small, 0.0, &mut c_small).unwrap();
+            });
+        }
     });
     report.measure("gemm_256_blocked_mt", Some(gemm_flops), 3, budget, || {
         gemm(n, n, n, 1.0, &a, &b, 0.0, &mut c).unwrap();
@@ -67,7 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         conv2d_forward_direct(&x, &w, None, &attrs).unwrap();
     });
 
-    // --- The BN-side kernels the paper restructures.
+    // --- The BN-side kernels the paper restructures, active path vs the
+    // forced scalar fallback (the bandwidth-bound side of the SIMD work).
     let bn_x = init.uniform(Shape::nchw(8, 32, 32, 32), -1.0, 1.0);
     let bn_params = batchnorm::BnParams::identity(32);
     report.measure("bn_forward_one_pass", None, 3, budget, || {
@@ -75,6 +99,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     report.measure("relu_forward", None, 3, budget, || {
         relu::relu_forward(&bn_x);
+    });
+    let aff_scale = vec![1.25f32; 32];
+    let aff_shift = vec![-0.1f32; 32];
+    let mut aff_out = Tensor::zeros(bn_x.shape().clone());
+    report.measure("channel_affine_relu", None, 3, budget, || {
+        affine::channel_affine_relu_into(&bn_x, &aff_scale, &aff_shift, &mut aff_out).unwrap();
+    });
+    with_isa(SimdIsa::Scalar, || {
+        report.measure("bn_forward_one_pass_scalar", None, 3, budget, || {
+            batchnorm::bn_forward(&bn_x, &bn_params, 1e-5, true).unwrap();
+        });
+        report.measure("relu_forward_scalar", None, 3, budget, || {
+            relu::relu_forward(&bn_x);
+        });
+        report.measure("channel_affine_relu_scalar", None, 3, budget, || {
+            affine::channel_affine_relu_into(&bn_x, &aff_scale, &aff_shift, &mut aff_out).unwrap();
+        });
     });
 
     // --- One planned training step, baseline vs BNFF, at toy scale.
@@ -133,6 +174,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blocked_speedup =
         report.speedup("gemm_256_blocked_1t", "gemm_256_streaming_1t").unwrap_or(0.0);
     report.summarize("gemm_256_blocked_over_streaming", blocked_speedup);
+    // SIMD summaries: the dispatch marker (1.0 = the active path is
+    // AVX2+FMA; CI skips the SIMD gates when 0), the active-path GFLOP/s
+    // floor, and the SIMD-over-scalar ratios.
+    report.summarize("simd_avx2", if isa == SimdIsa::Avx2Fma { 1.0 } else { 0.0 });
+    let gemm_gflops = report
+        .records
+        .iter()
+        .find(|r| r.name == "gemm_256_blocked_1t")
+        .and_then(|r| r.gflops)
+        .unwrap_or(0.0);
+    report.summarize("gemm_gflops_256", gemm_gflops);
+    let simd_gemm = report.speedup("gemm_256_blocked_1t", "gemm_256_scalar_1t").unwrap_or(0.0);
+    report.summarize("simd_over_scalar_gemm_256", simd_gemm);
+    let simd_bn =
+        report.speedup("bn_forward_one_pass", "bn_forward_one_pass_scalar").unwrap_or(0.0);
+    report.summarize("simd_over_scalar_bn_forward", simd_bn);
+    let simd_relu = report.speedup("relu_forward", "relu_forward_scalar").unwrap_or(0.0);
+    report.summarize("simd_over_scalar_relu", simd_relu);
+    let simd_affine =
+        report.speedup("channel_affine_relu", "channel_affine_relu_scalar").unwrap_or(0.0);
+    report.summarize("simd_over_scalar_affine", simd_affine);
     let (hits, takes) = pack_pool_reuse();
     if takes > 0 {
         report.summarize("gemm_pack_pool_hit_rate", hits as f64 / takes as f64);
@@ -161,7 +223,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     print_table("bench smoke", &["kernel", "ns/iter", "GFLOP/s"], &rows);
-    println!("\nblocked GEMM speedup over streaming (256³, 1 thread): {blocked_speedup:.2}x");
+    println!("\nsimd dispatch: {isa} (BNFF_SIMD overrides; scalar forces the fallback)");
+    println!("gemm 256³ 1-thread: {gemm_gflops:.2} GFLOP/s, {simd_gemm:.2}x over scalar");
+    println!(
+        "simd over scalar — bn forward: {simd_bn:.2}x, relu: {simd_relu:.2}x, \
+         affine+relu: {simd_affine:.2}x"
+    );
+    println!("blocked GEMM speedup over streaming (256³, 1 thread): {blocked_speedup:.2}x");
     println!(
         "frozen-graph speedup over training eval forward (single image): {frozen_speedup:.2}x"
     );

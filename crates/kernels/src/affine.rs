@@ -9,9 +9,10 @@
 //! itself shares.
 
 use crate::error::KernelError;
+use crate::vecops;
 use crate::Result;
 use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
-use bnff_tensor::Tensor;
+use bnff_tensor::{active_isa, Tensor};
 
 /// Lowers BN parameters + running statistics into affine coefficients:
 /// `scale[c] = γ[c]/√(var[c]+ε)`, `shift[c] = β[c] − scale[c]·mean[c]`.
@@ -131,6 +132,10 @@ fn channel_affine_in_place_impl(
     }
     let plane_len = x.shape().volume() / (x.shape().dim(0).unwrap_or(1).max(1) * c.max(1));
     let plane_len = plane_len.max(1);
+    // Resolved here because pool workers don't inherit the caller's
+    // `with_isa` override. Workers split on whole planes, so the FMA
+    // contraction inside a plane never moves with the thread count.
+    let isa = active_isa();
     parallel_rows_mut(
         x.as_mut_slice(),
         plane_len,
@@ -139,16 +144,7 @@ fn channel_affine_in_place_impl(
             for (p_local, plane) in block.chunks_mut(plane_len).enumerate() {
                 let p = first_plane + p_local;
                 let ci = p % c;
-                let (s, b) = (scale[ci], shift[ci]);
-                if fuse_relu {
-                    for v in plane.iter_mut() {
-                        *v = (s * *v + b).max(0.0);
-                    }
-                } else {
-                    for v in plane.iter_mut() {
-                        *v = s * *v + b;
-                    }
-                }
+                vecops::affine_inplace(isa, plane, scale[ci], shift[ci], fuse_relu);
             }
         },
     );
@@ -176,6 +172,7 @@ fn channel_affine_into_impl(
     let plane_len = x.shape().volume() / (x.shape().dim(0).unwrap_or(1).max(1) * c.max(1));
     let plane_len = plane_len.max(1);
     let src = x.as_slice();
+    let isa = active_isa();
     parallel_rows_mut(
         out.as_mut_slice(),
         plane_len,
@@ -184,17 +181,8 @@ fn channel_affine_into_impl(
             for (p_local, plane) in block.chunks_mut(plane_len).enumerate() {
                 let p = first_plane + p_local;
                 let ci = p % c;
-                let (s, b) = (scale[ci], shift[ci]);
                 let src_plane = &src[p * plane_len..(p + 1) * plane_len];
-                if fuse_relu {
-                    for (dst, &v) in plane.iter_mut().zip(src_plane) {
-                        *dst = (s * v + b).max(0.0);
-                    }
-                } else {
-                    for (dst, &v) in plane.iter_mut().zip(src_plane) {
-                        *dst = s * v + b;
-                    }
-                }
+                vecops::affine(isa, src_plane, plane, scale[ci], shift[ci], fuse_relu);
             }
         },
     );

@@ -6,12 +6,13 @@
 //! pass produces ∂γ, ∂β and ∂x with the standard BN gradient formulas.
 
 use crate::error::KernelError;
+use crate::vecops;
 use crate::Result;
 use bnff_parallel::{
     min_items_per_thread, parallel_map_collect, parallel_rows_mut, parallel_rows_mut2,
 };
 use bnff_tensor::stats::{channel_stats_one_pass, channel_stats_two_pass, ChannelStats};
-use bnff_tensor::Tensor;
+use bnff_tensor::{active_isa, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Minimum `(sample, channel)` planes per worker for planes of `plane_len`
@@ -140,7 +141,11 @@ pub fn bn_normalize_into(
     let plane_len = x.shape().h() * x.shape().w();
     let src = x.as_slice();
     // One task per `(sample, channel)` plane; `x̂` and `y` are written in
-    // lockstep so the feature map is swept once.
+    // lockstep so the feature map is swept once. The ISA is resolved here,
+    // on the caller's thread, because pool workers don't inherit the
+    // caller's `with_isa` override; workers split on whole planes, so the
+    // vectorized sweep stays deterministic across thread counts.
+    let isa = active_isa();
     parallel_rows_mut2(
         x_hat.as_mut_slice(),
         plane_len.max(1),
@@ -157,13 +162,18 @@ pub fn bn_normalize_into(
                 let ci = p % c;
                 let mean = stats.mean[ci];
                 let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
-                let gamma = params.gamma[ci];
-                let beta = params.beta[ci];
                 let src_plane = &src[p * plane_len..(p + 1) * plane_len];
-                for ((h, o), &v) in hat_plane.iter_mut().zip(y_plane.iter_mut()).zip(src_plane) {
-                    *h = (v - mean) * inv_std;
-                    *o = gamma * *h + beta;
-                }
+                vecops::normalize_plane(
+                    isa,
+                    src_plane,
+                    hat_plane,
+                    y_plane,
+                    mean,
+                    inv_std,
+                    params.gamma[ci],
+                    params.beta[ci],
+                    false,
+                );
             }
         },
     );

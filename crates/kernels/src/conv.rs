@@ -293,17 +293,17 @@ fn check_bias(bias: Option<&[f32]>, attrs: &Conv2dAttrs) -> Result<()> {
 /// Both forward entry points use this same code so their results stay
 /// bit-identical.
 fn apply_bias_relu(out_slice: &mut [f32], bias: Option<&[f32]>, cols: usize, fuse_relu: bool) {
+    // Runs on the caller's thread, so resolving the ISA here honours any
+    // scoped `with_isa` override. Add and clamp are bit-identical across
+    // ISAs, so this never perturbs the conv results.
+    let isa = bnff_tensor::active_isa();
     if let Some(b) = bias {
         for (oc, &bv) in b.iter().enumerate() {
-            for v in out_slice[oc * cols..(oc + 1) * cols].iter_mut() {
-                *v += bv;
-            }
+            crate::vecops::add_scalar(isa, &mut out_slice[oc * cols..(oc + 1) * cols], bv);
         }
     }
     if fuse_relu {
-        for v in out_slice.iter_mut() {
-            *v = v.max(0.0);
-        }
+        crate::vecops::relu_inplace(isa, out_slice);
     }
 }
 

@@ -1,0 +1,46 @@
+//! Runtime SIMD dispatch: which instruction set the kernels execute.
+//!
+//! Every kernel with an explicit-SIMD flavour (the packed GEMM microkernel,
+//! BN statistics and normalization, ReLU, channel affine, the element-wise
+//! sum and the convolution bias/ReLU epilogue) resolves an ISA **once at
+//! kernel entry, on the calling thread**, and threads it by value through
+//! its workers. Resolution order:
+//!
+//! 1. a scoped [`with_isa`] override on the calling thread (tests use this
+//!    to compare paths in one process),
+//! 2. the `BNFF_SIMD` environment variable — `scalar`, `avx2` / `avx2fma`,
+//!    or `auto` (unknown values fall back to `auto`),
+//! 3. runtime CPUID detection (`is_x86_feature_detected!`).
+//!
+//! A requested ISA the hardware cannot execute is clamped down to
+//! [`SimdIsa::Scalar`], so `BNFF_SIMD=avx2` on a non-AVX2 machine is safe.
+//!
+//! Results are bit-identical across `BNFF_THREADS` *within* one ISA; the
+//! two ISAs differ in the last bits wherever FMA contracts a multiply-add
+//! (see `tests/simd_equivalence.rs` for the quantified bound). Bench
+//! artifacts therefore record [`active_isa`] next to every number.
+//!
+//! The implementation lives in `bnff_tensor::simd` (the aligned pack
+//! buffers live next to it); this module is the kernels-facing face of it.
+
+pub use bnff_tensor::simd::{active_isa, with_isa, SimdIsa};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_restores() {
+        let outer = active_isa();
+        let inner = with_isa(SimdIsa::Scalar, active_isa);
+        assert_eq!(inner, SimdIsa::Scalar);
+        assert_eq!(active_isa(), outer);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        // Bench artifacts and CI gates key on these strings.
+        assert_eq!(SimdIsa::Scalar.name(), "scalar");
+        assert_eq!(SimdIsa::Avx2Fma.name(), "avx2+fma");
+    }
+}

@@ -1,9 +1,10 @@
 //! Element-wise sum (ResNet shortcut join).
 
 use crate::error::KernelError;
+use crate::vecops;
 use crate::Result;
 use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
-use bnff_tensor::Tensor;
+use bnff_tensor::{active_isa, Tensor};
 
 /// Element-wise sum of any number of equally shaped tensors, computed in a
 /// single parallel sweep over the output (each worker accumulates all
@@ -35,13 +36,15 @@ pub fn eltwise_sum_forward_into(inputs: &[&Tensor], out: &mut Tensor) -> Result<
     }
     first.shape().expect_same(out.shape())?;
     let base = first.as_slice();
+    // Resolved on the caller's thread (workers don't inherit `with_isa`);
+    // element-wise adds are bit-identical across ISAs, so worker chunk
+    // boundaries are free to move with the thread count.
+    let isa = active_isa();
     parallel_rows_mut(out.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
         let len = chunk.len();
         chunk.copy_from_slice(&base[offset..offset + len]);
         for t in &inputs[1..] {
-            for (o, &v) in chunk.iter_mut().zip(&t.as_slice()[offset..offset + len]) {
-                *o += v;
-            }
+            vecops::add_assign(isa, chunk, &t.as_slice()[offset..offset + len]);
         }
     });
     Ok(())

@@ -21,11 +21,12 @@ use crate::conv::{
 };
 use crate::error::KernelError;
 use crate::relu::relu_backward;
+use crate::vecops;
 use crate::Result;
 use bnff_graph::op::Conv2dAttrs;
 use bnff_parallel::parallel_rows_mut2;
 use bnff_tensor::stats::{ChannelAccumulator, ChannelStats};
-use bnff_tensor::{Shape, Tensor};
+use bnff_tensor::{active_isa, Shape, Tensor};
 
 /// Convolution that also accumulates per-channel Σx / Σx² of its output
 /// (the paper's `CONV1-(sub-BN1)` fused layer). Returns the output feature
@@ -145,7 +146,9 @@ pub fn norm_relu_conv_forward_into(
     let plane_len = raw.shape().h() * raw.shape().w();
     let src = raw.as_slice();
     // One task per `(sample, channel)` plane; `x̂` and the clipped conv
-    // input are produced in the same sweep of the raw activations.
+    // input are produced in the same sweep of the raw activations. ISA
+    // resolved on the caller's thread (workers don't inherit `with_isa`).
+    let isa = active_isa();
     parallel_rows_mut2(
         x_hat.as_mut_slice(),
         plane_len.max(1),
@@ -162,13 +165,18 @@ pub fn norm_relu_conv_forward_into(
                 let ci = p % c;
                 let mean = stats.mean[ci];
                 let inv_std = 1.0 / (stats.var[ci] + epsilon).sqrt();
-                let gamma = bn.gamma[ci];
-                let beta = bn.beta[ci];
                 let src_plane = &src[p * plane_len..(p + 1) * plane_len];
-                for ((h, o), &v) in hat_plane.iter_mut().zip(ci_plane.iter_mut()).zip(src_plane) {
-                    *h = (v - mean) * inv_std;
-                    *o = (gamma * *h + beta).max(0.0);
-                }
+                vecops::normalize_plane(
+                    isa,
+                    src_plane,
+                    hat_plane,
+                    ci_plane,
+                    mean,
+                    inv_std,
+                    bn.gamma[ci],
+                    bn.beta[ci],
+                    true,
+                );
             }
         },
     );

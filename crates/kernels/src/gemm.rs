@@ -24,6 +24,17 @@
 //! [`bnff_tensor::pool::SharedBufferPool`], so steady-state training steps
 //! pack into storage carved out by earlier calls instead of `malloc`.
 //!
+//! ## SIMD dispatch
+//!
+//! The register microkernel comes in two flavours selected per GEMM call by
+//! [`bnff_tensor::simd::active_isa`] (scoped [`bnff_tensor::simd::with_isa`]
+//! override → `BNFF_SIMD` env → CPU detection): the portable scalar loop,
+//! and an AVX2+FMA kernel that keeps the full `MR × NR` tile in twelve
+//! `__m256` accumulators and issues *aligned* 256-bit loads from the packed
+//! `B` strips — which is why the packing buffers live in 32-byte-aligned
+//! [`bnff_tensor::simd::AlignedBuf`] storage. The ISA is resolved once on
+//! the calling thread and passed by value into the pool workers.
+//!
 //! ## Determinism
 //!
 //! Work is partitioned across the `bnff-parallel` pool at *problem-granular*
@@ -31,8 +42,10 @@
 //! ([`bnff_parallel::parallel_row_blocks_mut`]), every `C` element is owned
 //! by exactly one worker, and the accumulation order per element (`KC` slabs
 //! outer, registers inner) depends only on the problem shape. Results are
-//! therefore bit-identical for any `BNFF_THREADS`, which
-//! `crates/kernels/tests/parallel_determinism.rs` locks in.
+//! therefore bit-identical for any `BNFF_THREADS` *within each dispatch
+//! path*, which `crates/kernels/tests/parallel_determinism.rs` locks in.
+//! Across paths the last bits may differ (FMA contracts `a·b + c` into one
+//! rounding); `crates/kernels/tests/simd_equivalence.rs` bounds the gap.
 //!
 //! The pre-blocking row-streaming implementation is kept as
 //! [`gemm_streaming`] so the benches (and `BENCH_ci.json`) can report the
@@ -42,20 +55,23 @@ use crate::error::KernelError;
 use crate::Result;
 use bnff_parallel::{min_items_per_thread, parallel_row_blocks_mut, parallel_rows_mut};
 use bnff_tensor::pool::SharedBufferPool;
+use bnff_tensor::simd::{active_isa, SimdIsa};
 
 /// Microkernel tile height: rows of `C` accumulated in registers at once.
-pub const MR: usize = 4;
+pub const MR: usize = 6;
 
 /// Microkernel tile width: columns of `C` accumulated in registers at once.
-/// `MR × NR` accumulators (32 f32) fit the baseline x86-64 SSE register
-/// file with room for the `A` broadcast and the `B` row.
-pub const NR: usize = 8;
+/// `MR × NR = 6 × 16` fills the AVX2 register file: twelve `__m256`
+/// accumulators plus two `B` vectors and one `A` broadcast use 15 of the 16
+/// architectural ymm registers (the BLIS sgemm shape for Haswell-class
+/// cores).
+pub const NR: usize = 16;
 
-/// Rows of `A` packed per block: an `MC × KC` packed panel is 64 KiB of
-/// f32, sized for a per-core L2.
-pub const MC: usize = 64;
+/// Rows of `A` packed per block: an `MC × KC` packed panel (96 KiB of f32,
+/// `MC` divisible by `MR`) sized for a per-core L2.
+pub const MC: usize = 96;
 
-/// Depth of the packed slabs: one `KC × NR` strip of packed `B` (8 KiB)
+/// Depth of the packed slabs: one `KC × NR` strip of packed `B` (16 KiB)
 /// stays L1-resident across a whole column of microkernel calls.
 pub const KC: usize = 256;
 
@@ -248,23 +264,117 @@ fn pack_b_strip(
     }
 }
 
-/// The register microkernel: multiplies one `kc × MR` packed `A` panel
-/// against one `kc × NR` packed `B` strip, returning the `MR × NR` tile of
+/// The `MR × NR` tile of partial sums a microkernel call produces.
+type AccTile = [[f32; NR]; MR];
+
+/// The portable register microkernel: multiplies one `kc × MR` packed `A`
+/// panel against one `kc × NR` packed `B` strip into the `MR × NR` tile of
 /// partial sums. The accumulation order (ascending `kk`) is fixed by the
-/// packing, never by the caller's thread count.
+/// packing, never by the caller's thread count — and per `C` element it is
+/// independent of the `MR`/`NR` tile shape, so widening the microkernel
+/// left this path bit-identical to the historical 4×8 kernel.
 #[inline]
-fn microkernel(a_panel: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (a_frag, b_frag) in a_panel.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
-        let a: &[f32; MR] = a_frag.try_into().expect("packed A panel is kc whole MR steps");
-        let b: &[f32; NR] = b_frag.try_into().expect("packed B strip is kc whole NR steps");
-        for i in 0..MR {
-            for (slot, bv) in acc[i].iter_mut().zip(b.iter()) {
-                *slot += a[i] * *bv;
+fn microkernel_scalar(a_panel: &[f32], b_strip: &[f32], acc: &mut AccTile) {
+    // A full 6×16 accumulator tile (96 f32) spills out of the baseline
+    // SSE register file, so the portable kernel sweeps the packed panels
+    // once per 3×8 *sub-tile* (24 f32 — register-resident under
+    // auto-vectorization). Each `C` element still accumulates its products
+    // in ascending `kk` order, so the split changes neither results nor
+    // the bit-identity-across-threads contract; the repeated panel reads
+    // stay in L1.
+    const MR_S: usize = 3;
+    const NR_S: usize = 8;
+    for i0 in (0..MR).step_by(MR_S) {
+        for j0 in (0..NR).step_by(NR_S) {
+            let mut sub = [[0.0f32; NR_S]; MR_S];
+            for (a_frag, b_frag) in a_panel.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
+                let b: &[f32; NR_S] = b_frag[j0..j0 + NR_S].try_into().expect("NR_S divides NR");
+                for (i, row) in sub.iter_mut().enumerate() {
+                    let av = a_frag[i0 + i];
+                    for (slot, bv) in row.iter_mut().zip(b.iter()) {
+                        *slot += av * *bv;
+                    }
+                }
+            }
+            for (i, row) in sub.iter().enumerate() {
+                acc[i0 + i][j0..j0 + NR_S].copy_from_slice(row);
             }
         }
     }
-    acc
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    use super::{AccTile, MR, NR};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// The AVX2+FMA microkernel: the whole `6 × 16` tile lives in twelve
+    /// `__m256` accumulators; each `kk` step broadcasts six `A` scalars,
+    /// issues two aligned 256-bit loads from the packed `B` strip and
+    /// twelve FMAs. FMA contracts `a·b + acc` into one rounding, so this
+    /// path is *not* bit-identical to the scalar kernel — equivalence is
+    /// bounded by `tests/simd_equivalence.rs` instead.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn microkernel(a_panel: &[f32], b_strip: &[f32], acc: &mut AccTile) {
+        debug_assert_eq!(a_panel.len() % MR, 0);
+        debug_assert_eq!(b_strip.len() % NR, 0);
+        debug_assert_eq!(a_panel.len() / MR, b_strip.len() / NR);
+        // The aligned-load contract: packed B strips come from `AlignedBuf`
+        // storage at 64-byte strides, so every `_mm256_load_ps` below is
+        // 32-byte aligned.
+        debug_assert_eq!(
+            b_strip.as_ptr() as usize % 32,
+            0,
+            "packed B strip must be 32-byte aligned for aligned vector loads"
+        );
+        let kc = b_strip.len() / NR;
+        let mut acc_v = [[_mm256_setzero_ps(); 2]; MR];
+        let mut a = a_panel.as_ptr();
+        let mut b = b_strip.as_ptr();
+        for _ in 0..kc {
+            // SAFETY: `kc` iterations advance `a` by `kc·MR` and `b` by
+            // `kc·NR` elements, exactly the panel/strip lengths asserted
+            // above; the strip's base alignment plus the 64-byte stride
+            // keep both loads 32-byte aligned.
+            unsafe {
+                let b0 = _mm256_load_ps(b);
+                let b1 = _mm256_load_ps(b.add(8));
+                for (i, accs) in acc_v.iter_mut().enumerate() {
+                    let ai = _mm256_set1_ps(*a.add(i));
+                    accs[0] = _mm256_fmadd_ps(ai, b0, accs[0]);
+                    accs[1] = _mm256_fmadd_ps(ai, b1, accs[1]);
+                }
+                a = a.add(MR);
+                b = b.add(NR);
+            }
+        }
+        for (row, v) in acc.iter_mut().zip(acc_v.iter()) {
+            // SAFETY: each accumulator row holds NR = 16 f32 values.
+            unsafe {
+                _mm256_storeu_ps(row.as_mut_ptr(), v[0]);
+                _mm256_storeu_ps(row.as_mut_ptr().add(8), v[1]);
+            }
+        }
+    }
+}
+
+/// Dispatches one microkernel call to the resolved ISA.
+#[inline]
+fn microkernel(isa: SimdIsa, a_panel: &[f32], b_strip: &[f32], acc: &mut AccTile) {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `SimdIsa::Avx2Fma` is only ever produced after
+            // `is_x86_feature_detected!` confirmed avx2+fma at runtime.
+            unsafe { avx2::microkernel(a_panel, b_strip, acc) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => microkernel_scalar(a_panel, b_strip, acc),
+        SimdIsa::Scalar => microkernel_scalar(a_panel, b_strip, acc),
+    }
 }
 
 /// The packed GEMM driver: `c = alpha * A·B + beta * c` over logical
@@ -285,6 +395,10 @@ fn gemm_packed(
     if m == 0 || n == 0 {
         return;
     }
+    // Resolve the dispatch path once, on the calling thread (thread-local
+    // `with_isa` overrides do not propagate into pool workers), and carry
+    // the value into every closure below.
+    let isa = active_isa();
     if k == 0 || alpha == 0.0 {
         // No product term: the call degenerates to the beta scaling.
         if beta == 0.0 {
@@ -306,11 +420,14 @@ fn gemm_packed(
             // Pack the B slab once per (jc, pc); strips are disjoint rows of
             // the packed buffer, so the fan-out is pure data movement. The
             // dirty take skips the pool's zero fill — packing overwrites
-            // every lane (padding included).
-            let mut packed_b = PACK_POOL.take_dirty(strips * kc * NR);
+            // every lane (padding included). Aligned storage: a strip is
+            // `kc·NR` f32 = 64·kc bytes, so every strip start inherits the
+            // buffer's 32-byte alignment and the AVX2 microkernel can use
+            // aligned loads.
+            let mut packed_b = PACK_POOL.take_aligned_dirty(strips * kc * NR);
             let strip_len = kc * NR;
             parallel_rows_mut(
-                &mut packed_b,
+                packed_b.as_mut_slice(),
                 strip_len,
                 min_items_per_thread(strip_len),
                 |first_strip, block| {
@@ -329,18 +446,19 @@ fn gemm_packed(
             let first_slab = pc == 0;
             parallel_row_blocks_mut(c, n, MC, min_rows, |first_row, c_rows| {
                 let rows = c_rows.len() / n;
-                let mut packed_a = PACK_POOL.take_dirty(MC.div_ceil(MR) * MR * kc);
+                let mut packed_a = PACK_POOL.take_aligned_dirty(MC.div_ceil(MR) * MR * kc);
+                let mut acc = [[0.0f32; NR]; MR];
                 let mut r0 = 0;
                 while r0 < rows {
                     let mc = MC.min(rows - r0);
-                    pack_a(a, m, first_row + r0, mc, pc, kc, &mut packed_a);
+                    pack_a(a, m, first_row + r0, mc, pc, kc, packed_a.as_mut_slice());
                     for jr in 0..strips {
                         let b_strip = &packed_b[jr * strip_len..(jr + 1) * strip_len];
                         let col0 = jc + jr * NR;
                         let nr_eff = NR.min(jc + nc - col0);
                         for ir in 0..mc.div_ceil(MR) {
                             let a_panel = &packed_a[ir * kc * MR..(ir + 1) * kc * MR];
-                            let acc = microkernel(a_panel, b_strip);
+                            microkernel(isa, a_panel, b_strip, &mut acc);
                             let mr_eff = MR.min(mc - ir * MR);
                             for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
                                 let row = r0 + ir * MR + i;
@@ -368,9 +486,9 @@ fn gemm_packed(
                     }
                     r0 += mc;
                 }
-                PACK_POOL.give(packed_a);
+                PACK_POOL.give_aligned(packed_a);
             });
-            PACK_POOL.give(packed_b);
+            PACK_POOL.give_aligned(packed_b);
         }
     }
 }
@@ -534,6 +652,26 @@ mod tests {
             }
         }
         c
+    }
+
+    /// The exported blocking constants are a public contract: `bnff-memsim`
+    /// imports `KC`/`NC`/`STREAM_TILE` to model the engines' DRAM traffic,
+    /// and the packed core assumes the relations below. Locking them here
+    /// means a future retune cannot silently break either consumer.
+    #[test]
+    fn blocking_constants_hold_their_invariants() {
+        // The AVX2 microkernel loads B in aligned 8-lane vectors and the MC
+        // grid splits on whole microtile rows.
+        assert_eq!(NR % 8, 0, "NR must be a whole number of 8-float lanes");
+        assert_eq!(MC % MR, 0, "the MC row grid must split on MR microtiles");
+        // Slabs nest: a KC×NR strip inside a KC×NC slab.
+        assert_eq!(NC % NR, 0, "packed B slabs must hold whole NR strips");
+        // Every packed B strip starts 32-byte aligned within an aligned
+        // buffer: kc·NR f32 is a whole number of 32-byte lanes for any kc.
+        assert_eq!((NR * std::mem::size_of::<f32>()) % 32, 0);
+        // The streaming model's tile must stay meaningful: nonzero, and no
+        // larger than the cache-blocked panel height it predates.
+        const { assert!(STREAM_TILE > 0 && STREAM_TILE <= MC) };
     }
 
     #[test]

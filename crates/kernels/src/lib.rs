@@ -55,6 +55,7 @@ pub mod affine;
 pub mod batchnorm;
 pub mod concat;
 pub mod conv;
+pub mod dispatch;
 pub mod eltwise;
 pub mod error;
 pub mod fc;
@@ -64,6 +65,7 @@ pub mod im2col;
 pub mod pool;
 pub mod relu;
 pub mod softmax;
+mod vecops;
 
 pub use error::KernelError;
 

@@ -1,8 +1,9 @@
 //! Rectified linear unit.
 
+use crate::vecops;
 use crate::Result;
 use bnff_parallel::{min_items_per_thread, parallel_rows_mut};
-use bnff_tensor::Tensor;
+use bnff_tensor::{active_isa, Tensor};
 
 /// ReLU forward pass: `y = max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
@@ -20,21 +21,22 @@ pub fn relu_forward(x: &Tensor) -> Tensor {
 pub fn relu_forward_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
     x.shape().expect_same(out.shape())?;
     let src = x.as_slice();
+    // Resolve the ISA on the caller's thread: pool workers don't inherit the
+    // caller's `with_isa` override. The clip is bit-identical on both paths,
+    // so arbitrary worker chunk boundaries are safe.
+    let isa = active_isa();
     parallel_rows_mut(out.as_mut_slice(), 1, min_items_per_thread(1), |offset, chunk| {
         let len = chunk.len();
-        for (dst, &v) in chunk.iter_mut().zip(&src[offset..offset + len]) {
-            *dst = v.max(0.0);
-        }
+        vecops::relu_into(isa, &src[offset..offset + len], chunk);
     });
     Ok(())
 }
 
 /// ReLU forward pass in place.
 pub fn relu_forward_inplace(x: &mut Tensor) {
+    let isa = active_isa();
     parallel_rows_mut(x.as_mut_slice(), 1, min_items_per_thread(1), |_, chunk| {
-        for v in chunk {
-            *v = v.max(0.0);
-        }
+        vecops::relu_inplace(isa, chunk);
     });
 }
 

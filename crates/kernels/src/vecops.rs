@@ -1,0 +1,489 @@
+//! Shared vectorized sweeps for the bandwidth-bound kernels.
+//!
+//! ReLU, channel affine, BN normalize, the element-wise sum and the conv
+//! bias/ReLU epilogue are all memory-sweep kernels — exactly the loops the
+//! paper's DRAM-byte argument is about. Each helper here takes the
+//! [`SimdIsa`] the calling kernel resolved at entry (on the calling
+//! thread) and runs either the historical scalar loop, bit-for-bit, or an
+//! AVX2+FMA sweep.
+//!
+//! Determinism notes, per helper:
+//!
+//! * [`relu_into`] / [`relu_inplace`] / [`add_assign`] / [`add_scalar`]:
+//!   the vector and scalar flavours are bit-identical for every input
+//!   (`max` and `+` are exact-rounded elementwise ops with no
+//!   contraction), so these helpers are safe on *arbitrary* chunk
+//!   boundaries — a worker split mid-slice cannot change results.
+//! * [`affine`] / [`normalize_plane`]: the AVX2 flavour contracts
+//!   `scale·x + shift` (and `γ·x̂ + β`) with FMA, rounding once where the
+//!   scalar loop rounds twice. Within one ISA results are deterministic,
+//!   but the two ISAs differ in the last bits; callers only invoke these
+//!   on whole planes, whose boundaries do not depend on thread count.
+
+use bnff_tensor::simd::SimdIsa;
+
+/// `dst[i] = max(src[i], 0)`. Bit-identical across ISAs (NaN clips to 0.0
+/// on both paths, ties at ±0.0 resolve to +0.0 on both paths).
+pub(crate) fn relu_into(isa: SimdIsa, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::relu_into(src, dst) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => relu_into_scalar(src, dst),
+        SimdIsa::Scalar => relu_into_scalar(src, dst),
+    }
+}
+
+/// `dst[i] = max(dst[i], 0)` in place. Bit-identical across ISAs.
+pub(crate) fn relu_inplace(isa: SimdIsa, dst: &mut [f32]) {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::relu_inplace(dst) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => relu_inplace_scalar(dst),
+        SimdIsa::Scalar => relu_inplace_scalar(dst),
+    }
+}
+
+/// `dst[i] += src[i]`. Bit-identical across ISAs (exact-rounded adds, no
+/// cross-lane interaction).
+pub(crate) fn add_assign(isa: SimdIsa, dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::add_assign(dst, src) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => add_assign_scalar(dst, src),
+        SimdIsa::Scalar => add_assign_scalar(dst, src),
+    }
+}
+
+/// `dst[i] += value`. Bit-identical across ISAs.
+pub(crate) fn add_scalar(isa: SimdIsa, dst: &mut [f32], value: f32) {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::add_scalar(dst, value) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => add_scalar_scalar(dst, value),
+        SimdIsa::Scalar => add_scalar_scalar(dst, value),
+    }
+}
+
+/// `dst[i] = scale·src[i] + shift` (clamped at zero when `fuse_relu`),
+/// reading from `src`. AVX2 contracts with FMA.
+pub(crate) fn affine(
+    isa: SimdIsa,
+    src: &[f32],
+    dst: &mut [f32],
+    scale: f32,
+    shift: f32,
+    fuse_relu: bool,
+) {
+    debug_assert_eq!(src.len(), dst.len());
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::affine(src, dst, scale, shift, fuse_relu) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => affine_scalar(src, dst, scale, shift, fuse_relu),
+        SimdIsa::Scalar => affine_scalar(src, dst, scale, shift, fuse_relu),
+    }
+}
+
+/// In-place [`affine`]: `dst[i] = scale·dst[i] + shift` (clamped when
+/// `fuse_relu`).
+pub(crate) fn affine_inplace(
+    isa: SimdIsa,
+    dst: &mut [f32],
+    scale: f32,
+    shift: f32,
+    fuse_relu: bool,
+) {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::affine_inplace(dst, scale, shift, fuse_relu) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => affine_inplace_scalar(dst, scale, shift, fuse_relu),
+        SimdIsa::Scalar => affine_inplace_scalar(dst, scale, shift, fuse_relu),
+    }
+}
+
+/// The BN normalize sweep over one `(sample, channel)` plane: writes
+/// `x̂ = (x − mean)·inv_std` into `hat` and `y = γ·x̂ + β` (clamped at zero
+/// when `fuse_relu`) into `y`, in lockstep. The `x̂` stream is bit-identical
+/// across ISAs (sub + mul only); the `y` stream contracts with FMA on AVX2.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn normalize_plane(
+    isa: SimdIsa,
+    src: &[f32],
+    hat: &mut [f32],
+    y: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+    fuse_relu: bool,
+) {
+    debug_assert_eq!(src.len(), hat.len());
+    debug_assert_eq!(src.len(), y.len());
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::normalize_plane(src, hat, y, mean, inv_std, gamma, beta, fuse_relu) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => {
+            normalize_plane_scalar(src, hat, y, mean, inv_std, gamma, beta, fuse_relu)
+        }
+        SimdIsa::Scalar => {
+            normalize_plane_scalar(src, hat, y, mean, inv_std, gamma, beta, fuse_relu)
+        }
+    }
+}
+
+fn relu_into_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = v.max(0.0);
+    }
+}
+
+fn relu_inplace_scalar(dst: &mut [f32]) {
+    for v in dst {
+        *v = v.max(0.0);
+    }
+}
+
+fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d += v;
+    }
+}
+
+fn add_scalar_scalar(dst: &mut [f32], value: f32) {
+    for v in dst {
+        *v += value;
+    }
+}
+
+fn affine_scalar(src: &[f32], dst: &mut [f32], scale: f32, shift: f32, fuse_relu: bool) {
+    if fuse_relu {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = (scale * v + shift).max(0.0);
+        }
+    } else {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = scale * v + shift;
+        }
+    }
+}
+
+fn affine_inplace_scalar(dst: &mut [f32], scale: f32, shift: f32, fuse_relu: bool) {
+    if fuse_relu {
+        for v in dst {
+            *v = (scale * *v + shift).max(0.0);
+        }
+    } else {
+        for v in dst {
+            *v = scale * *v + shift;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn normalize_plane_scalar(
+    src: &[f32],
+    hat: &mut [f32],
+    y: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+    fuse_relu: bool,
+) {
+    if fuse_relu {
+        for ((h, o), &v) in hat.iter_mut().zip(y.iter_mut()).zip(src) {
+            *h = (v - mean) * inv_std;
+            *o = (gamma * *h + beta).max(0.0);
+        }
+    } else {
+        for ((h, o), &v) in hat.iter_mut().zip(y.iter_mut()).zip(src) {
+            *h = (v - mean) * inv_std;
+            *o = gamma * *h + beta;
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn relu_into(src: &[f32], dst: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let n = src.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= len of both slices.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
+            }
+        }
+        for (d, &v) in dst[vec_end..].iter_mut().zip(&src[vec_end..]) {
+            *d = v.max(0.0);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn relu_inplace(dst: &mut [f32]) {
+        let zero = _mm256_setzero_ps();
+        let n = dst.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= dst.len().
+            unsafe {
+                let p = dst.as_mut_ptr().add(i);
+                _mm256_storeu_ps(p, _mm256_max_ps(_mm256_loadu_ps(p), zero));
+            }
+        }
+        for v in &mut dst[vec_end..] {
+            *v = v.max(0.0);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = src.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= len of both slices.
+            unsafe {
+                let p = dst.as_mut_ptr().add(i);
+                let s = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), s));
+            }
+        }
+        for (d, &v) in dst[vec_end..].iter_mut().zip(&src[vec_end..]) {
+            *d += v;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn add_scalar(dst: &mut [f32], value: f32) {
+        let b = _mm256_set1_ps(value);
+        let n = dst.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= dst.len().
+            unsafe {
+                let p = dst.as_mut_ptr().add(i);
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), b));
+            }
+        }
+        for v in &mut dst[vec_end..] {
+            *v += value;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn affine(src: &[f32], dst: &mut [f32], scale: f32, shift: f32, fuse_relu: bool) {
+        let s = _mm256_set1_ps(scale);
+        let b = _mm256_set1_ps(shift);
+        let zero = _mm256_setzero_ps();
+        let n = src.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= len of both slices.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let mut r = _mm256_fmadd_ps(s, v, b);
+                if fuse_relu {
+                    r = _mm256_max_ps(r, zero);
+                }
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), r);
+            }
+        }
+        for (d, &v) in dst[vec_end..].iter_mut().zip(&src[vec_end..]) {
+            let r = scale.mul_add(v, shift);
+            *d = if fuse_relu { r.max(0.0) } else { r };
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn affine_inplace(dst: &mut [f32], scale: f32, shift: f32, fuse_relu: bool) {
+        let s = _mm256_set1_ps(scale);
+        let b = _mm256_set1_ps(shift);
+        let zero = _mm256_setzero_ps();
+        let n = dst.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= dst.len().
+            unsafe {
+                let p = dst.as_mut_ptr().add(i);
+                let mut r = _mm256_fmadd_ps(s, _mm256_loadu_ps(p), b);
+                if fuse_relu {
+                    r = _mm256_max_ps(r, zero);
+                }
+                _mm256_storeu_ps(p, r);
+            }
+        }
+        for v in &mut dst[vec_end..] {
+            let r = scale.mul_add(*v, shift);
+            *v = if fuse_relu { r.max(0.0) } else { r };
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn normalize_plane(
+        src: &[f32],
+        hat: &mut [f32],
+        y: &mut [f32],
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+        fuse_relu: bool,
+    ) {
+        let m = _mm256_set1_ps(mean);
+        let is = _mm256_set1_ps(inv_std);
+        let g = _mm256_set1_ps(gamma);
+        let b = _mm256_set1_ps(beta);
+        let zero = _mm256_setzero_ps();
+        let n = src.len();
+        let vec_end = n - n % 8;
+        for i in (0..vec_end).step_by(8) {
+            // SAFETY: i + 8 <= vec_end <= len of all three slices.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let h = _mm256_mul_ps(_mm256_sub_ps(v, m), is);
+                let mut o = _mm256_fmadd_ps(g, h, b);
+                if fuse_relu {
+                    o = _mm256_max_ps(o, zero);
+                }
+                _mm256_storeu_ps(hat.as_mut_ptr().add(i), h);
+                _mm256_storeu_ps(y.as_mut_ptr().add(i), o);
+            }
+        }
+        for ((h, o), &v) in
+            hat[vec_end..].iter_mut().zip(y[vec_end..].iter_mut()).zip(&src[vec_end..])
+        {
+            *h = (v - mean) * inv_std;
+            let r = gamma.mul_add(*h, beta);
+            *o = if fuse_relu { r.max(0.0) } else { r };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnff_tensor::simd::with_isa;
+
+    fn active_vector_isa() -> SimdIsa {
+        with_isa(SimdIsa::Avx2Fma, bnff_tensor::simd::active_isa)
+    }
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 53 % 31) as f32 - 15.0) * 0.37).collect()
+    }
+
+    #[test]
+    fn relu_and_adds_are_bit_identical_across_isas() {
+        let isa = active_vector_isa();
+        for n in [0usize, 1, 7, 8, 9, 63, 100] {
+            let src = data(n);
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            relu_into(SimdIsa::Scalar, &src, &mut a);
+            relu_into(isa, &src, &mut b);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            let mut c = src.clone();
+            let mut d = src.clone();
+            add_assign(SimdIsa::Scalar, &mut c, &a);
+            add_assign(isa, &mut d, &a);
+            assert_eq!(c, d);
+            add_scalar(SimdIsa::Scalar, &mut c, 0.75);
+            add_scalar(isa, &mut d, 0.75);
+            assert_eq!(c, d);
+            let mut e = src.clone();
+            relu_inplace(isa, &mut e);
+            assert_eq!(e, b);
+        }
+    }
+
+    #[test]
+    fn relu_clips_nan_to_zero_on_both_isas() {
+        let isa = active_vector_isa();
+        let src = vec![f32::NAN; 9];
+        for path in [SimdIsa::Scalar, isa] {
+            let mut out = vec![7.0; 9];
+            relu_into(path, &src, &mut out);
+            assert!(out.iter().all(|&v| v == 0.0), "{path}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn affine_matches_scalar_within_fma_tolerance() {
+        let isa = active_vector_isa();
+        for n in [1usize, 8, 13, 64, 100] {
+            let src = data(n);
+            for fuse in [false, true] {
+                let mut a = vec![0.0; n];
+                let mut b = vec![0.0; n];
+                affine(SimdIsa::Scalar, &src, &mut a, 1.3, -0.4, fuse);
+                affine(isa, &src, &mut b, 1.3, -0.4, fuse);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x - y).abs() <= 1e-5, "{x} vs {y}");
+                }
+                let mut c = src.clone();
+                affine_inplace(isa, &mut c, 1.3, -0.4, fuse);
+                assert_eq!(b, c, "in-place must match out-of-place on one ISA");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_hat_stream_is_bit_identical_across_isas() {
+        let isa = active_vector_isa();
+        let n = 77;
+        let src = data(n);
+        let (mut h1, mut y1) = (vec![0.0; n], vec![0.0; n]);
+        let (mut h2, mut y2) = (vec![0.0; n], vec![0.0; n]);
+        normalize_plane(SimdIsa::Scalar, &src, &mut h1, &mut y1, 0.3, 1.7, 0.9, -0.2, false);
+        normalize_plane(isa, &src, &mut h2, &mut y2, 0.3, 1.7, 0.9, -0.2, false);
+        // x̂ uses only sub+mul — exact elementwise ops — on both paths.
+        assert_eq!(
+            h1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            h2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() <= 1e-5, "{a} vs {b}");
+        }
+    }
+}

@@ -224,6 +224,75 @@ fn fused_kernels_match_serial() {
     });
 }
 
+/// The determinism contract is *per dispatch path*: under a fixed ISA the
+/// outputs must be **bit-identical** for every worker count, because worker
+/// partitions either fall on whole planes (BN normalize, affine) or use
+/// sweeps whose vector and tail flavours round identically (ReLU, sums,
+/// GEMM's per-element ascending-k accumulation). Checked under the scalar
+/// path and, where the hardware allows, the AVX2+FMA path.
+#[test]
+fn kernels_are_bit_identical_across_thread_counts_on_both_paths() {
+    use bnff_kernels::dispatch::{active_isa, with_isa, SimdIsa};
+
+    let x = random(Shape::nchw(3, 5, 9, 9), 41);
+    let w = random(Shape::nchw(6, 5, 3, 3), 42);
+    let attrs = Conv2dAttrs::same_3x3(6);
+    let params = BnParams::new(
+        (0..5).map(|i| 0.6 + i as f32 * 0.1).collect(),
+        (0..5).map(|i| -0.1 + i as f32 * 0.05).collect(),
+    )
+    .unwrap();
+    let b = random(x.shape().clone(), 43);
+
+    let detected = with_isa(SimdIsa::Avx2Fma, active_isa);
+    let mut isas = vec![SimdIsa::Scalar];
+    if detected != SimdIsa::Scalar {
+        isas.push(detected);
+    }
+    let cases: &[(&str, &dyn Fn() -> Vec<f32>)] = &[
+        ("gemm_70x65x50", &|| {
+            let (m, n, k) = (70, 65, 50);
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.25).collect();
+            let bb: Vec<f32> = (0..k * n).map(|i| ((i * 29 % 11) as f32 - 5.0) * 0.5).collect();
+            let mut c = vec![0.5; m * n];
+            gemm(m, n, k, 1.25, &a, &bb, 0.5, &mut c).unwrap();
+            c
+        }),
+        ("bn_forward_one_pass", &|| {
+            let (y, state) = bn_forward(&x, &params, 1e-5, true).unwrap();
+            let mut flat = y.into_vec();
+            flat.extend(state.stats.mean);
+            flat.extend(state.stats.var);
+            flat
+        }),
+        ("relu", &|| relu_forward(&x).into_vec()),
+        ("eltwise_sum", &|| eltwise_sum_forward(&[&x, &b]).unwrap().into_vec()),
+        ("conv_with_stats", &|| {
+            let (out, stats) = conv2d_forward_with_stats(&x, &w, None, &attrs).unwrap();
+            let mut flat = out.into_vec();
+            flat.extend(stats.mean);
+            flat.extend(stats.var);
+            flat
+        }),
+    ];
+    for &isa in &isas {
+        for (label, f) in cases {
+            with_isa(isa, || {
+                let reference: Vec<u32> =
+                    with_grain(1, || with_threads(1, f)).iter().map(|v| v.to_bits()).collect();
+                for &t in &[3usize, 4, 7] {
+                    let candidate: Vec<u32> =
+                        with_grain(1, || with_threads(t, f)).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        reference, candidate,
+                        "{label} under {isa}: bits differ between 1 and {t} threads"
+                    );
+                }
+            });
+        }
+    }
+}
+
 #[test]
 fn softmax_matches_serial() {
     let scores = random(Shape::matrix(7, 13), 19);

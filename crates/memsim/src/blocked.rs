@@ -25,6 +25,11 @@
 //! per-iteration totals surface in
 //! [`IterationReport`](crate::report::IterationReport) so fig7-style
 //! reports show what the blocked engine saves over whole-matrix streaming.
+//!
+//! The constants are imported from `bnff-kernels` — never re-derived here —
+//! so a microkernel retune (such as the 6×16 SIMD widening) flows into the
+//! model automatically; the kernels crate pins the relations this model
+//! depends on in its `blocking_constants_hold_their_invariants` test.
 
 use crate::cache::CacheModel;
 use bnff_graph::analysis::GemmShape;

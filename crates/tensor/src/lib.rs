@@ -31,12 +31,14 @@ pub mod init;
 pub mod ops;
 pub mod pool;
 pub mod shape;
+pub mod simd;
 pub mod stats;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use pool::BufferPool;
 pub use shape::Shape;
+pub use simd::{active_isa, with_isa, SimdIsa};
 pub use stats::ChannelStats;
 pub use tensor::Tensor;
 

@@ -24,6 +24,7 @@
 //! ```
 
 use crate::shape::Shape;
+use crate::simd::AlignedBuf;
 use crate::tensor::Tensor;
 
 /// A free-list of `Vec<f32>` buffers recycled between tensors.
@@ -37,8 +38,12 @@ use crate::tensor::Tensor;
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Vec<Vec<f32>>,
-    /// Running total of the free list's capacity in bytes (kept incrementally
-    /// so the byte-limit check in [`BufferPool::give`] is O(1)).
+    /// Free list of 32-byte-aligned buffers, kept separate so aligned
+    /// requests never receive plain `Vec<f32>` storage (and vice versa).
+    free_aligned: Vec<AlignedBuf>,
+    /// Running total of both free lists' capacity in bytes (kept
+    /// incrementally so the byte-limit check in [`BufferPool::give`] is
+    /// O(1)).
     free_bytes: usize,
     limit_bytes: Option<usize>,
     takes: usize,
@@ -143,6 +148,49 @@ impl BufferPool {
         self.free.push(buf);
     }
 
+    /// Takes a 32-byte-aligned buffer of exactly `len` elements with
+    /// *unspecified* contents (the [`BufferPool::take_dirty`] analogue for
+    /// [`AlignedBuf`] storage) — what the packed-GEMM panels use so the
+    /// microkernel can issue aligned vector loads.
+    pub fn take_aligned_dirty(&mut self, len: usize) -> AlignedBuf {
+        self.takes += 1;
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free_aligned.iter().enumerate() {
+            if buf.capacity() >= len {
+                match best {
+                    Some(b) if self.free_aligned[b].capacity() <= buf.capacity() => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                self.hits += 1;
+                let mut buf = self.free_aligned.swap_remove(i);
+                self.free_bytes -= buf.capacity() * std::mem::size_of::<f32>();
+                buf.resize_dirty(len);
+                buf
+            }
+            None => AlignedBuf::zeroed(len),
+        }
+    }
+
+    /// Returns an aligned buffer's storage to the free list (same byte
+    /// limit as [`BufferPool::give`]).
+    pub fn give_aligned(&mut self, buf: AlignedBuf) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let incoming = buf.capacity() * std::mem::size_of::<f32>();
+        if let Some(limit) = self.limit_bytes {
+            if self.free_bytes + incoming > limit {
+                return;
+            }
+        }
+        self.free_bytes += incoming;
+        self.free_aligned.push(buf);
+    }
+
     /// Takes a zero-filled tensor of the given shape from the pool.
     pub fn take_tensor(&mut self, shape: Shape) -> Tensor {
         let data = self.take(shape.volume());
@@ -190,6 +238,7 @@ impl SharedBufferPool {
         SharedBufferPool {
             inner: std::sync::Mutex::new(BufferPool {
                 free: Vec::new(),
+                free_aligned: Vec::new(),
                 free_bytes: 0,
                 limit_bytes,
                 takes: 0,
@@ -231,6 +280,17 @@ impl SharedBufferPool {
     /// Returns a buffer's storage to the free list.
     pub fn give(&self, buf: Vec<f32>) {
         self.lock().give(buf);
+    }
+
+    /// Takes a 32-byte-aligned buffer of exactly `len` elements with
+    /// *unspecified* contents (see [`BufferPool::take_aligned_dirty`]).
+    pub fn take_aligned_dirty(&self, len: usize) -> AlignedBuf {
+        self.lock().take_aligned_dirty(len)
+    }
+
+    /// Returns an aligned buffer's storage to the free list.
+    pub fn give_aligned(&self, buf: AlignedBuf) {
+        self.lock().give_aligned(buf);
     }
 
     /// `(hits, takes)` served so far — the reuse rate of the pool.
@@ -359,6 +419,51 @@ mod tests {
         assert_eq!(takes, 5);
         assert!(hits >= 1, "at least the first reuse must hit the free list");
         assert!(POOL.free_bytes() > 0);
+    }
+
+    #[test]
+    fn aligned_takes_stay_32_byte_aligned_across_reuse() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take_aligned_dirty(100);
+        assert_eq!(a.as_ptr() as usize % 32, 0);
+        a.as_mut_slice().fill(7.0);
+        pool.give_aligned(a);
+        assert!(pool.free_bytes() > 0);
+        // Reuse (smaller and larger-within-capacity) keeps the alignment.
+        let b = pool.take_aligned_dirty(40);
+        assert_eq!(b.as_ptr() as usize % 32, 0);
+        assert_eq!(b.len(), 40);
+        assert_eq!(pool.hits(), 1);
+        pool.give_aligned(b);
+        let c = pool.take_aligned_dirty(104);
+        assert_eq!(c.as_ptr() as usize % 32, 0);
+        assert_eq!(c.len(), 104);
+    }
+
+    #[test]
+    fn aligned_and_plain_free_lists_are_disjoint() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 256]);
+        // The plain buffer must not satisfy an aligned request.
+        let a = pool.take_aligned_dirty(64);
+        assert_eq!(pool.hits(), 0);
+        pool.give_aligned(a);
+        // And the aligned buffer must not satisfy a plain request.
+        let _ = pool.take(64);
+        assert_eq!(pool.hits(), 1, "plain take must hit the plain 256-entry");
+        assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn shared_pool_serves_aligned_buffers() {
+        let pool = SharedBufferPool::new();
+        let buf = pool.take_aligned_dirty(48);
+        assert_eq!(buf.as_ptr() as usize % 32, 0);
+        pool.give_aligned(buf);
+        let again = pool.take_aligned_dirty(16);
+        assert_eq!(again.as_ptr() as usize % 32, 0);
+        let (hits, takes) = pool.hits_and_takes();
+        assert_eq!((hits, takes), (1, 2));
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Runtime SIMD dispatch, 32-byte-aligned scratch buffers, and the
+//! vectorized reduction primitives the statistics kernels build on.
+//!
+//! Every hot kernel in the workspace comes in (at least) two flavours: the
+//! portable scalar loop the crate has always shipped, and an explicit
+//! AVX2+FMA `std::arch` implementation. Which one runs is decided *once per
+//! kernel entry* by [`active_isa`], in priority order:
+//!
+//! 1. a scoped [`with_isa`] override on the calling thread (used by the
+//!    equivalence tests and the `simd_over_scalar` benches),
+//! 2. the `BNFF_SIMD` environment variable (`scalar` forces the portable
+//!    path, `avx2` requests the vector path, `auto`/unset detects), and
+//! 3. `is_x86_feature_detected!("avx2")` + `("fma")`.
+//!
+//! Requests for a vector ISA the hardware cannot run are clamped to
+//! [`SimdIsa::Scalar`], so forcing `BNFF_SIMD=avx2` on an old machine
+//! degrades instead of faulting. Kernels resolve the ISA on the *calling*
+//! thread and pass the value into their worker closures — thread-local
+//! overrides do not propagate into the `bnff-parallel` pool by themselves.
+//!
+//! ## Determinism contract
+//!
+//! Within one ISA the kernels stay bit-identical across `BNFF_THREADS`
+//! (work is still partitioned at problem-granular boundaries and each
+//! output element keeps a thread-count-independent accumulation order).
+//! *Across* ISAs results may differ in the last bits: the AVX2 paths use
+//! FMA contraction and lane-split accumulators, which round differently
+//! from the scalar loops. The `simd_equivalence` suite bounds that
+//! difference explicitly.
+//!
+//! ```rust
+//! use bnff_tensor::simd::{active_isa, with_isa, SimdIsa};
+//!
+//! let forced = with_isa(SimdIsa::Scalar, active_isa);
+//! assert_eq!(forced, SimdIsa::Scalar);
+//! ```
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+
+/// An instruction-set flavour a kernel can execute with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdIsa {
+    /// The portable scalar loops — the reference implementation and the
+    /// fallback on hardware without AVX2+FMA.
+    Scalar,
+    /// Explicit 256-bit AVX2 intrinsics with FMA contraction.
+    Avx2Fma,
+}
+
+impl SimdIsa {
+    /// A stable lowercase name for bench artifacts and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            SimdIsa::Avx2Fma => "avx2+fma",
+        }
+    }
+
+    /// The widest ISA the running CPU supports (ignoring every override).
+    pub fn detected() -> SimdIsa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return SimdIsa::Avx2Fma;
+            }
+        }
+        SimdIsa::Scalar
+    }
+}
+
+impl std::fmt::Display for SimdIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+thread_local! {
+    /// Scoped override installed by [`with_isa`].
+    static ISA_OVERRIDE: Cell<Option<SimdIsa>> = const { Cell::new(None) };
+}
+
+/// Clamps a requested ISA to what the hardware can actually execute.
+fn clamp_to_hardware(requested: SimdIsa) -> SimdIsa {
+    match requested {
+        SimdIsa::Scalar => SimdIsa::Scalar,
+        other if SimdIsa::detected() == SimdIsa::Avx2Fma => other,
+        _ => SimdIsa::Scalar,
+    }
+}
+
+/// The process-wide default ISA: `BNFF_SIMD` when set (`scalar` | `avx2` |
+/// `auto`; unknown values fall back to `auto`), otherwise hardware
+/// detection. Read once per process.
+fn env_isa() -> SimdIsa {
+    static ENV: OnceLock<SimdIsa> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let requested = std::env::var("BNFF_SIMD").ok();
+        match requested.as_deref().map(str::trim) {
+            Some(s) if s.eq_ignore_ascii_case("scalar") => SimdIsa::Scalar,
+            Some(s) if s.eq_ignore_ascii_case("avx2") || s.eq_ignore_ascii_case("avx2fma") => {
+                clamp_to_hardware(SimdIsa::Avx2Fma)
+            }
+            _ => SimdIsa::detected(),
+        }
+    })
+}
+
+/// The ISA a kernel entered from this thread will execute with: the
+/// innermost [`with_isa`] override if one is active, otherwise the
+/// `BNFF_SIMD` / detection default. Always executable on this machine.
+pub fn active_isa() -> SimdIsa {
+    ISA_OVERRIDE.with(Cell::get).unwrap_or_else(env_isa)
+}
+
+/// Runs `f` with the calling thread's ISA pinned to `isa` (clamped to what
+/// the hardware supports), restoring the previous setting afterwards — also
+/// on panic. The override is thread-local: kernels capture the resolved ISA
+/// at entry and carry it into their pool workers by value.
+pub fn with_isa<R>(isa: SimdIsa, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SimdIsa>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ISA_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = ISA_OVERRIDE.with(|o| o.replace(Some(clamp_to_hardware(isa))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One 32-byte-aligned chunk of eight `f32` lanes: the unit of storage
+/// behind [`AlignedBuf`]. `size == align == 32`, so a `Vec<Lane>` is a
+/// gap-free f32 carpet whose base pointer is 32-byte aligned.
+#[repr(C, align(32))]
+#[derive(Debug, Clone, Copy, Default)]
+struct Lane([f32; 8]);
+
+const LANE_F32S: usize = 8;
+
+/// A growable `f32` buffer whose storage is guaranteed 32-byte aligned —
+/// what `_mm256_load_ps` requires. `Vec<f32>` cannot promise alignment, so
+/// the packed-GEMM panels (and any scratch consumed with aligned vector
+/// loads) live in this type instead. Dereferences to `[f32]`.
+///
+/// ```rust
+/// use bnff_tensor::simd::AlignedBuf;
+///
+/// let mut buf = AlignedBuf::zeroed(10);
+/// assert_eq!(buf.as_ptr() as usize % 32, 0);
+/// buf[9] = 4.0;
+/// assert_eq!(buf.len(), 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct AlignedBuf {
+    lanes: Vec<Lane>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        AlignedBuf::default()
+    }
+
+    /// A zero-filled buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBuf { lanes: vec![Lane::default(); len.div_ceil(LANE_F32S)], len }
+    }
+
+    /// Number of accessible `f32` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `f32` elements the allocation can hold without growing.
+    pub fn capacity(&self) -> usize {
+        self.lanes.capacity() * LANE_F32S
+    }
+
+    /// Resizes to exactly `len` elements. Existing contents (and recycled
+    /// lane remainders) are preserved, growth beyond the old lane count is
+    /// zero-filled — the aligned analogue of `BufferPool::take_dirty`
+    /// semantics: callers overwrite before reading.
+    pub fn resize_dirty(&mut self, len: usize) {
+        self.lanes.resize(len.div_ceil(LANE_F32S), Lane::default());
+        self.len = len;
+    }
+
+    /// The elements as a plain `f32` slice (32-byte-aligned base pointer).
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `Lane` is `repr(C, align(32))` with size 32 and no
+        // padding, so `lanes` is a contiguous run of `8 * lanes.len()`
+        // initialized f32 values, and `len <= lanes.len() * 8` by
+        // construction.
+        unsafe { std::slice::from_raw_parts(self.lanes.as_ptr().cast::<f32>(), self.len) }
+    }
+
+    /// The elements as a mutable `f32` slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`; the borrow is exclusive.
+        unsafe { std::slice::from_raw_parts_mut(self.lanes.as_mut_ptr().cast::<f32>(), self.len) }
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+/// `Σx` of a slice accumulated in `f64`, on the given ISA. The scalar path
+/// is the exact sequential fold the statistics kernels have always used;
+/// the AVX2 path converts eight lanes per step to `f64` and keeps four
+/// partial sums, reduced in a fixed lane order (deterministic, but rounded
+/// differently from the scalar fold).
+pub fn sum_f64(isa: SimdIsa, x: &[f32]) -> f64 {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` is only ever produced by `clamp_to_hardware`
+            // / `SimdIsa::detected`, which verified avx2+fma at runtime.
+            unsafe { avx2::sum_f64(x) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => sum_f64_scalar(x),
+        SimdIsa::Scalar => sum_f64_scalar(x),
+    }
+}
+
+/// `(Σx, Σx²)` of a slice accumulated in `f64`, on the given ISA — the MVF
+/// one-pass statistics primitive. Scalar path matches the historical
+/// element loop bit-for-bit; see [`sum_f64`] for the AVX2 rounding caveat.
+pub fn sum_sq_f64(isa: SimdIsa, x: &[f32]) -> (f64, f64) {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::sum_sq_f64(x) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => sum_sq_f64_scalar(x),
+        SimdIsa::Scalar => sum_sq_f64_scalar(x),
+    }
+}
+
+/// `Σ(x − mean)²` of a slice accumulated in `f64`, on the given ISA — the
+/// second sweep of the baseline two-pass variance.
+pub fn sq_dev_sum_f64(isa: SimdIsa, x: &[f32], mean: f64) -> f64 {
+    match isa {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdIsa::Avx2Fma => {
+            // SAFETY: `Avx2Fma` implies runtime-verified avx2+fma support.
+            unsafe { avx2::sq_dev_sum_f64(x, mean) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        SimdIsa::Avx2Fma => sq_dev_sum_f64_scalar(x, mean),
+        SimdIsa::Scalar => sq_dev_sum_f64_scalar(x, mean),
+    }
+}
+
+fn sum_f64_scalar(x: &[f32]) -> f64 {
+    let mut s = 0.0f64;
+    for &v in x {
+        s += f64::from(v);
+    }
+    s
+}
+
+fn sum_sq_f64_scalar(x: &[f32]) -> (f64, f64) {
+    let mut s = 0.0f64;
+    let mut q = 0.0f64;
+    for &v in x {
+        let v = f64::from(v);
+        s += v;
+        q += v * v;
+    }
+    (s, q)
+}
+
+fn sq_dev_sum_f64_scalar(x: &[f32], mean: f64) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in x {
+        let d = f64::from(v) - mean;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Reduces four f64 lanes in a fixed left-to-right order, so the result
+    /// depends only on the lane contents — never on thread count.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn hsum_pd(v: __m256d) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        // SAFETY: `lanes` has room for all four f64 lanes.
+        unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), v) };
+        ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn sum_f64(x: &[f32]) -> f64 {
+        let mut s = _mm256_setzero_pd();
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: each chunk holds exactly eight f32 values.
+            let v = unsafe { _mm256_loadu_ps(chunk.as_ptr()) };
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v));
+            s = _mm256_add_pd(s, lo);
+            s = _mm256_add_pd(s, hi);
+        }
+        let mut sum = hsum_pd(s);
+        for &v in tail {
+            sum += f64::from(v);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn sum_sq_f64(x: &[f32]) -> (f64, f64) {
+        let mut s = _mm256_setzero_pd();
+        let mut q = _mm256_setzero_pd();
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: each chunk holds exactly eight f32 values.
+            let v = unsafe { _mm256_loadu_ps(chunk.as_ptr()) };
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v));
+            s = _mm256_add_pd(s, lo);
+            s = _mm256_add_pd(s, hi);
+            q = _mm256_fmadd_pd(lo, lo, q);
+            q = _mm256_fmadd_pd(hi, hi, q);
+        }
+        let mut sum = hsum_pd(s);
+        let mut sq = hsum_pd(q);
+        for &v in tail {
+            let v = f64::from(v);
+            sum += v;
+            sq += v * v;
+        }
+        (sum, sq)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn sq_dev_sum_f64(x: &[f32], mean: f64) -> f64 {
+        let m = _mm256_set1_pd(mean);
+        let mut acc = _mm256_setzero_pd();
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            // SAFETY: each chunk holds exactly eight f32 values.
+            let v = unsafe { _mm256_loadu_ps(chunk.as_ptr()) };
+            let lo = _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v)), m);
+            let hi = _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v)), m);
+            acc = _mm256_fmadd_pd(lo, lo, acc);
+            acc = _mm256_fmadd_pd(hi, hi, acc);
+        }
+        let mut sum = hsum_pd(acc);
+        for &v in tail {
+            let d = f64::from(v) - mean;
+            sum += d * d;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 29) as f32 - 14.0) * 0.173).collect()
+    }
+
+    #[test]
+    fn with_isa_overrides_and_restores() {
+        let before = active_isa();
+        with_isa(SimdIsa::Scalar, || {
+            assert_eq!(active_isa(), SimdIsa::Scalar);
+            with_isa(SimdIsa::Avx2Fma, || {
+                // Clamped to hardware: either the real thing or Scalar.
+                assert_eq!(active_isa(), clamp_to_hardware(SimdIsa::Avx2Fma));
+            });
+            assert_eq!(active_isa(), SimdIsa::Scalar);
+        });
+        assert_eq!(active_isa(), before);
+    }
+
+    #[test]
+    fn active_isa_is_always_executable() {
+        // Whatever the env/override state, the returned ISA must be one the
+        // hardware can run.
+        let isa = active_isa();
+        if SimdIsa::detected() == SimdIsa::Scalar {
+            assert_eq!(isa, SimdIsa::Scalar);
+        }
+    }
+
+    #[test]
+    fn isa_names_are_stable() {
+        assert_eq!(SimdIsa::Scalar.name(), "scalar");
+        assert_eq!(SimdIsa::Avx2Fma.name(), "avx2+fma");
+        assert_eq!(format!("{}", SimdIsa::Scalar), "scalar");
+    }
+
+    #[test]
+    fn aligned_buf_is_32_byte_aligned_and_sized() {
+        for len in [0usize, 1, 7, 8, 9, 64, 100] {
+            let mut buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.is_empty(), len == 0);
+            assert!(buf.iter().all(|&v| v == 0.0));
+            if len > 0 {
+                assert_eq!(buf.as_ptr() as usize % 32, 0, "len {len}");
+                buf[len - 1] = 3.5;
+                assert_eq!(buf[len - 1], 3.5);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_buf_resize_preserves_prefix_and_alignment() {
+        let mut buf = AlignedBuf::zeroed(4);
+        buf.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        buf.resize_dirty(19);
+        assert_eq!(buf.len(), 19);
+        assert_eq!(&buf[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(buf.as_ptr() as usize % 32, 0);
+        buf.resize_dirty(2);
+        assert_eq!(&buf[..], &[1.0, 2.0]);
+        assert!(buf.capacity() >= 19);
+    }
+
+    #[test]
+    fn scalar_reductions_match_the_historical_folds() {
+        let x = data(103);
+        let (s, q) = sum_sq_f64(SimdIsa::Scalar, &x);
+        let mut es = 0.0f64;
+        let mut eq = 0.0f64;
+        for &v in &x {
+            let v = f64::from(v);
+            es += v;
+            eq += v * v;
+        }
+        assert_eq!(s.to_bits(), es.to_bits());
+        assert_eq!(q.to_bits(), eq.to_bits());
+        assert_eq!(sum_f64(SimdIsa::Scalar, &x).to_bits(), es.to_bits());
+        let m = es / x.len() as f64;
+        let dev: f64 = x.iter().map(|&v| (f64::from(v) - m) * (f64::from(v) - m)).sum();
+        assert_eq!(sq_dev_sum_f64(SimdIsa::Scalar, &x, m).to_bits(), dev.to_bits());
+    }
+
+    #[test]
+    fn vector_reductions_agree_with_scalar_within_tolerance() {
+        // On non-AVX2 hardware Avx2Fma clamps to Scalar and this becomes a
+        // trivial identity check — intended, the suite must pass anywhere.
+        let isa = clamp_to_hardware(SimdIsa::Avx2Fma);
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33, 1023] {
+            let x = data(n);
+            let (s_ref, q_ref) = sum_sq_f64(SimdIsa::Scalar, &x);
+            let (s, q) = sum_sq_f64(isa, &x);
+            assert!((s - s_ref).abs() <= 1e-9 * (1.0 + s_ref.abs()), "n={n}: {s} vs {s_ref}");
+            assert!((q - q_ref).abs() <= 1e-9 * (1.0 + q_ref.abs()), "n={n}: {q} vs {q_ref}");
+            let sv = sum_f64(isa, &x);
+            assert!((sv - s_ref).abs() <= 1e-9 * (1.0 + s_ref.abs()));
+            let m = if n == 0 { 0.0 } else { s_ref / n as f64 };
+            let d_ref = sq_dev_sum_f64(SimdIsa::Scalar, &x, m);
+            let d = sq_dev_sum_f64(isa, &x, m);
+            assert!((d - d_ref).abs() <= 1e-9 * (1.0 + d_ref.abs()));
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::error::TensorError;
 use crate::shape::Shape;
+use crate::simd::{self, active_isa};
 use crate::tensor::Tensor;
 use crate::Result;
 use bnff_parallel::{min_items_per_thread, parallel_map_collect};
@@ -122,13 +123,9 @@ impl ChannelAccumulator {
     /// # Panics
     /// Panics if `c` is out of range.
     pub fn push_plane(&mut self, c: usize, plane: &[f32]) {
-        let mut s = 0.0f64;
-        let mut q = 0.0f64;
-        for &x in plane {
-            let v = f64::from(x);
-            s += v;
-            q += v * v;
-        }
+        // Runs on the caller's thread, so the scoped `with_isa` override (if
+        // any) is honoured here.
+        let (s, q) = simd::sum_sq_f64(active_isa(), plane);
         self.sum[c] += s;
         self.sq_sum[c] += q;
     }
@@ -145,18 +142,15 @@ impl ChannelAccumulator {
     pub fn from_tensor(x: &Tensor) -> Result<Self> {
         let (channels, per_channel) = per_channel_count(x.shape())?;
         let n = x.shape().n();
+        // Resolved on the caller's thread and captured by value: pool
+        // workers don't inherit the caller's `with_isa` override.
+        let isa = active_isa();
         let partials = parallel_map_collect(channels, channels_per_thread(per_channel), |c| {
             let mut sum = 0.0f64;
             let mut sq_sum = 0.0f64;
             for ni in 0..n {
                 // Per-plane subtotals first, matching `push_plane`.
-                let mut s = 0.0f64;
-                let mut q = 0.0f64;
-                for &v in x.channel_plane(ni, c) {
-                    let v = f64::from(v);
-                    s += v;
-                    q += v * v;
-                }
+                let (s, q) = simd::sum_sq_f64(isa, x.channel_plane(ni, c));
                 sum += s;
                 sq_sum += q;
             }
@@ -242,11 +236,14 @@ pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
     let (channels, per_channel) = per_channel_count(x.shape())?;
     let n = x.shape().n();
     let grain = channels_per_thread(per_channel);
+    // Resolved on the caller's thread and captured by value: pool workers
+    // don't inherit the caller's `with_isa` override.
+    let isa = active_isa();
     // First sweep: per-channel mean, one worker partial per channel.
     let mean: Vec<f64> = parallel_map_collect(channels, grain, |c| {
         let mut m = 0.0f64;
         for ni in 0..n {
-            m += x.channel_plane(ni, c).iter().map(|&v| f64::from(v)).sum::<f64>();
+            m += simd::sum_f64(isa, x.channel_plane(ni, c));
         }
         m / per_channel as f64
     });
@@ -255,11 +252,7 @@ pub fn channel_stats_two_pass(x: &Tensor) -> Result<ChannelStats> {
         let m = mean[c];
         let mut v_acc = 0.0f64;
         for ni in 0..n {
-            v_acc += x
-                .channel_plane(ni, c)
-                .iter()
-                .map(|&v| (f64::from(v) - m) * (f64::from(v) - m))
-                .sum::<f64>();
+            v_acc += simd::sq_dev_sum_f64(isa, x.channel_plane(ni, c), m);
         }
         v_acc / per_channel as f64
     });

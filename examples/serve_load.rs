@@ -81,6 +81,9 @@ fn saturate(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record which SIMD path the kernels execute, so saved load-harness
+    // numbers are attributable to a dispatch decision.
+    println!("simd dispatch: {}", bnff::kernels::dispatch::active_isa());
     let batch = 8;
     let classes = 5;
     let steps = env_usize("BNFF_SERVE_TRAIN_STEPS", 5);
