@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! Hand-rolled because the build environment has no crates.io access; the
+//! algorithm matches zlib's `crc32()` so artifacts can be checked with
+//! standard tooling.
+
+/// The 256-entry CRC-32 lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 of `bytes` (initial value `0xFFFFFFFF`, final XOR, as zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_zlib_reference_vectors() {
+        // Standard check value for the ASCII digits "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn a_single_flipped_bit_changes_the_checksum() {
+        let a = b"bnff artifact bytes".to_vec();
+        let mut b = a.clone();
+        b[7] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

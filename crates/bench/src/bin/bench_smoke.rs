@@ -17,7 +17,7 @@ use bnff_kernels::dispatch::{active_isa, with_isa, SimdIsa};
 use bnff_kernels::gemm::{gemm, gemm_nt, gemm_streaming, gemm_tn, pack_pool_reuse};
 use bnff_kernels::{affine, batchnorm, relu};
 use bnff_parallel::with_threads;
-use bnff_serve::FrozenModel;
+use bnff_serve::ServeEngine;
 use bnff_tensor::init::Initializer;
 use bnff_tensor::{Shape, Tensor};
 use std::time::Duration;
@@ -151,7 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hint is part of what the ratio measures, and pinning the pool size
     // makes the snapshot reproducible across hosts with different core
     // counts.
-    let frozen = FrozenModel::from_executor(&single_exec)?.executor(1)?;
+    let frozen = ServeEngine::builder().executor(&single_exec).build_model()?.executor(1)?;
     with_threads(4, || {
         report.measure_min_interleaved(
             7,
@@ -170,6 +170,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
         );
     });
+
+    // --- Model load: binary artifact vs JSON checkpoint, same model. This
+    // is the deploy-path payoff the artifact format is accountable for —
+    // the CI gate holds the binary path to ≥2x over JSON parsing.
+    let load_dir = std::env::temp_dir().join(format!("bnff-bench-load-{}", std::process::id()));
+    std::fs::create_dir_all(&load_dir)?;
+    let artifact_path = load_dir.join("model.bnff");
+    let json_path = load_dir.join("model.json");
+    let checkpoint = bnff_train::checkpoint::Checkpoint::capture(&single_exec);
+    checkpoint.write_artifact(&artifact_path)?;
+    checkpoint.save(&json_path)?;
+    report.measure_min_interleaved(
+        7,
+        3,
+        budget,
+        &mut [
+            ("model_load_artifact", None, &mut || {
+                bnff_train::checkpoint::Checkpoint::read_artifact(&artifact_path).unwrap();
+            }),
+            ("model_load_checkpoint_json", None, &mut || {
+                bnff_train::checkpoint::Checkpoint::load(&json_path).unwrap();
+            }),
+        ],
+    );
+    let _ = std::fs::remove_dir_all(&load_dir);
 
     let blocked_speedup =
         report.speedup("gemm_256_blocked_1t", "gemm_256_streaming_1t").unwrap_or(0.0);
@@ -210,6 +235,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .speedup("single_image_tape_forward", "single_image_training_eval_forward")
         .unwrap_or(0.0);
     report.summarize("tape_over_training_single_image", tape_over_training);
+    let load_ms = |name: &str| {
+        report.records.iter().find(|r| r.name == name).map(|r| r.ns_per_iter / 1e6).unwrap_or(0.0)
+    };
+    let artifact_load_ms = load_ms("model_load_artifact");
+    let checkpoint_load_ms = load_ms("model_load_checkpoint_json");
+    report.summarize("artifact_load_ms", artifact_load_ms);
+    report.summarize("checkpoint_load_ms", checkpoint_load_ms);
+    let artifact_speedup =
+        report.speedup("model_load_artifact", "model_load_checkpoint_json").unwrap_or(0.0);
+    report.summarize("artifact_over_checkpoint_load", artifact_speedup);
 
     let rows: Vec<Vec<String>> = report
         .records
@@ -234,6 +269,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "frozen-graph speedup over training eval forward (single image): {frozen_speedup:.2}x"
     );
     println!("tape speedup over interpreted frozen walk (single image): {tape_speedup:.2}x");
+    println!(
+        "model load — artifact: {artifact_load_ms:.2} ms, json checkpoint: \
+         {checkpoint_load_ms:.2} ms ({artifact_speedup:.2}x)"
+    );
 
     std::fs::write(&out_path, report.to_json()?)?;
     println!("wrote {out_path}");

@@ -1,0 +1,169 @@
+//! Drives the full C ABI surface in-process: load → engine → infer →
+//! metrics → free, plus every guard (bad path, stale handles, double-free,
+//! undersized buffers). The offline build has no `dlopen` bindings, so the
+//! `extern "C"` functions are called directly through the rlib — the same
+//! symbols the cdylib exports.
+
+use bnff_capi::{
+    bnff_abi_version, bnff_engine_start, bnff_free, bnff_infer, bnff_last_error, bnff_metrics_json,
+    bnff_model_classes, bnff_model_load, bnff_model_sample_len, BNFF_ERR_BAD_HANDLE,
+    BNFF_ERR_BUFFER_TOO_SMALL, BNFF_ERR_INVALID, BNFF_OK,
+};
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_serve::ServeEngine;
+use bnff_tensor::init::Initializer;
+use bnff_tensor::Shape;
+use bnff_train::checkpoint::Checkpoint;
+use bnff_train::Executor;
+use std::ffi::{CStr, CString};
+
+/// Trains a tiny classifier and writes it as a binary artifact.
+fn write_model(path: &std::path::Path) -> Executor {
+    let mut b = GraphBuilder::new("abi-cls");
+    let x = b.input("data", Shape::nchw(2, 3, 6, 6)).unwrap();
+    let labels = b.input("labels", Shape::vector(2)).unwrap();
+    let stem = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(4), "stem").unwrap();
+    let gap = b.global_avg_pool(stem, "gap").unwrap();
+    let fc = b.fully_connected(gap, 3, "fc").unwrap();
+    b.softmax_loss(fc, labels, "loss").unwrap();
+    let graph = b.finish();
+
+    let mut exec = Executor::new(graph, 41).unwrap();
+    let mut init = Initializer::seeded(42);
+    let data = init.uniform(Shape::nchw(2, 3, 6, 6), -1.0, 1.0);
+    let fwd = exec.forward(&data, &[0, 1]).unwrap();
+    exec.update_running_stats(&fwd).unwrap();
+    Checkpoint::capture(&exec).write_artifact(path).unwrap();
+    exec
+}
+
+fn last_error() -> String {
+    let ptr = bnff_last_error();
+    assert!(!ptr.is_null(), "a failing call must record a message");
+    unsafe { CStr::from_ptr(ptr) }.to_str().unwrap().to_string()
+}
+
+#[test]
+fn full_lifecycle_over_the_c_abi() {
+    assert_eq!(bnff_abi_version(), 1);
+
+    let dir = std::env::temp_dir().join(format!("bnff-abi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.bnff");
+    let exec = write_model(&model_path);
+
+    let c_path = CString::new(model_path.to_str().unwrap()).unwrap();
+    let model = unsafe { bnff_model_load(c_path.as_ptr()) };
+    assert!(!model.is_null(), "{}", last_error());
+
+    let sample_len = unsafe { bnff_model_sample_len(model) };
+    assert_eq!(sample_len, 3 * 6 * 6);
+    let classes = unsafe { bnff_model_classes(model) };
+    assert_eq!(classes, 3);
+
+    let engine = unsafe { bnff_engine_start(model, 1, 4, 500, 16) };
+    assert!(!engine.is_null(), "{}", last_error());
+
+    // Reference scores straight through the Rust API on the same file.
+    let reference_model = ServeEngine::builder().model_file(&model_path).build_model().unwrap();
+    let single = reference_model.executor(1).unwrap();
+    let mut init = Initializer::seeded(7);
+    let sample = init.uniform(Shape::new(vec![3, 6, 6]), -1.0, 1.0);
+    let batched =
+        bnff_tensor::Tensor::from_vec(Shape::nchw(1, 3, 6, 6), sample.as_slice().to_vec()).unwrap();
+    let expected: Vec<u32> =
+        single.infer(&batched).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+
+    let mut scores = vec![0.0f32; classes as usize];
+    let mut written = 0u64;
+    let code = unsafe {
+        bnff_infer(
+            engine,
+            sample.as_slice().as_ptr(),
+            sample_len,
+            scores.as_mut_ptr(),
+            scores.len() as u64,
+            &mut written,
+        )
+    };
+    assert_eq!(code, BNFF_OK, "{}", last_error());
+    assert_eq!(written, classes);
+    let got: Vec<u32> = scores.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, expected, "ABI scores must match direct frozen inference exactly");
+
+    // Undersized buffer: typed error, required size still reported.
+    let mut tiny = [0.0f32; 1];
+    let mut needed = 0u64;
+    let code = unsafe {
+        bnff_infer(
+            engine,
+            sample.as_slice().as_ptr(),
+            sample_len,
+            tiny.as_mut_ptr(),
+            1,
+            &mut needed,
+        )
+    };
+    assert_eq!(code, BNFF_ERR_BUFFER_TOO_SMALL);
+    assert_eq!(needed, classes);
+
+    // Wrong sample length: invalid argument.
+    let code = unsafe {
+        bnff_infer(engine, sample.as_slice().as_ptr(), 2, scores.as_mut_ptr(), 3, &mut written)
+    };
+    assert_eq!(code, BNFF_ERR_INVALID);
+    assert!(last_error().contains("expects 108"));
+
+    // Metrics: a parseable ServeReport that saw our request.
+    let metrics = unsafe { bnff_metrics_json(engine) };
+    assert!(!metrics.is_null(), "{}", last_error());
+    let json = unsafe { CStr::from_ptr(metrics) }.to_str().unwrap().to_string();
+    let report: bnff_serve::ServeReport = serde_json::from_str(&json).unwrap();
+    assert!(report.requests >= 1);
+
+    // Free everything once: OK. Free again: typed error, not UB.
+    assert_eq!(unsafe { bnff_free(metrics.cast()) }, BNFF_OK);
+    assert_eq!(unsafe { bnff_free(metrics.cast()) }, BNFF_ERR_BAD_HANDLE);
+    assert_eq!(unsafe { bnff_free(engine.cast()) }, BNFF_OK);
+    assert_eq!(unsafe { bnff_free(engine.cast()) }, BNFF_ERR_BAD_HANDLE);
+
+    // A freed engine handle is stale, not dereferenced.
+    let code = unsafe {
+        bnff_infer(
+            engine,
+            sample.as_slice().as_ptr(),
+            sample_len,
+            scores.as_mut_ptr(),
+            3,
+            &mut written,
+        )
+    };
+    assert_eq!(code, BNFF_ERR_BAD_HANDLE);
+
+    assert_eq!(unsafe { bnff_free(model.cast()) }, BNFF_OK);
+    assert_eq!(unsafe { bnff_free(model.cast()) }, BNFF_ERR_BAD_HANDLE);
+    assert_eq!(unsafe { bnff_free(std::ptr::null_mut()) }, BNFF_ERR_BAD_HANDLE);
+
+    drop(exec);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_failures_set_last_error() {
+    let missing = CString::new("/nonexistent/model.bnff").unwrap();
+    let model = unsafe { bnff_model_load(missing.as_ptr()) };
+    assert!(model.is_null());
+    assert!(last_error().contains("bnff_model_load"));
+
+    let model = unsafe { bnff_model_load(std::ptr::null()) };
+    assert!(model.is_null());
+    assert!(last_error().contains("null"));
+
+    // Stale/foreign pointers are rejected before any dereference.
+    assert_eq!(unsafe { bnff_model_sample_len(std::ptr::null()) }, 0);
+    assert_eq!(unsafe { bnff_model_classes(std::ptr::dangling()) }, 0);
+    let engine = unsafe { bnff_engine_start(std::ptr::dangling(), 0, 0, 0, 0) };
+    assert!(engine.is_null());
+    assert!(last_error().contains("live model handle"));
+}

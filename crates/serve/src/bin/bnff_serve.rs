@@ -1,0 +1,121 @@
+//! `bnff_serve` — serve a trained model file over HTTP.
+//!
+//! ```text
+//! bnff_serve --model model.bnff [--addr 127.0.0.1:8080] [--workers 2]
+//!            [--max-batch 8] [--max-wait-ms 2] [--queue-depth 64]
+//!            [--deadline-ms 50] [--kernel-threads 0]
+//! ```
+//!
+//! The model file may be a binary artifact (`.bnff`) or a JSON checkpoint;
+//! the format is sniffed from the magic bytes. The process runs until
+//! `POST /v1/shutdown` drains it (see the `bnff_serve::httpd` docs for the
+//! endpoint table and status-code mapping).
+
+use bnff_serve::ServeEngine;
+use std::time::Duration;
+
+struct Args {
+    model: String,
+    addr: String,
+    workers: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    queue_depth: usize,
+    deadline: Option<Duration>,
+    kernel_threads: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bnff_serve --model <file> [--addr HOST:PORT] [--workers N] [--max-batch N]\n\
+         \x20                 [--max-wait-ms N] [--queue-depth N] [--deadline-ms N]\n\
+         \x20                 [--kernel-threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        model: String::new(),
+        addr: "127.0.0.1:8080".to_string(),
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        queue_depth: 64,
+        deadline: None,
+        kernel_threads: 0,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--model" => args.model = value("--model"),
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--max-batch" => args.max_batch = parse_num(&value("--max-batch"), "--max-batch"),
+            "--max-wait-ms" => {
+                args.max_wait =
+                    Duration::from_millis(parse_num(&value("--max-wait-ms"), "--max-wait-ms"));
+            }
+            "--queue-depth" => {
+                args.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth");
+            }
+            "--deadline-ms" => {
+                args.deadline = Some(Duration::from_millis(parse_num(
+                    &value("--deadline-ms"),
+                    "--deadline-ms",
+                )));
+            }
+            "--kernel-threads" => {
+                args.kernel_threads = parse_num(&value("--kernel-threads"), "--kernel-threads");
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.model.is_empty() {
+        eprintln!("--model is required");
+        usage()
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {raw:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let engine = ServeEngine::builder()
+        .model_file(&args.model)
+        .workers(args.workers)
+        .max_batch(args.max_batch)
+        .max_wait(args.max_wait)
+        .queue_depth(args.queue_depth)
+        .deadline(args.deadline)
+        .kernel_threads(args.kernel_threads)
+        .start()
+        .unwrap_or_else(|e| {
+            eprintln!("bnff_serve: starting the engine from {}: {e}", args.model);
+            std::process::exit(1);
+        });
+    let server = bnff_serve::HttpServer::bind(engine, &args.addr).unwrap_or_else(|e| {
+        eprintln!("bnff_serve: {e}");
+        std::process::exit(1);
+    });
+    println!("bnff_serve: listening on http://{} (model {})", server.local_addr(), args.model);
+    println!("bnff_serve: POST /v1/infer · GET /v1/metrics · GET /v1/healthz · POST /v1/shutdown");
+    server.wait();
+    println!("bnff_serve: drained, exiting");
+}

@@ -83,8 +83,8 @@ pub struct BatchingConfig {
     pub deadline: Option<Duration>,
     /// Total kernel-thread budget to partition disjointly across workers;
     /// `0` inherits the caller's effective thread count (`BNFF_THREADS`, a
-    /// `with_threads` scope, or the machine's parallelism) at
-    /// [`ServeEngine::start`] time.
+    /// `with_threads` scope, or the machine's parallelism) at engine start
+    /// time.
     pub kernel_threads: usize,
 }
 
@@ -188,6 +188,36 @@ impl std::fmt::Debug for ServeEngine {
 }
 
 impl ServeEngine {
+    /// Begins fluent engine construction: pick a model source
+    /// ([`model`](crate::ServeEngineBuilder::model),
+    /// [`executor`](crate::ServeEngineBuilder::executor),
+    /// [`checkpoint`](crate::ServeEngineBuilder::checkpoint) or
+    /// [`model_file`](crate::ServeEngineBuilder::model_file)), adjust
+    /// batching knobs, then [`start`](crate::ServeEngineBuilder::start).
+    ///
+    /// ```rust,no_run
+    /// # fn main() -> Result<(), bnff_serve::ServeError> {
+    /// let engine = bnff_serve::ServeEngine::builder()
+    ///     .model_file("model.bnff")
+    ///     .workers(2)
+    ///     .max_batch(8)
+    ///     .start()?;
+    /// # let _ = engine; Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> crate::builder::ServeEngineBuilder {
+        crate::builder::ServeEngineBuilder::new()
+    }
+
+    /// Starts an engine over a frozen model and explicit configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder()` — pick a model source, set knobs, `.start()`"
+    )]
+    pub fn start(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
+        Self::start_inner(model, config)
+    }
+
     /// Starts an engine over a frozen model: one bounded shard queue per
     /// worker, each worker's kernel fan-out pinned to a disjoint slice of
     /// the kernel-thread budget.
@@ -195,7 +225,7 @@ impl ServeEngine {
     /// # Errors
     /// Returns an error for a zero `max_batch`/`workers`/`executor_cache`/
     /// `queue_depth` configuration.
-    pub fn start(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
+    pub(crate) fn start_inner(model: FrozenModel, config: BatchingConfig) -> Result<Self> {
         if config.max_batch == 0
             || config.workers == 0
             || config.executor_cache == 0
@@ -304,6 +334,14 @@ impl ServeEngine {
         }
         merged.record_shed(self.shared.shed.load(Ordering::Relaxed));
         merged
+    }
+
+    /// The per-sample input shape the model expects (`C × H × W`).
+    ///
+    /// # Errors
+    /// Returns an error when the model's input node cannot be resolved.
+    pub fn sample_shape(&self) -> Result<Shape> {
+        self.shared.model.sample_shape()
     }
 
     /// Total admission capacity: `workers × queue_depth` queued requests.

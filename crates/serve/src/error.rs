@@ -29,6 +29,9 @@ pub enum ServeError {
     Kernel(bnff_kernels::KernelError),
     /// An error bubbled up from the tensor substrate.
     Tensor(bnff_tensor::TensorError),
+    /// A model (JSON checkpoint or binary artifact) could not be loaded —
+    /// the shared typed hierarchy from `bnff-artifact`.
+    Model(bnff_artifact::ModelError),
     /// An error bubbled up from the training substrate (checkpoint load).
     Train(String),
 }
@@ -48,6 +51,7 @@ impl fmt::Display for ServeError {
             ServeError::Graph(err) => write!(f, "graph error: {err}"),
             ServeError::Kernel(err) => write!(f, "kernel error: {err}"),
             ServeError::Tensor(err) => write!(f, "tensor error: {err}"),
+            ServeError::Model(err) => write!(f, "model error: {err}"),
             ServeError::Train(msg) => write!(f, "training-state error: {msg}"),
         }
     }
@@ -59,6 +63,7 @@ impl std::error::Error for ServeError {
             ServeError::Graph(err) => Some(err),
             ServeError::Kernel(err) => Some(err),
             ServeError::Tensor(err) => Some(err),
+            ServeError::Model(err) => Some(err),
             _ => None,
         }
     }
@@ -84,7 +89,19 @@ impl From<bnff_tensor::TensorError> for ServeError {
 
 impl From<bnff_train::TrainError> for ServeError {
     fn from(err: bnff_train::TrainError) -> Self {
-        ServeError::Train(err.to_string())
+        match err {
+            // Model-loading failures keep their typed identity across the
+            // layer boundary so callers (and the HTTP/C ABI surfaces) can
+            // match on one hierarchy.
+            bnff_train::TrainError::Model(err) => ServeError::Model(err),
+            other => ServeError::Train(other.to_string()),
+        }
+    }
+}
+
+impl From<bnff_artifact::ModelError> for ServeError {
+    fn from(err: bnff_artifact::ModelError) -> Self {
+        ServeError::Model(err)
     }
 }
 
@@ -101,6 +118,12 @@ mod tests {
         assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
         assert!(ServeError::Overloaded { queued: 7 }.to_string().contains("7 queued"));
         assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        let model = bnff_artifact::ModelError::BadMagic { found: *b"NOPE" };
+        let e: ServeError = bnff_train::TrainError::Model(model.clone()).into();
+        assert_eq!(e, ServeError::Model(model));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ServeError = bnff_train::TrainError::Unsupported("op".into()).into();
+        assert!(matches!(e, ServeError::Train(_)));
         fn assert_bounds<E: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<ServeError>();
     }

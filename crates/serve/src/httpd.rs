@@ -1,0 +1,322 @@
+//! The HTTP serving boundary: a [`ServeEngine`] behind four endpoints.
+//!
+//! | Endpoint           | Method | Behavior                                          |
+//! |--------------------|--------|---------------------------------------------------|
+//! | `/v1/infer`        | POST   | `{"sample": [f32; C·H·W]}` → classifier scores    |
+//! | `/v1/metrics`      | GET    | [`ServeReport`](crate::ServeReport) JSON snapshot |
+//! | `/v1/healthz`      | GET    | liveness + drain state                            |
+//! | `/v1/shutdown`     | POST   | graceful drain (the SIGTERM-equivalent)           |
+//!
+//! Engine backpressure maps onto HTTP status codes, so standard clients and
+//! load balancers react correctly without knowing the engine's error types:
+//! [`ServeError::Overloaded`] → `429` (with `retry-after`),
+//! [`ServeError::DeadlineExceeded`] → `504`, [`ServeError::ShuttingDown`] →
+//! `503`, invalid samples and malformed JSON → `400`.
+//!
+//! The build environment has no signal-handling bindings (no `libc`), so
+//! graceful shutdown is driven by `POST /v1/shutdown` instead of `SIGTERM`:
+//! the server stops accepting, the engine drains — every admitted request
+//! still receives its completion — and the workers exit. A process
+//! supervisor maps its stop signal to that endpoint.
+//!
+//! Connections are handled one request per connection
+//! (`Connection: close`), one thread per connection — matched to the
+//! engine's own thread-per-worker scale rather than a reactor's.
+
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::LatencyRecorder;
+use crate::Result;
+use bnff_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// `POST /v1/infer` request body.
+#[derive(Debug, Deserialize)]
+struct InferRequest {
+    /// The sample in row-major `C × H × W` order.
+    sample: Vec<f32>,
+}
+
+/// `POST /v1/infer` success body.
+#[derive(Debug, Serialize)]
+struct InferResponse {
+    scores: Vec<f32>,
+    batch_size: usize,
+    latency_us: u64,
+}
+
+/// Error body for every non-200 response.
+#[derive(Debug, Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+/// `GET /v1/healthz` body.
+#[derive(Debug, Serialize)]
+struct HealthResponse {
+    status: &'static str,
+    draining: bool,
+}
+
+struct ServerShared {
+    /// `None` once drained; handlers answer `503` from then on.
+    engine: Mutex<Option<ServeEngine>>,
+    draining: AtomicBool,
+    sample_shape: Shape,
+    addr: SocketAddr,
+}
+
+impl ServerShared {
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Option<ServeEngine>> {
+        self.engine.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Stops admissions and drains the engine. Idempotent; the first caller
+    /// gets the final metrics.
+    fn drain(&self) -> Option<LatencyRecorder> {
+        self.draining.store(true, Ordering::SeqCst);
+        let engine = self.lock_engine().take();
+        let metrics = engine.map(ServeEngine::shutdown);
+        // The accept loop only observes `draining` after `accept()`
+        // returns; poke it with a throwaway connection so it exits.
+        let _ = TcpStream::connect(self.addr);
+        metrics
+    }
+}
+
+/// A running HTTP server over a [`ServeEngine`].
+///
+/// Constructed by [`HttpServer::bind`]; the accept loop runs on its own
+/// thread until `POST /v1/shutdown` arrives or [`HttpServer::shutdown`] is
+/// called.
+pub struct HttpServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("draining", &self.shared.draining.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:8080"`, or port `0` for an ephemeral
+    /// test port) and starts accepting requests against `engine`.
+    ///
+    /// # Errors
+    /// Returns an error when the address cannot be bound or the model's
+    /// sample shape cannot be resolved.
+    pub fn bind(engine: ServeEngine, addr: &str) -> Result<Self> {
+        let sample_shape = engine.sample_shape()?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::InvalidArgument(format!("binding {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::InvalidArgument(format!("resolving {addr}: {e}")))?;
+        let shared = Arc::new(ServerShared {
+            engine: Mutex::new(Some(engine)),
+            draining: AtomicBool::new(false),
+            sample_shape,
+            addr: local,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("bnff-http-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawning the http accept thread");
+        Ok(HttpServer { shared, addr: local, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port `0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains the engine and stops the accept loop — the programmatic twin
+    /// of `POST /v1/shutdown`. Returns the engine's final metrics, or
+    /// `None` when a drain already ran.
+    pub fn shutdown(mut self) -> Option<LatencyRecorder> {
+        let metrics = self.shared.drain();
+        self.join_accept();
+        metrics
+    }
+
+    /// Blocks until the server drains — via `POST /v1/shutdown` or another
+    /// thread calling [`HttpServer::shutdown`]. This is the serve binary's
+    /// main-thread park.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.shared.drain();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shared.drain();
+        self.join_accept();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("bnff-http-conn".into())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let (status, extra, body) = match read_request(&mut reader) {
+        Ok(Some(request)) => route(shared, &request),
+        Ok(None) => return,
+        Err(HttpError::Closed) => return,
+        Err(err @ HttpError::BodyTooLarge(_)) => (413, Vec::new(), error_body(&err.to_string())),
+        Err(err) => (400, Vec::new(), error_body(&err.to_string())),
+    };
+    let _ = write_response(&mut stream, status, &extra, &body);
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&ErrorResponse { error: message.to_string() })
+        .unwrap_or_else(|_| "{\"error\":\"unserializable error\"}".to_string())
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, String);
+
+fn route(shared: &ServerShared, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/infer") => infer(shared, request),
+        ("GET", "/v1/metrics") => metrics(shared),
+        ("GET", "/v1/healthz") => {
+            let body =
+                HealthResponse { status: "ok", draining: shared.draining.load(Ordering::SeqCst) };
+            ok(&body)
+        }
+        ("POST", "/v1/shutdown") => {
+            // Drain inline: every admitted request completes before the
+            // response is written, so the caller's `curl` returning means
+            // the engine is quiesced.
+            shared.drain();
+            (200, Vec::new(), "{\"status\":\"drained\"}".to_string())
+        }
+        (_, "/v1/infer" | "/v1/metrics" | "/v1/healthz" | "/v1/shutdown") => {
+            (405, Vec::new(), error_body("method not allowed"))
+        }
+        (_, path) => (404, Vec::new(), error_body(&format!("no such endpoint: {path}"))),
+    }
+}
+
+fn ok<T: Serialize>(body: &T) -> Routed {
+    match serde_json::to_string(body) {
+        Ok(json) => (200, Vec::new(), json),
+        Err(e) => (500, Vec::new(), error_body(&e.to_string())),
+    }
+}
+
+fn metrics(shared: &ServerShared) -> Routed {
+    let guard = shared.lock_engine();
+    match guard.as_ref() {
+        Some(engine) => {
+            let report = engine.metrics().report(engine.uptime());
+            drop(guard);
+            ok(&report)
+        }
+        None => serve_error(&ServeError::ShuttingDown),
+    }
+}
+
+fn infer(shared: &ServerShared, request: &Request) -> Routed {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return (400, Vec::new(), error_body("request body is not UTF-8")),
+    };
+    let parsed: InferRequest = match serde_json::from_str(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return (400, Vec::new(), error_body(&format!("bad infer request: {e}"))),
+    };
+    let expected = shared.sample_shape.volume();
+    if parsed.sample.len() != expected {
+        return (
+            400,
+            Vec::new(),
+            error_body(&format!(
+                "sample has {} values, model expects {expected} ({})",
+                parsed.sample.len(),
+                shared.sample_shape
+            )),
+        );
+    }
+    let sample = match Tensor::from_vec(shared.sample_shape.clone(), parsed.sample) {
+        Ok(sample) => sample,
+        Err(e) => return (400, Vec::new(), error_body(&e.to_string())),
+    };
+
+    // Hold the engine lock only across the (queue-push) submit; the wait
+    // for the completion happens lock-free so concurrent requests batch.
+    let receiver = {
+        let guard = shared.lock_engine();
+        match guard.as_ref() {
+            Some(engine) => engine.submit(sample),
+            None => Err(ServeError::ShuttingDown),
+        }
+    };
+    let completion = match receiver {
+        Ok(rx) => match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ShuttingDown),
+        },
+        Err(e) => Err(e),
+    };
+    match completion {
+        Ok(completion) => ok(&InferResponse {
+            scores: completion.scores.as_slice().to_vec(),
+            batch_size: completion.batch_size,
+            latency_us: completion.latency.as_micros() as u64,
+        }),
+        Err(e) => serve_error(&e),
+    }
+}
+
+/// Maps an engine error onto its HTTP status + JSON body.
+fn serve_error(err: &ServeError) -> Routed {
+    let (status, extra): (u16, Vec<(&'static str, String)>) = match err {
+        ServeError::Overloaded { .. } => (429, vec![("retry-after", "1".to_string())]),
+        ServeError::DeadlineExceeded => (504, Vec::new()),
+        ServeError::ShuttingDown => (503, Vec::new()),
+        ServeError::InvalidArgument(_) => (400, Vec::new()),
+        _ => (500, Vec::new()),
+    };
+    (status, extra, error_body(&err.to_string()))
+}

@@ -28,15 +28,20 @@
 //!    latency-vs-throughput curve.
 //!
 //! Training and serving are separate processes in principle: the trainer
-//! writes a [`Checkpoint`](bnff_train::Checkpoint), the server loads it via
-//! [`FrozenModel::from_checkpoint`].
+//! writes a model file — a JSON [`Checkpoint`](bnff_train::Checkpoint) or a
+//! binary `bnff-artifact` — and the server loads it via
+//! [`ServeEngine::builder`]`().model_file(..)` (or [`FrozenModel::load`]),
+//! which sniffs the format from the magic bytes.
 //!
 //! ## Example
+//!
+//! Every construction path goes through one fluent pipeline — *model
+//! source → batching knobs → start*:
 //!
 //! ```rust
 //! use bnff_graph::builder::GraphBuilder;
 //! use bnff_graph::op::Conv2dAttrs;
-//! use bnff_serve::FrozenModel;
+//! use bnff_serve::ServeEngine;
 //! use bnff_tensor::{init::Initializer, Shape};
 //! use bnff_train::Executor;
 //!
@@ -50,7 +55,9 @@
 //! b.softmax_loss(fc, labels, "loss")?;
 //!
 //! let exec = Executor::new(b.finish(), 42)?;
-//! let model = FrozenModel::from_executor(&exec)?;
+//! // Freeze + fold through the builder; `.start()` would spin up workers,
+//! // `.build_model()` hands back the frozen model for direct execution.
+//! let model = ServeEngine::builder().executor(&exec).build_model()?;
 //! // Stamp a single-sample executor and classify one image.
 //! let single = model.executor(1)?;
 //! let image = Initializer::seeded(1).uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0);
@@ -64,17 +71,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod assembly;
+pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod http;
+pub mod httpd;
 pub mod loadgen;
 pub mod metrics;
 pub mod model;
 pub mod params;
 
+pub use builder::ServeEngineBuilder;
 pub use engine::{BatchingConfig, Completion, ServeEngine};
 pub use error::ServeError;
 pub use executor::FrozenExecutor;
+pub use httpd::HttpServer;
 pub use loadgen::{LoadPoint, OpenLoopConfig};
 pub use metrics::{LatencyRecorder, ServeReport};
 pub use model::FrozenModel;

@@ -229,7 +229,7 @@ pub fn sweep(
 ) -> Result<Vec<LoadPoint>> {
     let mut points = Vec::with_capacity(rates.len());
     for &rate in rates {
-        let engine = ServeEngine::start(model.clone(), config.clone())?;
+        let engine = ServeEngine::start_inner(model.clone(), config.clone())?;
         let run = open_loop(
             &engine,
             samples,

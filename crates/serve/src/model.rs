@@ -12,12 +12,14 @@ use crate::error::ServeError;
 use crate::executor::FrozenExecutor;
 use crate::params::{fold_params, FrozenParamSet};
 use crate::Result;
+use bnff_artifact::{Artifact, ModelError};
 use bnff_graph::passes::freeze::{freeze, FrozenGraph};
 use bnff_graph::{Graph, NodeId};
 use bnff_tensor::Shape;
 use bnff_train::checkpoint::Checkpoint;
 use bnff_train::running::RunningStatSet;
 use bnff_train::{Executor, ParamSet};
+use std::path::Path;
 use std::sync::Arc;
 
 /// A frozen, BN-folded model ready for serving.
@@ -47,19 +49,45 @@ impl FrozenModel {
     }
 
     /// Freezes a live training executor.
-    ///
-    /// # Errors
-    /// Returns an error when the freeze pass or the numeric fold fails.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder().executor(..)`, or `FrozenModel::from_parts` when you \
+                need the model itself"
+    )]
     pub fn from_executor(executor: &Executor) -> Result<Self> {
         Self::from_parts(executor.graph(), executor.params(), executor.running_stats())
     }
 
-    /// Loads and freezes a model checkpoint — the process-separation path:
-    /// the trainer wrote the file, the server folds it.
+    /// Loads and freezes a model checkpoint.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder().checkpoint(..)`, or `FrozenModel::load` to read a \
+                model file directly"
+    )]
+    pub fn from_checkpoint(checkpoint: &Checkpoint) -> Result<Self> {
+        Self::from_parts(&checkpoint.graph, &checkpoint.params, &checkpoint.running)
+    }
+
+    /// Loads and freezes a model file — the process-separation path: the
+    /// trainer wrote the file, the server folds it. The format is sniffed
+    /// from the leading bytes: a binary artifact (magic `BNFF`, loaded
+    /// zero-copy and CRC-verified) or a JSON checkpoint.
     ///
     /// # Errors
-    /// Returns an error when the checkpoint is invalid or the fold fails.
-    pub fn from_checkpoint(checkpoint: &Checkpoint) -> Result<Self> {
+    /// Returns [`ServeError::Model`] when the file fails any format
+    /// validation, and a fold error when the model cannot be frozen.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| ModelError::Io(format!("reading {}: {e}", path.display())))?;
+        let checkpoint = if bnff_artifact::is_artifact(&bytes) {
+            Checkpoint::from_artifact(&Artifact::from_bytes(&bytes)?)?
+        } else {
+            let json = String::from_utf8(bytes).map_err(|_| {
+                ModelError::Manifest(format!("{} is not UTF-8 JSON", path.display()))
+            })?;
+            Checkpoint::from_json(&json)?
+        };
         Self::from_parts(&checkpoint.graph, &checkpoint.params, &checkpoint.running)
     }
 

@@ -33,7 +33,7 @@ fn fixture() -> &'static (FrozenModel, Vec<Tensor>, Vec<Vec<u32>>) {
             let fwd = exec.forward(&data, &[0, 1]).unwrap();
             exec.update_running_stats(&fwd).unwrap();
         }
-        let model = FrozenModel::from_executor(&exec).unwrap();
+        let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
         let single = model.executor(1).unwrap();
         let mut sample_init = Initializer::seeded(101);
         let samples: Vec<Tensor> =
@@ -73,9 +73,7 @@ proptest! {
         let order = permutation(requests, seed);
         for threads in [1usize, 4] {
             let engine = with_threads(threads, || {
-                ServeEngine::start(
-                    model.clone(),
-                    BatchingConfig {
+                ServeEngine::builder().model(model.clone()).config(BatchingConfig {
                         max_batch,
                         max_wait: Duration::from_micros(200),
                         workers,
@@ -83,8 +81,7 @@ proptest! {
                         // property under test is assembly, not shedding.
                         queue_depth: requests.max(1),
                         ..BatchingConfig::default()
-                    },
-                )
+                    }).start()
                 .unwrap()
             });
             let receivers: Vec<_> = order

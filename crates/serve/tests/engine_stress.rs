@@ -37,7 +37,7 @@ fn fixture() -> &'static (FrozenModel, Vec<Tensor>, Vec<Vec<u32>>) {
             let fwd = exec.forward(&data, &[0, 1]).unwrap();
             exec.update_running_stats(&fwd).unwrap();
         }
-        let model = FrozenModel::from_executor(&exec).unwrap();
+        let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
         let single = model.executor(1).unwrap();
         let mut sample_init = Initializer::seeded(91);
         let samples: Vec<Tensor> =
@@ -58,17 +58,17 @@ fn closed_loop_clients_get_every_answer_exactly_once() {
     let (model, samples, references) = fixture();
     for threads in [1usize, 4] {
         let engine = with_threads(threads, || {
-            ServeEngine::start(
-                model.clone(),
-                BatchingConfig {
+            ServeEngine::builder()
+                .model(model.clone())
+                .config(BatchingConfig {
                     max_batch: 4,
                     max_wait: Duration::from_millis(1),
                     workers: 3,
                     queue_depth: 16,
                     ..BatchingConfig::default()
-                },
-            )
-            .unwrap()
+                })
+                .start()
+                .unwrap()
         });
         let clients = 6usize;
         let per_client = 12usize;
@@ -119,9 +119,9 @@ fn closed_loop_clients_get_every_answer_exactly_once() {
 #[test]
 fn open_loop_burst_sheds_only_when_genuinely_full() {
     let (model, samples, references) = fixture();
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig {
             max_batch: 2,
             // A long coalescing window keeps workers from draining the tiny
             // queues as fast as the burst fills them, making sheds
@@ -130,9 +130,9 @@ fn open_loop_burst_sheds_only_when_genuinely_full() {
             workers: 2,
             queue_depth: 3,
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
     let capacity = engine.queue_capacity();
     assert_eq!(capacity, 6);
     let burst = 64usize;
@@ -172,17 +172,17 @@ fn open_loop_burst_sheds_only_when_genuinely_full() {
 #[test]
 fn mixed_open_and_closed_loop_accounting_is_exact() {
     let (model, samples, references) = fixture();
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             workers: 2,
             queue_depth: 4,
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
     let completed = std::sync::atomic::AtomicUsize::new(0);
     let shed = std::sync::atomic::AtomicUsize::new(0);
     let submitted = std::sync::atomic::AtomicUsize::new(0);
@@ -266,9 +266,9 @@ fn mixed_open_and_closed_loop_accounting_is_exact() {
 #[test]
 fn graceful_shutdown_completes_in_flight_requests() {
     let (model, samples, references) = fixture();
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig {
             max_batch: 4,
             // A long window guarantees requests are still queued (not yet
             // coalesced) when shutdown lands; drain-on-shutdown must cut
@@ -277,9 +277,9 @@ fn graceful_shutdown_completes_in_flight_requests() {
             workers: 2,
             queue_depth: 64,
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
     let receivers: Vec<_> = (0..12)
         .map(|i| (i % samples.len(), engine.submit(samples[i % samples.len()].clone()).unwrap()))
         .collect();
@@ -297,7 +297,11 @@ fn graceful_shutdown_completes_in_flight_requests() {
     // After shutdown the engine object is gone (consumed); a fresh engine's
     // post-stop behaviour is covered through drop + submit in
     // freeze_equivalence. Here: an engine mid-drop refuses politely.
-    let engine = ServeEngine::start(model.clone(), BatchingConfig::default()).unwrap();
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig::default())
+        .start()
+        .unwrap();
     let metrics = engine.shutdown();
     assert_eq!(metrics.requests(), 0);
 }
@@ -307,18 +311,18 @@ fn graceful_shutdown_completes_in_flight_requests() {
 #[test]
 fn deadlines_expire_requests_instead_of_serving_stale_work() {
     let (model, samples, _references) = fixture();
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(30),
             workers: 1,
             queue_depth: 64,
             deadline: Some(Duration::ZERO),
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
     let receivers: Vec<_> =
         (0..8).map(|i| engine.submit(samples[i % samples.len()].clone()).unwrap()).collect();
     let mut expired = 0usize;
@@ -338,17 +342,17 @@ fn deadlines_expire_requests_instead_of_serving_stale_work() {
     let metrics = engine.shutdown();
     assert_eq!(metrics.expired(), expired);
 
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             workers: 2,
             deadline: Some(Duration::from_secs(30)),
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
     for i in 0..8 {
         engine.infer_blocking(samples[i % samples.len()].clone()).unwrap();
     }
@@ -369,7 +373,7 @@ fn zero_bounds_are_rejected() {
         BatchingConfig { queue_depth: 0, ..BatchingConfig::default() },
     ] {
         assert!(matches!(
-            ServeEngine::start(model.clone(), config),
+            ServeEngine::builder().model(model.clone()).config(config).start(),
             Err(ServeError::InvalidArgument(_))
         ));
     }
@@ -379,20 +383,20 @@ fn zero_bounds_are_rejected() {
 #[test]
 fn kernel_budgets_partition_the_thread_budget() {
     let (model, _samples, _references) = fixture();
-    let engine = ServeEngine::start(
-        model.clone(),
-        BatchingConfig { workers: 3, kernel_threads: 7, ..BatchingConfig::default() },
-    )
-    .unwrap();
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(BatchingConfig { workers: 3, kernel_threads: 7, ..BatchingConfig::default() })
+        .start()
+        .unwrap();
     assert_eq!(engine.kernel_budgets(), &[3, 2, 2]);
     drop(engine);
     // kernel_threads = 0 inherits the caller's scoped override.
     let engine = with_threads(5, || {
-        ServeEngine::start(
-            model.clone(),
-            BatchingConfig { workers: 2, ..BatchingConfig::default() },
-        )
-        .unwrap()
+        ServeEngine::builder()
+            .model(model.clone())
+            .config(BatchingConfig { workers: 2, ..BatchingConfig::default() })
+            .start()
+            .unwrap()
     });
     assert_eq!(engine.kernel_budgets(), &[3, 2]);
 }

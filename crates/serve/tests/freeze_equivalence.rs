@@ -91,7 +91,7 @@ fn frozen_matches_eval_at_every_measured_fusion_level() {
         let graph = BnffOptimizer::new(level).apply(&baseline).unwrap();
         let (exec, data, labels) = conditioned_executor(graph, 11 + level as u64);
         let eval = exec.forward_eval(&data, &labels).unwrap();
-        let model = FrozenModel::from_executor(&exec).unwrap();
+        let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
         let frozen = model.executor(4).unwrap();
         let scores = frozen.infer(&data).unwrap();
         let div = score_divergence(&eval.scores, &scores).unwrap();
@@ -105,7 +105,7 @@ fn frozen_matches_eval_at_every_measured_fusion_level() {
 #[test]
 fn frozen_inference_is_bit_identical_across_thread_counts() {
     let (exec, data, _labels) = conditioned_executor(classifier(4, 3), 23);
-    let model = FrozenModel::from_executor(&exec).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
     let reference: Vec<u32> = with_threads(1, || {
         model
             .executor(4)
@@ -136,7 +136,7 @@ fn frozen_inference_is_bit_identical_across_thread_counts() {
 #[test]
 fn batch_of_one_equals_coalesced_batch() {
     let (exec, data, _labels) = conditioned_executor(classifier(4, 3), 31);
-    let model = FrozenModel::from_executor(&exec).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
     let single = model.executor(1).unwrap();
     let full = model.executor(4).unwrap();
     let batched = full.infer(&data).unwrap();
@@ -161,10 +161,10 @@ fn batch_of_one_equals_coalesced_batch() {
 #[test]
 fn checkpoint_freeze_round_trip_serves_identically() {
     let (exec, data, _labels) = conditioned_executor(classifier(4, 3), 41);
-    let direct = FrozenModel::from_executor(&exec).unwrap();
+    let direct = ServeEngine::builder().executor(&exec).build_model().unwrap();
     let ckpt = Checkpoint::capture(&exec);
     let restored = Checkpoint::from_json(&ckpt.to_json().unwrap()).unwrap();
-    let via_checkpoint = FrozenModel::from_checkpoint(&restored).unwrap();
+    let via_checkpoint = ServeEngine::builder().checkpoint(&restored).build_model().unwrap();
     let a = direct.executor(4).unwrap().infer(&data).unwrap();
     let b = via_checkpoint.executor(4).unwrap().infer(&data).unwrap();
     assert_eq!(a.as_slice(), b.as_slice(), "checkpoint round trip changed the frozen scores");
@@ -173,7 +173,7 @@ fn checkpoint_freeze_round_trip_serves_identically() {
 #[test]
 fn engine_serves_correct_scores_under_concurrent_load() {
     let (exec, _data, _labels) = conditioned_executor(classifier(4, 3), 53);
-    let model = FrozenModel::from_executor(&exec).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
     let single = model.executor(1).unwrap();
 
     // Reference scores for 16 distinct samples.
@@ -183,17 +183,17 @@ fn engine_serves_correct_scores_under_concurrent_load() {
     let references: Vec<Vec<f32>> =
         samples.iter().map(|s| single.infer(s).unwrap().as_slice().to_vec()).collect();
 
-    let engine = ServeEngine::start(
-        model,
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model)
+        .config(BatchingConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(5),
             workers: 2,
             executor_cache: 4,
             ..BatchingConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start()
+        .unwrap();
 
     // Submit everything up front so the batcher has a chance to coalesce,
     // then await all completions.
@@ -219,8 +219,9 @@ fn engine_serves_correct_scores_under_concurrent_load() {
 #[test]
 fn engine_rejects_bad_samples_and_shuts_down_cleanly() {
     let (exec, _data, _labels) = conditioned_executor(classifier(2, 3), 67);
-    let model = FrozenModel::from_executor(&exec).unwrap();
-    let engine = ServeEngine::start(model, BatchingConfig::default()).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
+    let engine =
+        ServeEngine::builder().model(model).config(BatchingConfig::default()).start().unwrap();
     let bad = Tensor::zeros(Shape::nchw(1, 5, 8, 8));
     assert!(engine.submit(bad).is_err());
     // A bare C×H×W sample is auto-batched.
@@ -228,4 +229,28 @@ fn engine_rejects_bad_samples_and_shuts_down_cleanly() {
     let completion = engine.infer_blocking(ok).unwrap();
     assert_eq!(completion.scores.len(), 3);
     drop(engine);
+}
+
+/// The deprecated constructors remain functional for one release cycle:
+/// the pre-builder path must produce the same model and scores as the
+/// builder path. This is the single intentionally-legacy call site.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_still_match_the_builder() {
+    let (exec, data, _labels) = conditioned_executor(classifier(2, 3), 71);
+    let legacy = FrozenModel::from_executor(&exec).unwrap();
+    let modern = ServeEngine::builder().executor(&exec).build_model().unwrap();
+    let legacy_scores = legacy.executor(2).unwrap().infer(&data).unwrap();
+    let modern_scores = modern.executor(2).unwrap().infer(&data).unwrap();
+    assert_eq!(legacy_scores.as_slice(), modern_scores.as_slice());
+
+    let checkpoint = Checkpoint::capture(&exec);
+    let via_checkpoint = FrozenModel::from_checkpoint(&checkpoint).unwrap();
+    let engine = ServeEngine::start(via_checkpoint, BatchingConfig::default()).unwrap();
+    let sample =
+        Tensor::from_vec(Shape::nchw(1, 3, 8, 8), data.as_slice()[..3 * 8 * 8].to_vec()).unwrap();
+    let expected = modern.executor(1).unwrap().infer(&sample).unwrap();
+    let completion = engine.infer_blocking(sample).unwrap();
+    assert_eq!(completion.scores.as_slice(), expected.as_slice());
+    engine.shutdown();
 }

@@ -17,16 +17,9 @@ pub enum TrainError {
     Kernel(bnff_kernels::KernelError),
     /// An error bubbled up from the tensor substrate.
     Tensor(bnff_tensor::TensorError),
-    /// A checkpoint could not be read or written.
-    Checkpoint(String),
-    /// A checkpoint declares a format version this build does not support.
-    CheckpointVersion {
-        /// The version the file declares (`None` when the field is missing
-        /// or not an unsigned integer).
-        found: Option<u32>,
-        /// The version this build reads and writes.
-        supported: u32,
-    },
+    /// A model (JSON checkpoint or binary artifact) could not be loaded or
+    /// stored — the shared typed hierarchy from `bnff-artifact`.
+    Model(bnff_artifact::ModelError),
 }
 
 impl fmt::Display for TrainError {
@@ -38,17 +31,7 @@ impl fmt::Display for TrainError {
             TrainError::Graph(err) => write!(f, "graph error: {err}"),
             TrainError::Kernel(err) => write!(f, "kernel error: {err}"),
             TrainError::Tensor(err) => write!(f, "tensor error: {err}"),
-            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
-            TrainError::CheckpointVersion { found: Some(found), supported } => write!(
-                f,
-                "unsupported checkpoint format version {found} (this build reads version \
-                 {supported}); re-export the checkpoint with a matching toolchain"
-            ),
-            TrainError::CheckpointVersion { found: None, supported } => write!(
-                f,
-                "checkpoint declares no numeric format_version field (this build reads \
-                 version {supported}); the file is not a bnff checkpoint or predates versioning"
-            ),
+            TrainError::Model(err) => write!(f, "model error: {err}"),
         }
     }
 }
@@ -59,6 +42,7 @@ impl std::error::Error for TrainError {
             TrainError::Graph(err) => Some(err),
             TrainError::Kernel(err) => Some(err),
             TrainError::Tensor(err) => Some(err),
+            TrainError::Model(err) => Some(err),
             _ => None,
         }
     }
@@ -82,6 +66,12 @@ impl From<bnff_tensor::TensorError> for TrainError {
     }
 }
 
+impl From<bnff_artifact::ModelError> for TrainError {
+    fn from(err: bnff_artifact::ModelError) -> Self {
+        TrainError::Model(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +86,9 @@ mod tests {
         assert!(e.to_string().contains("tensor"));
         let e = TrainError::Unsupported("op".into());
         assert!(e.to_string().contains("unsupported"));
+        let e: TrainError = bnff_artifact::ModelError::Truncated { needed: 9, available: 1 }.into();
+        assert!(e.to_string().contains("truncated"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -95,6 +95,14 @@ impl RunningStatSet {
         RunningStatSet { entries, momentum: DEFAULT_MOMENTUM }
     }
 
+    /// Rebuilds a set from raw `(node index → stats)` entries and a
+    /// momentum — the inverse of [`RunningStatSet::iter`] +
+    /// [`RunningStatSet::momentum`], used when restoring from a model
+    /// artifact.
+    pub fn from_entries(entries: HashMap<usize, RunningStats>, momentum: f32) -> Self {
+        RunningStatSet { entries, momentum: momentum.clamp(f32::MIN_POSITIVE, 1.0) }
+    }
+
     /// Returns a copy with a different EMA momentum (must be in `(0, 1]`).
     #[must_use]
     pub fn with_momentum(mut self, momentum: f32) -> Self {

@@ -1,0 +1,177 @@
+//! Property tests: checkpoint → binary artifact → checkpoint must be
+//! bit-identical for parameters, running statistics and topology, at
+//! baseline and BNFF fusion, including adversarial f32 values (subnormals,
+//! negative zero, near-MAX magnitudes).
+
+use bnff_artifact::Artifact;
+use bnff_graph::builder::GraphBuilder;
+use bnff_graph::op::Conv2dAttrs;
+use bnff_graph::passes::{BnffPass, Pass};
+use bnff_tensor::Shape;
+use bnff_train::checkpoint::Checkpoint;
+use bnff_train::params::NodeParams;
+use bnff_train::running::RunningStats;
+use bnff_train::Executor;
+use proptest::prelude::*;
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Overwrites every stored scalar with values that stress binary
+/// round-tripping: exact zeros and negative zeros, subnormals, and values
+/// near the f32 range limits.
+fn poison(values: &mut [f32], seed: usize) {
+    for (i, v) in values.iter_mut().enumerate() {
+        *v = match (i + seed) % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::MIN_POSITIVE,
+            3 => -1.5e-42, // subnormal
+            4 => 3.4e38,
+            5 => -3.4e38,
+            6 => (i as f32 + 0.1) * 1e-7,
+            _ => ((i * 2654435761 + seed) % 10_007) as f32 * 0.001 - 5.0,
+        };
+    }
+}
+
+fn poison_checkpoint(ckpt: &mut Checkpoint, seed: usize) {
+    let ids: Vec<_> = ckpt.graph.nodes().map(|n| n.id).collect();
+    for id in ids {
+        if let Some(p) = ckpt.params.get(id).cloned() {
+            let p = match p {
+                NodeParams::Conv { mut weights, mut bias } => {
+                    poison(weights.as_mut_slice(), seed);
+                    if let Some(b) = bias.as_mut() {
+                        poison(b, seed + 1);
+                    }
+                    NodeParams::Conv { weights, bias }
+                }
+                NodeParams::Bn(mut bn) => {
+                    poison(&mut bn.gamma, seed + 2);
+                    poison(&mut bn.beta, seed + 3);
+                    NodeParams::Bn(bn)
+                }
+                NodeParams::ConvBn { mut weights, mut bias, mut bn } => {
+                    poison(weights.as_mut_slice(), seed + 4);
+                    if let Some(b) = bias.as_mut() {
+                        poison(b, seed + 5);
+                    }
+                    poison(&mut bn.gamma, seed + 6);
+                    poison(&mut bn.beta, seed + 7);
+                    NodeParams::ConvBn { weights, bias, bn }
+                }
+                NodeParams::Fc { mut weights, mut bias } => {
+                    poison(weights.as_mut_slice(), seed + 8);
+                    poison(&mut bias, seed + 9);
+                    NodeParams::Fc { weights, bias }
+                }
+            };
+            ckpt.params.insert(id, p);
+        }
+        if let Some(s) = ckpt.running.get(id).cloned() {
+            let mut s = s;
+            poison(&mut s.mean, seed + 10);
+            poison(&mut s.var, seed + 11);
+            ckpt.running.insert(id, s);
+        }
+    }
+}
+
+proptest! {
+    /// The full checkpoint → artifact bytes → checkpoint cycle is
+    /// bit-identical, for ragged layer widths, both fusion variants and
+    /// poisoned adversarial values.
+    #[test]
+    fn artifact_round_trip_is_bit_identical(
+        channels in 1usize..9,
+        kernel_odd in 0usize..2,
+        classes in 2usize..5,
+        seed in 0usize..10_000,
+        fused in 0usize..2,
+    ) {
+        let kernel = 1 + 2 * kernel_odd; // 1 or 3
+        let mut b = GraphBuilder::new("prop");
+        let batch = 2;
+        let x = b.input("data", Shape::nchw(batch, 3, 8, 8)).unwrap();
+        let labels = b.input("labels", Shape::vector(batch)).unwrap();
+        let c = b.conv_bn_relu(x, Conv2dAttrs::same(channels, kernel), "block").unwrap();
+        let c2 = b.bn_relu_conv(c, Conv2dAttrs::pointwise(channels + 1), "cpl").unwrap();
+        let gap = b.global_avg_pool(c2, "gap").unwrap();
+        let fc = b.fully_connected(gap, classes, "fc").unwrap();
+        b.softmax_loss(fc, labels, "loss").unwrap();
+        let graph = if fused == 1 {
+            BnffPass::new().run(&b.finish()).unwrap()
+        } else {
+            b.finish()
+        };
+
+        let exec = Executor::new(graph, seed as u64 + 1).unwrap();
+        let mut ckpt = Checkpoint::capture(&exec);
+        poison_checkpoint(&mut ckpt, seed);
+
+        let bytes = ckpt.to_artifact_bytes().unwrap();
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        let back = Checkpoint::from_artifact(&artifact).unwrap();
+
+        prop_assert_eq!(&back.graph, &ckpt.graph);
+        prop_assert_eq!(back.format_version, ckpt.format_version);
+        for node in ckpt.graph.nodes() {
+            match (ckpt.params.get(node.id), back.params.get(node.id)) {
+                (None, None) => {}
+                (Some(pa), Some(pb)) => {
+                    prop_assert!(params_bits_equal(pa, pb), "params of '{}' differ", node.name);
+                }
+                _ => return Err(TestCaseError::fail(format!(
+                    "param presence differs for '{}'", node.name
+                ))),
+            }
+            match (ckpt.running.get(node.id), back.running.get(node.id)) {
+                (None, None) => {}
+                (Some(sa), Some(sb)) => {
+                    prop_assert!(running_bits_equal(sa, sb), "stats of '{}' differ", node.name);
+                }
+                _ => return Err(TestCaseError::fail(format!(
+                    "running-stats presence differs for '{}'", node.name
+                ))),
+            }
+        }
+        prop_assert_eq!(back.running.momentum().to_bits(), ckpt.running.momentum().to_bits());
+
+        // Writing the reloaded checkpoint reproduces the same bytes.
+        prop_assert_eq!(back.to_artifact_bytes().unwrap(), bytes);
+    }
+}
+
+fn params_bits_equal(a: &NodeParams, b: &NodeParams) -> bool {
+    match (a, b) {
+        (
+            NodeParams::Conv { weights: wa, bias: ba },
+            NodeParams::Conv { weights: wb, bias: bb },
+        ) => {
+            bits(wa.as_slice()) == bits(wb.as_slice())
+                && ba.as_deref().map(bits) == bb.as_deref().map(bits)
+        }
+        (NodeParams::Bn(pa), NodeParams::Bn(pb)) => {
+            bits(&pa.gamma) == bits(&pb.gamma) && bits(&pa.beta) == bits(&pb.beta)
+        }
+        (
+            NodeParams::ConvBn { weights: wa, bias: ba, bn: pa },
+            NodeParams::ConvBn { weights: wb, bias: bb, bn: pb },
+        ) => {
+            bits(wa.as_slice()) == bits(wb.as_slice())
+                && ba.as_deref().map(bits) == bb.as_deref().map(bits)
+                && bits(&pa.gamma) == bits(&pb.gamma)
+                && bits(&pa.beta) == bits(&pb.beta)
+        }
+        (NodeParams::Fc { weights: wa, bias: ba }, NodeParams::Fc { weights: wb, bias: bb }) => {
+            bits(wa.as_slice()) == bits(wb.as_slice()) && bits(ba) == bits(bb)
+        }
+        _ => false,
+    }
+}
+
+fn running_bits_equal(a: &RunningStats, b: &RunningStats) -> bool {
+    bits(&a.mean) == bits(&b.mean) && bits(&a.var) == bits(&b.var)
+}

@@ -73,7 +73,10 @@ fn saturate(
     total: usize,
     samples: &[Tensor],
 ) -> Result<LoadPoint, Box<dyn std::error::Error>> {
-    let engine = ServeEngine::start(model.clone(), config(workers, kernel_threads))?;
+    let engine = ServeEngine::builder()
+        .model(model.clone())
+        .config(config(workers, kernel_threads))
+        .start()?;
     let concurrency = (workers * 8 * 2).min(engine.queue_capacity());
     let point = closed_loop(&engine, samples, total, concurrency)?;
     engine.shutdown();
@@ -108,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..train_config.steps {
         trainer.step(step)?;
     }
-    let model = FrozenModel::from_executor(trainer.executor())?;
+    let model = ServeEngine::builder().executor(trainer.executor()).build_model()?;
     drop(trainer);
 
     // --- 2. A pool of distinct single-sample requests.

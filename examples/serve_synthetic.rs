@@ -14,7 +14,7 @@
 
 use bnff::core::{BnffOptimizer, FusionLevel};
 use bnff::models::densenet_cifar;
-use bnff::serve::{BatchingConfig, FrozenModel, ServeEngine};
+use bnff::serve::{BatchingConfig, ServeEngine};
 use bnff::tensor::{Shape, Tensor};
 use bnff::train::checkpoint::Checkpoint;
 use bnff::train::data::SyntheticDataset;
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. Freeze: BN folds into the conv weights.
-    let model = FrozenModel::from_checkpoint(&checkpoint)?;
+    let model = ServeEngine::builder().checkpoint(&checkpoint).build_model()?;
     println!(
         "--- frozen: {} nodes (training graph had {}), {} frozen params ---",
         model.template().node_count(),
@@ -95,16 +95,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
 
-    let engine = ServeEngine::start(
-        model,
-        BatchingConfig {
+    let engine = ServeEngine::builder()
+        .model(model)
+        .config(BatchingConfig {
             max_batch,
             max_wait: Duration::from_millis(2),
             workers,
             executor_cache: 4,
             ..BatchingConfig::default()
-        },
-    )?;
+        })
+        .start()?;
     let started = Instant::now();
     let receivers: Vec<_> =
         samples.into_iter().map(|s| engine.submit(s)).collect::<Result<_, _>>()?;

@@ -38,10 +38,12 @@
 //! See the crate-level docs of each re-exported module for the details:
 //! [`tensor`], [`graph`], [`kernels`], [`memsim`], [`models`], [`train`],
 //! [`serve`] (frozen-graph inference + dynamic batching),
+//! [`artifact`] (the single-file deployable model format),
 //! [`core`] and [`parallel`] (the thread pool behind the kernels; set
 //! `BNFF_THREADS` to bound it). `ARCHITECTURE.md` at the workspace root
 //! maps every crate to the paper sections it reproduces.
 
+pub use bnff_artifact as artifact;
 pub use bnff_core as core;
 pub use bnff_graph as graph;
 pub use bnff_kernels as kernels;

@@ -1,0 +1,93 @@
+//! End-to-end deployment-path equivalence at every measured fusion level
+//! (0–3: Baseline, RCF, RCF+MVF, BNFF): train a little, checkpoint,
+//! convert to a binary artifact and back bit-identically, then prove a
+//! model served from the artifact file scores exactly like one served
+//! from the JSON checkpoint file — and within 1e-5 of the training
+//! executor's eval-mode forward.
+
+use bnff::artifact::Artifact;
+use bnff::core::{BnffOptimizer, FusionLevel};
+use bnff::graph::builder::GraphBuilder;
+use bnff::graph::op::Conv2dAttrs;
+use bnff::graph::Graph;
+use bnff::serve::ServeEngine;
+use bnff::tensor::init::Initializer;
+use bnff::tensor::{Shape, Tensor};
+use bnff::train::checkpoint::Checkpoint;
+use bnff::train::validate::score_divergence;
+use bnff::train::Executor;
+
+fn classifier(batch: usize, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("deploy-cls");
+    let x = b.input("data", Shape::nchw(batch, 3, 8, 8)).unwrap();
+    let labels = b.input("labels", Shape::vector(batch)).unwrap();
+    let stem = b.conv_bn_relu(x, Conv2dAttrs::same_3x3(8), "stem").unwrap();
+    let c1 = b.bn_relu_conv(stem, Conv2dAttrs::pointwise(8), "mid").unwrap();
+    let sum = b.eltwise_sum(vec![stem, c1], "sum").unwrap();
+    let gap = b.global_avg_pool(sum, "gap").unwrap();
+    let fc = b.fully_connected(gap, classes, "fc").unwrap();
+    b.softmax_loss(fc, labels, "loss").unwrap();
+    b.finish()
+}
+
+/// An executor with moved running statistics, plus a probe input.
+fn conditioned(graph: Graph, seed: u64) -> (Executor, Tensor, Vec<usize>) {
+    let mut exec = Executor::new(graph, seed).unwrap();
+    let mut init = Initializer::seeded(seed ^ 0xf00d);
+    let labels = vec![0usize, 1, 2, 0];
+    let mut data = Tensor::zeros(Shape::scalar());
+    for _ in 0..2 {
+        data = init.uniform(Shape::nchw(4, 3, 8, 8), -1.0, 1.0);
+        let fwd = exec.forward(&data, &labels).unwrap();
+        exec.update_running_stats(&fwd).unwrap();
+    }
+    (exec, data, labels)
+}
+
+#[test]
+fn artifact_deployment_is_equivalent_at_every_fusion_level() {
+    let dir = std::env::temp_dir().join(format!("bnff-deploy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = classifier(4, 3);
+
+    for level in FusionLevel::measured() {
+        let graph = BnffOptimizer::new(level).apply(&baseline).unwrap();
+        let (exec, data, labels) = conditioned(graph, 37 + level as u64);
+        let eval = exec.forward_eval(&data, &labels).unwrap();
+
+        // Checkpoint ↔ artifact conversion is lossless.
+        let checkpoint = Checkpoint::capture(&exec);
+        let bytes = checkpoint.to_artifact_bytes().unwrap();
+        let restored = Checkpoint::from_artifact(&Artifact::from_bytes(&bytes).unwrap()).unwrap();
+        assert_eq!(
+            checkpoint.to_json().unwrap(),
+            restored.to_json().unwrap(),
+            "{level}: artifact round trip changed the checkpoint"
+        );
+
+        // Both on-disk formats freeze to bit-identical scoring models.
+        let artifact_path = dir.join(format!("model-{level}.bnff"));
+        let json_path = dir.join(format!("model-{level}.json"));
+        checkpoint.write_artifact(&artifact_path).unwrap();
+        checkpoint.save(&json_path).unwrap();
+
+        let from_artifact =
+            ServeEngine::builder().model_file(&artifact_path).build_model().unwrap();
+        let from_json = ServeEngine::builder().model_file(&json_path).build_model().unwrap();
+        let artifact_scores = from_artifact.executor(4).unwrap().infer(&data).unwrap();
+        let json_scores = from_json.executor(4).unwrap().infer(&data).unwrap();
+        let artifact_bits: Vec<u32> =
+            artifact_scores.as_slice().iter().map(|v| v.to_bits()).collect();
+        let json_bits: Vec<u32> = json_scores.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            artifact_bits, json_bits,
+            "{level}: artifact-served and checkpoint-served scores differ"
+        );
+
+        // And the deployed model still tracks the training-time eval pass.
+        let div = score_divergence(&eval.scores, &artifact_scores).unwrap();
+        assert!(div < 1e-5, "{level}: deployed model diverges from eval by {div}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,7 @@ use bnff::graph::Graph;
 use bnff::models::zoo::{build, Model};
 use bnff::models::{densenet_cifar, resnet_cifar};
 use bnff::parallel::with_threads;
-use bnff::serve::FrozenModel;
+use bnff::serve::ServeEngine;
 use bnff::tensor::init::Initializer;
 use bnff::tensor::{Shape, Tensor};
 use bnff::train::validate::score_divergence;
@@ -40,7 +40,7 @@ fn conditioned(graph: &Graph, seed: u64) -> (Executor, Tensor, Vec<usize>) {
 /// across thread counts.
 fn check_frozen_equivalence(graph: &Graph, context: &str) {
     let (exec, data, labels) = conditioned(graph, 171);
-    let model = FrozenModel::from_executor(&exec).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
     let mut per_thread_bits: Vec<Vec<u32>> = Vec::new();
     for threads in [1usize, 4] {
         with_threads(threads, || {

@@ -9,7 +9,7 @@ use bnff::core::{BnffOptimizer, FusionLevel};
 use bnff::graph::Graph;
 use bnff::models::{densenet_cifar, resnet_cifar};
 use bnff::parallel::with_threads;
-use bnff::serve::FrozenModel;
+use bnff::serve::ServeEngine;
 use bnff::tensor::init::Initializer;
 use bnff::tensor::{Shape, Tensor};
 use bnff::train::Executor;
@@ -39,7 +39,7 @@ fn to_bits(t: &Tensor) -> Vec<u32> {
 /// counts 1/4.
 fn check_tape_matches_interpreted(graph: &Graph, context: &str) {
     let exec = conditioned(graph, 23);
-    let model = FrozenModel::from_executor(&exec).unwrap();
+    let model = ServeEngine::builder().executor(&exec).build_model().unwrap();
     for batch in [1usize, 4, 8] {
         let executor = model.executor(batch).unwrap();
         let mut init = Initializer::seeded(0x7a9e ^ batch as u64);
