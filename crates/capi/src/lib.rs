@@ -23,6 +23,7 @@
 //! in-process (the offline build has no `dlopen` bindings); CI additionally
 //! builds the `cdylib` artifact.
 
+use bnff_obs::next_request_id;
 use bnff_serve::{FrozenModel, ServeEngine};
 use bnff_tensor::Tensor;
 use std::collections::HashMap;
@@ -62,6 +63,29 @@ pub struct BnffModel {
 /// Opaque handle to a running serving engine.
 pub struct BnffEngine {
     engine: ServeEngine,
+}
+
+/// Span timings for one traced request, written by [`bnff_infer_traced`].
+///
+/// All fields are plain integers so the layout is ABI-stable; `stolen` is
+/// 0 or 1.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnffTrace {
+    /// The process-unique request ID minted at ingress.
+    pub request_id: u64,
+    /// Microseconds spent queued before a worker took the request.
+    pub queue_us: u64,
+    /// Microseconds of tape execution for the request's batch.
+    pub infer_us: u64,
+    /// How many samples the request's batch coalesced.
+    pub batch_size: u64,
+    /// Which engine worker ran the batch.
+    pub worker: u64,
+    /// 1 when the batch was work-stolen from another shard's queue.
+    pub stolen: u8,
+    /// Reserved padding; always 0.
+    pub _reserved: [u8; 7],
 }
 
 /// What a registered live pointer points at — drives [`bnff_free`].
@@ -363,6 +387,107 @@ pub unsafe extern "C" fn bnff_infer(
     })
 }
 
+/// Like [`bnff_infer`], but forces a trace on the request and writes the
+/// span timings (queue wait, tape execution, batch size, worker) to
+/// `trace_out`. The request ID in the trace is minted by the library and
+/// is unique within the process.
+///
+/// Returns [`BNFF_OK`] or a negative `BNFF_ERR_*` code; on error
+/// `trace_out` is untouched.
+///
+/// # Safety
+/// Same contract as [`bnff_infer`]; additionally `trace_out`, when
+/// non-null, must point at a writable [`BnffTrace`].
+#[no_mangle]
+pub unsafe extern "C" fn bnff_infer_traced(
+    engine: *const BnffEngine,
+    sample: *const f32,
+    sample_len: u64,
+    scores_out: *mut f32,
+    scores_cap: u64,
+    scores_written: *mut u64,
+    trace_out: *mut BnffTrace,
+) -> i32 {
+    guarded(BNFF_ERR_PANIC, || {
+        if engine.is_null() || !is_live(engine as usize) {
+            set_last_error("bnff_infer_traced: not a live engine handle");
+            return BNFF_ERR_BAD_HANDLE;
+        }
+        if sample.is_null() {
+            set_last_error("bnff_infer_traced: sample is null");
+            return BNFF_ERR_INVALID;
+        }
+        let engine = &unsafe { &*engine }.engine;
+        let shape = match engine.sample_shape() {
+            Ok(shape) => shape,
+            Err(e) => {
+                set_last_error(&format!("bnff_infer_traced: {e}"));
+                return error_code(&e);
+            }
+        };
+        if sample_len as usize != shape.volume() {
+            set_last_error(&format!(
+                "bnff_infer_traced: sample has {sample_len} values, model expects {} ({shape})",
+                shape.volume()
+            ));
+            return BNFF_ERR_INVALID;
+        }
+        let values = unsafe { std::slice::from_raw_parts(sample, sample_len as usize) };
+        let tensor = match Tensor::from_vec(shape, values.to_vec()) {
+            Ok(tensor) => tensor,
+            Err(e) => {
+                set_last_error(&format!("bnff_infer_traced: {e}"));
+                return BNFF_ERR_INVALID;
+            }
+        };
+        let completion = match engine
+            .submit_traced(tensor, next_request_id(), true)
+            .and_then(|rx| rx.recv().map_err(|_| bnff_serve::ServeError::ShuttingDown)?)
+        {
+            Ok(completion) => completion,
+            Err(e) => {
+                set_last_error(&format!("bnff_infer_traced: {e}"));
+                return error_code(&e);
+            }
+        };
+        let scores = completion.scores.as_slice();
+        if !scores_written.is_null() {
+            unsafe { *scores_written = scores.len() as u64 };
+        }
+        if (scores_cap as usize) < scores.len() {
+            set_last_error(&format!(
+                "bnff_infer_traced: {} scores do not fit in a buffer of {scores_cap}",
+                scores.len()
+            ));
+            return BNFF_ERR_BUFFER_TOO_SMALL;
+        }
+        if scores_out.is_null() {
+            set_last_error("bnff_infer_traced: scores_out is null");
+            return BNFF_ERR_INVALID;
+        }
+        unsafe {
+            std::ptr::copy_nonoverlapping(scores.as_ptr(), scores_out, scores.len());
+        }
+        if !trace_out.is_null() {
+            // force_trace guarantees the completion carries a trace.
+            if let Some(trace) = completion.trace {
+                unsafe {
+                    *trace_out = BnffTrace {
+                        request_id: trace.request_id,
+                        queue_us: trace.queue_us,
+                        infer_us: trace.infer_us,
+                        batch_size: trace.batch_size as u64,
+                        worker: trace.worker as u64,
+                        stolen: u8::from(trace.stolen),
+                        _reserved: [0; 7],
+                    };
+                }
+            }
+        }
+        BNFF_OK
+    })
+}
+
 /// A JSON snapshot of the engine's serving metrics (the same
 /// `ServeReport` document `GET /v1/metrics` returns).
 ///
@@ -395,6 +520,36 @@ pub unsafe extern "C" fn bnff_metrics_json(engine: *const BnffEngine) -> *mut c_
             }
             Err(_) => {
                 set_last_error("bnff_metrics_json: report contained a NUL byte");
+                std::ptr::null_mut()
+            }
+        }
+    })
+}
+
+/// The Prometheus text exposition of the engine's metrics registry — the
+/// same document `GET /metrics` on the HTTP server returns.
+///
+/// Returns a NUL-terminated string owned by the caller — release it with
+/// [`bnff_free`] — or null on failure.
+///
+/// # Safety
+/// `engine` must be a live handle from [`bnff_engine_start`].
+#[no_mangle]
+pub unsafe extern "C" fn bnff_metrics_prometheus(engine: *const BnffEngine) -> *mut c_char {
+    guarded(std::ptr::null_mut(), || {
+        if engine.is_null() || !is_live(engine as usize) {
+            set_last_error("bnff_metrics_prometheus: not a live engine handle");
+            return std::ptr::null_mut();
+        }
+        let engine = &unsafe { &*engine }.engine;
+        match CString::new(engine.prometheus_metrics()) {
+            Ok(cstring) => {
+                let raw = cstring.into_raw();
+                register(raw as usize, HandleKind::Str);
+                raw
+            }
+            Err(_) => {
+                set_last_error("bnff_metrics_prometheus: exposition contained a NUL byte");
                 std::ptr::null_mut()
             }
         }

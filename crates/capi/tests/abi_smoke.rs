@@ -5,9 +5,10 @@
 //! symbols the cdylib exports.
 
 use bnff_capi::{
-    bnff_abi_version, bnff_engine_start, bnff_free, bnff_infer, bnff_last_error, bnff_metrics_json,
-    bnff_model_classes, bnff_model_load, bnff_model_sample_len, BNFF_ERR_BAD_HANDLE,
-    BNFF_ERR_BUFFER_TOO_SMALL, BNFF_ERR_INVALID, BNFF_OK,
+    bnff_abi_version, bnff_engine_start, bnff_free, bnff_infer, bnff_infer_traced, bnff_last_error,
+    bnff_metrics_json, bnff_metrics_prometheus, bnff_model_classes, bnff_model_load,
+    bnff_model_sample_len, BnffTrace, BNFF_ERR_BAD_HANDLE, BNFF_ERR_BUFFER_TOO_SMALL,
+    BNFF_ERR_INVALID, BNFF_OK,
 };
 use bnff_graph::builder::GraphBuilder;
 use bnff_graph::op::Conv2dAttrs;
@@ -115,12 +116,41 @@ fn full_lifecycle_over_the_c_abi() {
     assert_eq!(code, BNFF_ERR_INVALID);
     assert!(last_error().contains("expects 108"));
 
+    // Traced inference: same scores, plus span timings in the out-struct.
+    let mut trace = BnffTrace::default();
+    let code = unsafe {
+        bnff_infer_traced(
+            engine,
+            sample.as_slice().as_ptr(),
+            sample_len,
+            scores.as_mut_ptr(),
+            scores.len() as u64,
+            &mut written,
+            &mut trace,
+        )
+    };
+    assert_eq!(code, BNFF_OK, "{}", last_error());
+    let traced_bits: Vec<u32> = scores.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(traced_bits, expected, "traced inference must not perturb the scores");
+    assert!(trace.request_id > 0, "the trace carries the minted request ID");
+    assert!(trace.batch_size >= 1);
+    assert_eq!(trace.worker, 0, "single-worker engine");
+    assert!(trace.stolen <= 1);
+
     // Metrics: a parseable ServeReport that saw our request.
     let metrics = unsafe { bnff_metrics_json(engine) };
     assert!(!metrics.is_null(), "{}", last_error());
     let json = unsafe { CStr::from_ptr(metrics) }.to_str().unwrap().to_string();
     let report: bnff_serve::ServeReport = serde_json::from_str(&json).unwrap();
     assert!(report.requests >= 1);
+
+    // Prometheus exposition over the same registry.
+    let exposition = unsafe { bnff_metrics_prometheus(engine) };
+    assert!(!exposition.is_null(), "{}", last_error());
+    let text = unsafe { CStr::from_ptr(exposition) }.to_str().unwrap().to_string();
+    assert!(text.contains("# TYPE bnff_requests_total counter"));
+    assert!(text.contains("bnff_request_latency_seconds_bucket"));
+    assert_eq!(unsafe { bnff_free(exposition.cast()) }, BNFF_OK);
 
     // Free everything once: OK. Free again: typed error, not UB.
     assert_eq!(unsafe { bnff_free(metrics.cast()) }, BNFF_OK);

@@ -99,6 +99,23 @@ pub enum Kernel {
     FullyConnected,
 }
 
+impl Kernel {
+    /// A stable label for the kernel's op kind — the aggregation key the
+    /// serving profiler groups per-instruction timings by.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Kernel::Conv { .. } => "conv",
+            Kernel::Affine { .. } => "affine",
+            Kernel::Relu => "relu",
+            Kernel::Pool { .. } => "pool",
+            Kernel::GlobalAvgPool => "global_avg_pool",
+            Kernel::Concat => "concat",
+            Kernel::EltwiseSum => "eltwise_sum",
+            Kernel::FullyConnected => "fully_connected",
+        }
+    }
+}
+
 /// One instruction of the tape: a kernel recipe plus resolved operands.
 #[derive(Debug, Clone, Serialize)]
 pub struct Instr {

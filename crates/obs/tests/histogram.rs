@@ -1,0 +1,194 @@
+//! Histogram correctness: quantile recovery on known distributions,
+//! lossless concurrent merging, and property tests of the bucket geometry
+//! against an exact sorted-vector reference.
+
+use bnff_obs::hist::{bucket_index, bucket_upper_bound, BUCKET_COUNT};
+use bnff_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Exact nearest-rank quantile over raw observations — the reference the
+/// histogram approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64) - 1e-9).ceil().max(1.0) as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn assert_within_bucket_error(got: u64, exact: u64, context: &str) {
+    // The histogram reports bucket upper bounds: never below the exact
+    // quantile's own bucket lower bound, never more than one bucket width
+    // (6.25%) above the exact value.
+    assert!(got as f64 >= exact as f64 * (1.0 - 1.0 / 16.0) - 1.0, "{context}: {got} << {exact}");
+    assert!(got as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0, "{context}: {got} >> {exact}");
+}
+
+#[test]
+fn uniform_distribution_quantiles_recover() {
+    let hist = Histogram::new();
+    let mut raw: Vec<u64> = (1..=100_000u64).collect();
+    for &v in &raw {
+        hist.record(v);
+    }
+    raw.sort_unstable();
+    let snap = hist.snapshot();
+    for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_within_bucket_error(
+            snap.value_at_quantile(q),
+            exact_quantile(&raw, q),
+            &format!("uniform q{q}"),
+        );
+    }
+    assert_eq!(snap.count(), 100_000);
+    assert_eq!(snap.max(), 100_000);
+}
+
+#[test]
+fn bimodal_distribution_separates_modes() {
+    // 990 fast observations at ~1 ms and 10 stragglers at ~100 ms (in ns):
+    // p50/p99 must sit in the fast mode, p99.9 in the slow tail.
+    let hist = Histogram::new();
+    for _ in 0..990 {
+        hist.record(1_000_000);
+    }
+    for _ in 0..10 {
+        hist.record(100_000_000);
+    }
+    let snap = hist.snapshot();
+    assert_within_bucket_error(snap.value_at_quantile(0.5), 1_000_000, "bimodal p50");
+    assert_within_bucket_error(snap.value_at_quantile(0.99), 1_000_000, "bimodal p99");
+    assert_within_bucket_error(snap.value_at_quantile(0.999), 100_000_000, "bimodal p999");
+    // Quantiles are monotone in q.
+    let mut prev = 0u64;
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let v = snap.value_at_quantile(q);
+        assert!(v >= prev, "q{q}: {v} < {prev}");
+        prev = v;
+    }
+}
+
+#[test]
+fn exponentialish_distribution_recovers() {
+    // A heavy-tailed deterministic sequence spanning six orders of
+    // magnitude — the shape serving latencies actually take.
+    let hist = Histogram::new();
+    let mut raw = Vec::new();
+    let mut seed = 0x2545f491u64;
+    for _ in 0..50_000 {
+        // xorshift; map to an exponential-ish tail via bit tricks.
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let v = 1_000 + (seed % 1_000) * (1 << (seed % 14));
+        raw.push(v);
+        hist.record(v);
+    }
+    raw.sort_unstable();
+    let snap = hist.snapshot();
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        assert_within_bucket_error(
+            snap.value_at_quantile(q),
+            exact_quantile(&raw, q),
+            &format!("tail q{q}"),
+        );
+    }
+    assert_eq!(snap.sum(), raw.iter().sum::<u64>());
+}
+
+#[test]
+fn concurrent_multi_thread_recording_merges_losslessly() {
+    // N threads record disjoint deterministic streams into one shared
+    // histogram; the result must be bucket-for-bucket identical to the
+    // same observations recorded serially.
+    let shared = Arc::new(Histogram::new());
+    let threads = 8usize;
+    let per_thread = 20_000u64;
+    let value = |t: u64, i: u64| 1 + (t * 1_000_003 + i * 7_919) % 5_000_000;
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    shared.record(value(t, i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let serial = Histogram::new();
+    for t in 0..threads as u64 {
+        for i in 0..per_thread {
+            serial.record(value(t, i));
+        }
+    }
+    assert_eq!(shared.snapshot(), serial.snapshot());
+}
+
+#[test]
+fn snapshot_merge_equals_single_recorder() {
+    // Per-worker histograms merged on demand must equal one shared
+    // recorder — the engine's merge-on-read pattern.
+    let workers: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+    let combined = Histogram::new();
+    for i in 0..10_000u64 {
+        let v = (i * i) % 3_000_000;
+        workers[(i % 4) as usize].record(v);
+        combined.record(v);
+    }
+    let mut merged = HistogramSnapshot::empty();
+    for w in &workers {
+        merged.merge(&w.snapshot());
+    }
+    assert_eq!(merged, combined.snapshot());
+}
+
+proptest! {
+    /// Bucket geometry vs the exact reference: every u64 maps into the
+    /// table, the bucket brackets the value, and width stays within the
+    /// 6.25% precision contract.
+    #[test]
+    fn bucket_brackets_any_value(case in (0usize..usize::MAX, 0usize..64)) {
+        let (raw, shift) = case;
+        let value = (raw as u64).wrapping_shl(shift as u32);
+        let idx = bucket_index(value);
+        prop_assert!(idx < BUCKET_COUNT);
+        let upper = bucket_upper_bound(idx);
+        prop_assert!(upper >= value);
+        // Width ≤ value/16 (exact below 16).
+        prop_assert!((upper - value) as f64 <= (value as f64 / 16.0) + 1e-9);
+        // Boundary consistency: the upper bound is the last value of its
+        // bucket; one past it starts the next bucket.
+        prop_assert_eq!(bucket_index(upper), idx);
+        if upper < u64::MAX {
+            prop_assert_eq!(bucket_index(upper + 1), idx + 1);
+        }
+    }
+
+    /// Histogram quantiles vs the exact sorted reference on arbitrary
+    /// small samples.
+    #[test]
+    fn quantiles_track_exact_reference(case in (1usize..200, 0usize..1_000_000)) {
+        let (len, seed) = case;
+        let mut raw: Vec<u64> = (0..len)
+            .map(|i| ((seed as u64 + 1) * 2_654_435_761u64.wrapping_mul(i as u64 + 1)) % 10_000_000)
+            .collect();
+        let hist = Histogram::new();
+        for &v in &raw {
+            hist.record(v);
+        }
+        raw.sort_unstable();
+        let snap = hist.snapshot();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&raw, q);
+            let got = snap.value_at_quantile(q);
+            prop_assert!(got as f64 >= exact as f64 * (1.0 - 1.0 / 16.0) - 1.0,
+                "q{}: {} << {}", q, got, exact);
+            prop_assert!(got as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "q{}: {} >> {}", q, got, exact);
+        }
+        prop_assert_eq!(snap.max(), *raw.last().unwrap());
+        prop_assert_eq!(snap.count(), raw.len() as u64);
+    }
+}

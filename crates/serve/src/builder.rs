@@ -158,6 +158,15 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Trace-echo sampling period: every `trace_every`-th completion
+    /// carries a [`RequestTrace`](crate::RequestTrace) (`0` disables).
+    /// When never called, the engine reads `BNFF_TRACE` at start.
+    #[must_use]
+    pub fn trace_every(mut self, trace_every: u64) -> Self {
+        self.config.trace_every = Some(trace_every);
+        self
+    }
+
     /// Resolves the model source without starting workers — used by
     /// callers that want the [`FrozenModel`] itself (direct executors,
     /// score baselines) configured through the same API.
@@ -229,7 +238,8 @@ mod tests {
             .executor_cache(2)
             .queue_depth(9)
             .deadline(Duration::from_millis(40))
-            .kernel_threads(5);
+            .kernel_threads(5)
+            .trace_every(16);
         assert_eq!(b.config.max_batch, 32);
         assert_eq!(b.config.max_wait, Duration::from_millis(7));
         assert_eq!(b.config.workers, 3);
@@ -237,6 +247,7 @@ mod tests {
         assert_eq!(b.config.queue_depth, 9);
         assert_eq!(b.config.deadline, Some(Duration::from_millis(40)));
         assert_eq!(b.config.kernel_threads, 5);
+        assert_eq!(b.config.trace_every, Some(16));
         // None clears the deadline; .config() replaces everything.
         let b = b.deadline(None).config(BatchingConfig::default());
         assert_eq!(b.config.max_batch, BatchingConfig::default().max_batch);

@@ -17,11 +17,25 @@
 //! the submit path), and each worker fanned its kernels out to the full
 //! `BNFF_THREADS` budget — `workers × BNFF_THREADS` runnable threads on
 //! `BNFF_THREADS` cores. Throughput *fell* as workers were added. The
-//! sharded design gives every worker its own queue, condvar and
-//! [`LatencyRecorder`], keeps the submit path lock-local to one shard, and
-//! partitions the kernel-thread budget disjointly across workers
+//! sharded design gives every worker its own queue and condvar, keeps the
+//! submit path lock-local to one shard, and partitions the kernel-thread
+//! budget disjointly across workers
 //! ([`bnff_parallel::partition_threads`]), so adding workers adds serving
-//! capacity instead of contention.
+//! capacity instead of contention. Metrics ride on the lock-free
+//! [`ServeMetrics`] registry handles — recording is relaxed atomics, so
+//! the request path touches no metrics lock at all.
+//!
+//! ## Request identity and tracing
+//!
+//! Every admitted request carries a process-unique ID (minted at the
+//! ingress that created it, or by [`ServeEngine::submit`] itself), so log
+//! lines and trace echoes about one request share one correlator. A
+//! sampled subset of requests (the `BNFF_TRACE` knob, or the builder's
+//! `trace_every`) additionally gets a [`RequestTrace`] on its
+//! [`Completion`]: queue-wait and inference span timings, the batch it
+//! rode in, and which worker served it. The spans are *always* recorded
+//! into the metrics histograms; sampling only decides whether they are
+//! echoed back to the caller.
 //!
 //! ## Request lifecycle
 //!
@@ -45,11 +59,13 @@
 use crate::assembly::{plan_step, BatchStep};
 use crate::error::ServeError;
 use crate::executor::FrozenExecutor;
-use crate::metrics::LatencyRecorder;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::model::FrozenModel;
 use crate::Result;
+use bnff_obs::{next_request_id, TraceSampler};
 use bnff_parallel::{current_threads, partition_threads, with_threads};
 use bnff_tensor::{Shape, Tensor};
+use serde::Serialize;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -86,6 +102,11 @@ pub struct BatchingConfig {
     /// `with_threads` scope, or the machine's parallelism) at engine start
     /// time.
     pub kernel_threads: usize,
+    /// Trace-echo sampling period: `Some(0)` disables, `Some(n)` echoes a
+    /// [`RequestTrace`] on every `n`-th request's [`Completion`], and
+    /// `None` (the default) reads the `BNFF_TRACE` environment variable at
+    /// engine start.
+    pub trace_every: Option<u64>,
 }
 
 impl Default for BatchingConfig {
@@ -98,8 +119,28 @@ impl Default for BatchingConfig {
             queue_depth: 64,
             deadline: None,
             kernel_threads: 0,
+            trace_every: None,
         }
     }
+}
+
+/// Span timings of one traced request, echoed on its [`Completion`] (and
+/// from there as the HTTP `X-BNFF-Trace` header / JSON `trace` field).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RequestTrace {
+    /// The request's process-unique ID.
+    pub request_id: u64,
+    /// Microseconds the request waited in its shard queue before a worker
+    /// took it into a batch.
+    pub queue_us: u64,
+    /// Microseconds of the forward pass of the batch it rode in.
+    pub infer_us: u64,
+    /// Size of the coalesced batch.
+    pub batch_size: usize,
+    /// Index of the worker that served it.
+    pub worker: usize,
+    /// Whether the batch was assembled by work-stealing.
+    pub stolen: bool,
 }
 
 /// One served request's result.
@@ -111,11 +152,18 @@ pub struct Completion {
     pub latency: Duration,
     /// Size of the batch the request was coalesced into.
     pub batch_size: usize,
+    /// Span timings, present only when the request was sampled for trace
+    /// echo (see [`BatchingConfig::trace_every`]).
+    pub trace: Option<RequestTrace>,
 }
 
 struct Request {
     sample: Tensor,
     enqueued: Instant,
+    /// Process-unique request ID (minted at ingress or at submit).
+    id: u64,
+    /// Whether this request's completion echoes a [`RequestTrace`].
+    trace: bool,
     tx: mpsc::Sender<Result<Completion>>,
 }
 
@@ -150,14 +198,11 @@ struct Shared {
     shards: Vec<Shard>,
     /// Round-robin home-shard cursor for admissions.
     next_shard: AtomicUsize,
-    /// Engine-wide queued-request count (kept outside the shard locks so
-    /// the `Overloaded` error can report it without a scan).
-    queued: AtomicUsize,
-    /// Requests shed at admission (all shards full).
-    shed: AtomicUsize,
-    /// One recorder per worker: the request path never touches a shared
-    /// metrics lock; [`ServeEngine::metrics`] merges on demand.
-    recorders: Vec<Mutex<LatencyRecorder>>,
+    /// Lock-free registry handles: every worker and the submit path record
+    /// through relaxed atomics; no request ever takes a metrics lock.
+    metrics: ServeMetrics,
+    /// Decides which requests echo a [`RequestTrace`].
+    sampler: TraceSampler,
 }
 
 /// What a take attempt on one shard produced: requests to serve and/or
@@ -238,15 +283,18 @@ impl ServeEngine {
         let total_threads =
             if config.kernel_threads > 0 { config.kernel_threads } else { current_threads() };
         let budgets = partition_threads(total_threads, config.workers);
-        let mut recorder = LatencyRecorder::new();
-        recorder.set_batch_capacity(config.max_batch);
+        let metrics = ServeMetrics::new();
+        metrics.set_batch_capacity(config.max_batch);
+        let sampler = match config.trace_every {
+            Some(n) => TraceSampler::every(n),
+            None => TraceSampler::from_env(),
+        };
         let shared = Arc::new(Shared {
             model,
             shards: (0..config.workers).map(|_| Shard::new()).collect(),
             next_shard: AtomicUsize::new(0),
-            queued: AtomicUsize::new(0),
-            shed: AtomicUsize::new(0),
-            recorders: (0..config.workers).map(|_| Mutex::new(recorder.clone())).collect(),
+            metrics,
+            sampler,
             config,
         });
         let workers = budgets
@@ -276,6 +324,21 @@ impl ServeEngine {
     /// invalid-argument error when the sample shape disagrees with the
     /// model.
     pub fn submit(&self, sample: Tensor) -> Result<mpsc::Receiver<Result<Completion>>> {
+        self.submit_traced(sample, next_request_id(), false)
+    }
+
+    /// [`submit`](ServeEngine::submit) with an ingress-minted request ID.
+    /// `force_trace` echoes a [`RequestTrace`] on the completion regardless
+    /// of the sampling knob (otherwise the engine's sampler decides).
+    ///
+    /// # Errors
+    /// Same as [`submit`](ServeEngine::submit).
+    pub fn submit_traced(
+        &self,
+        sample: Tensor,
+        request_id: u64,
+        force_trace: bool,
+    ) -> Result<mpsc::Receiver<Result<Completion>>> {
         let per_sample = self.shared.model.sample_shape()?;
         let sample = if sample.shape() == &per_sample {
             let mut dims = vec![1usize];
@@ -292,6 +355,7 @@ impl ServeEngine {
             }
             sample
         };
+        let trace = force_trace || self.shared.sampler.sample();
         let (tx, rx) = mpsc::channel();
         let shards = &self.shared.shards;
         let home = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % shards.len();
@@ -303,15 +367,21 @@ impl ServeEngine {
                 return Err(ServeError::ShuttingDown);
             }
             if state.queue.len() < self.shared.config.queue_depth {
-                state.queue.push_back(Request { sample, enqueued: Instant::now(), tx });
+                state.queue.push_back(Request {
+                    sample,
+                    enqueued: Instant::now(),
+                    id: request_id,
+                    trace,
+                    tx,
+                });
                 drop(state);
-                self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.add_queued(1);
                 shard.cv.notify_one();
                 return Ok(rx);
             }
         }
-        self.shared.shed.fetch_add(1, Ordering::Relaxed);
-        Err(ServeError::Overloaded { queued: self.shared.queued.load(Ordering::Relaxed) })
+        self.shared.metrics.record_shed(1);
+        Err(ServeError::Overloaded { queued: self.shared.metrics.queued() })
     }
 
     /// Convenience wrapper: submit and block for the completion.
@@ -324,16 +394,21 @@ impl ServeEngine {
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
-    /// A snapshot of the engine's latency/batching metrics since start:
-    /// every worker's recorder merged, plus the admission-side shed count.
-    pub fn metrics(&self) -> LatencyRecorder {
-        let mut merged = LatencyRecorder::new();
-        merged.set_batch_capacity(self.shared.config.max_batch);
-        for recorder in &self.shared.recorders {
-            merged.merge(&recorder.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
-        }
-        merged.record_shed(self.shared.shed.load(Ordering::Relaxed));
-        merged
+    /// A snapshot of the engine's latency/batching metrics since start.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The Prometheus text exposition of the engine's metrics registry
+    /// (what `GET /metrics` on the HTTP server returns).
+    pub fn prometheus_metrics(&self) -> String {
+        self.shared.metrics.render_prometheus()
+    }
+
+    /// The trace-echo sampling period the engine resolved at start
+    /// (`0` = tracing disabled).
+    pub fn trace_period(&self) -> u64 {
+        self.shared.sampler.period()
     }
 
     /// The per-sample input shape the model expects (`C × H × W`).
@@ -362,7 +437,7 @@ impl ServeEngine {
     /// Drains the queues, stops the workers and returns the final metrics.
     /// Every request admitted before shutdown still receives its
     /// completion.
-    pub fn shutdown(mut self) -> LatencyRecorder {
+    pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop_workers();
         self.metrics()
     }
@@ -417,7 +492,7 @@ fn take_from(shared: &Shared, shard_idx: usize, dwell: bool) -> Option<Assembled
             BatchStep::Take(n) => {
                 let batch: Vec<Request> = state.queue.drain(..n).collect();
                 drop(state);
-                shared.queued.fetch_sub(n + expired.len(), Ordering::Relaxed);
+                shared.metrics.add_queued(-((n + expired.len()) as i64));
                 return Some(Assembled { batch, expired });
             }
             BatchStep::WaitFor(remaining) if dwell && expired.is_empty() => {
@@ -432,7 +507,7 @@ fn take_from(shared: &Shared, shard_idx: usize, dwell: bool) -> Option<Assembled
                 if expired.is_empty() {
                     return None;
                 }
-                shared.queued.fetch_sub(expired.len(), Ordering::Relaxed);
+                shared.metrics.add_queued(-(expired.len() as i64));
                 return Some(Assembled { batch: Vec::new(), expired });
             }
         }
@@ -523,41 +598,52 @@ fn worker_loop(shared: &Shared, worker: usize) {
     while let Some((assembled, stolen)) = next_batch(shared, worker) {
         let Assembled { batch, expired } = assembled;
         for request in expired {
-            {
-                let mut metrics = shared.recorders[worker]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                metrics.record_expired(1);
-            }
+            shared.metrics.record_expired(1);
             let _ = request.tx.send(Err(ServeError::DeadlineExceeded));
         }
         if batch.is_empty() {
             continue;
         }
         let size = batch.len();
+        // Span boundaries: enqueue → taken is the queue wait, taken →
+        // completed is the inference span (shared by every request in the
+        // batch).
+        let taken = Instant::now();
         let result = run_batch(shared, &mut executors, &batch);
         let completed = Instant::now();
-        {
-            let own_depth = shared.shards[worker].lock().queue.len();
-            let mut metrics =
-                shared.recorders[worker].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            metrics.record_batch(size);
-            metrics.record_queue_depth(own_depth);
-            metrics.record_executor_cache(executors.len());
-            if stolen {
-                metrics.record_stolen_batch();
-            }
-            if result.is_ok() {
-                for request in &batch {
-                    metrics.record(completed.duration_since(request.enqueued));
-                }
+        let metrics = &shared.metrics;
+        metrics.record_batch(size);
+        metrics.record_queue_depth(shared.shards[worker].lock().queue.len());
+        metrics.record_executor_cache(executors.len());
+        if stolen {
+            metrics.record_stolen_batch();
+        }
+        let infer = completed.duration_since(taken);
+        if result.is_ok() {
+            metrics.record_infer(infer);
+            for request in &batch {
+                metrics.record_request(completed.duration_since(request.enqueued));
+                metrics.record_queue_wait(taken.duration_since(request.enqueued));
             }
         }
         match result {
             Ok(rows) => {
                 for (request, scores) in batch.into_iter().zip(rows) {
                     let latency = completed.duration_since(request.enqueued);
-                    let _ = request.tx.send(Ok(Completion { scores, latency, batch_size: size }));
+                    let trace = request.trace.then(|| RequestTrace {
+                        request_id: request.id,
+                        queue_us: taken.duration_since(request.enqueued).as_micros() as u64,
+                        infer_us: infer.as_micros() as u64,
+                        batch_size: size,
+                        worker,
+                        stolen,
+                    });
+                    let _ = request.tx.send(Ok(Completion {
+                        scores,
+                        latency,
+                        batch_size: size,
+                        trace,
+                    }));
                 }
             }
             Err(err) => {

@@ -21,6 +21,18 @@
 //! The per-node interpreted walk survives as
 //! [`FrozenExecutor::infer_interpreted`] — the reference implementation the
 //! tape is tested bit-identical against.
+//!
+//! ## Per-op profiling
+//!
+//! Every executor carries an opt-in [`OpProfiler`] with one slot per tape
+//! instruction. When enabled ([`FrozenExecutor::enable_profiling`]) the
+//! tape walk times each instruction and accumulates per-slot nanoseconds;
+//! [`FrozenExecutor::profile`] folds the slots back into per-instruction
+//! [`OpProfile`] rows (node, op kind, call count, total/max ns) that the
+//! bench harness pairs with `bnff-memsim`'s predicted DRAM bytes. When
+//! disabled — the default — the cost is a single relaxed atomic load per
+//! forward pass: the instrumented loop is never entered and inference
+//! remains bit-identical either way (timing never touches data).
 
 use crate::error::ServeError;
 use crate::params::{FrozenParamSet, FrozenParams};
@@ -44,9 +56,29 @@ use bnff_kernels::pool::{
     max_pool_forward_into,
 };
 use bnff_kernels::relu::{relu_forward_inplace, relu_forward_into};
+use bnff_obs::OpProfiler;
 use bnff_parallel::with_threads;
 use bnff_tensor::{Shape, Tensor};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Accumulated timings of one tape instruction (see
+/// [`FrozenExecutor::profile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// The graph node the instruction computes.
+    pub node: NodeId,
+    /// The node's name.
+    pub name: String,
+    /// The kernel's op-kind label (`"conv"`, `"affine"`, …).
+    pub kind: &'static str,
+    /// Recorded executions.
+    pub count: u64,
+    /// Total nanoseconds across executions.
+    pub total_ns: u64,
+    /// Slowest single execution in nanoseconds.
+    pub max_ns: u64,
+}
 
 /// A forward-only executor bound to one frozen graph at one batch size.
 #[derive(Debug)]
@@ -67,6 +99,9 @@ pub struct FrozenExecutor {
     /// Recycled arena buffers for the interpreted path, one bin per plan
     /// slot (kept across calls).
     workspace: Mutex<Vec<Option<Vec<f32>>>>,
+    /// Opt-in per-instruction timing; one slot per tape instruction. Off
+    /// by default — the disabled cost is one relaxed load per pass.
+    profiler: OpProfiler,
 }
 
 impl FrozenExecutor {
@@ -91,6 +126,7 @@ impl FrozenExecutor {
         let bound = bind_params(&program, &params)?;
         let registers = Mutex::new((0..program.reg_count()).map(|_| None).collect());
         let workspace = Mutex::new(vec![None; plan.slot_count()]);
+        let profiler = OpProfiler::new(program.instrs().len());
         Ok(FrozenExecutor {
             graph,
             params,
@@ -102,7 +138,43 @@ impl FrozenExecutor {
             batch,
             registers,
             workspace,
+            profiler,
         })
+    }
+
+    /// Turns per-instruction timing on or off (off by default). Profiling
+    /// never changes results — it only reads the clock around kernels.
+    pub fn enable_profiling(&self, on: bool) {
+        self.profiler.set_enabled(on);
+    }
+
+    /// Whether per-instruction timing is currently on.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.enabled()
+    }
+
+    /// Zeroes the accumulated per-instruction timings.
+    pub fn reset_profile(&self) {
+        self.profiler.reset();
+    }
+
+    /// The accumulated per-instruction timings, one row per tape
+    /// instruction in execution order. Rows with `count == 0` mean the
+    /// instruction never ran while profiling was enabled.
+    pub fn profile(&self) -> Vec<OpProfile> {
+        self.program
+            .instrs()
+            .iter()
+            .zip(self.profiler.snapshot())
+            .map(|(instr, stats)| OpProfile {
+                node: instr.op_node,
+                name: instr.name.clone(),
+                kind: instr.kernel.kind_name(),
+                count: stats.count,
+                total_ns: stats.total_ns,
+                max_ns: stats.max_ns,
+            })
+            .collect()
     }
 
     /// The executor's graph.
@@ -163,8 +235,18 @@ impl FrozenExecutor {
         self.program.input_shape().expect_same(data.shape()).map_err(ServeError::Tensor)?;
         let mut regs = self.registers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         regs[self.program.input_reg()] = Some(data);
-        for (instr, params) in self.program.instrs().iter().zip(&self.bound) {
-            exec_instr(&mut regs, instr, params.as_deref())?;
+        // One relaxed load decides the loop; the disabled path is exactly
+        // the uninstrumented walk (no clock reads, no per-op branches).
+        if self.profiler.enabled() {
+            for (i, (instr, params)) in self.program.instrs().iter().zip(&self.bound).enumerate() {
+                let began = Instant::now();
+                exec_instr(&mut regs, instr, params.as_deref())?;
+                self.profiler.record(i, began.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for (instr, params) in self.program.instrs().iter().zip(&self.bound) {
+                exec_instr(&mut regs, instr, params.as_deref())?;
+            }
         }
         regs[self.program.output_reg()]
             .take()

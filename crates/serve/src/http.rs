@@ -185,19 +185,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one complete HTTP/1.1 response with a JSON body and closes the
-/// exchange (`Connection: close` — one request per connection).
+/// Writes one complete HTTP/1.1 response and closes the exchange
+/// (`Connection: close` — one request per connection). The content type
+/// defaults to JSON; an explicit `content-type` in `extra_headers`
+/// overrides it (the Prometheus exposition endpoint is plain text).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
-        reason(status),
-        body.len()
-    );
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    if !extra_headers.iter().any(|(name, _)| name.eq_ignore_ascii_case("content-type")) {
+        head.push_str("content-type: application/json\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\nconnection: close\r\n", body.len()));
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
@@ -284,10 +286,22 @@ mod tests {
         write_response(&mut out, 429, &[("retry-after", "1".to_string())], "{\"err\":1}").unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("content-length: 9\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"err\":1}"));
         assert_eq!(reason(504), "Gateway Timeout");
         assert_eq!(reason(599), "Unknown");
+    }
+
+    #[test]
+    fn explicit_content_type_overrides_the_json_default() {
+        let mut out = Vec::new();
+        let headers = [("content-type", "text/plain; version=0.0.4; charset=utf-8".to_string())];
+        write_response(&mut out, 200, &headers, "metric 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("application/json"));
+        assert_eq!(text.matches("content-type:").count(), 1);
+        assert!(text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"));
     }
 }

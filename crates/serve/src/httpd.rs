@@ -1,11 +1,20 @@
-//! The HTTP serving boundary: a [`ServeEngine`] behind four endpoints.
+//! The HTTP serving boundary: a [`ServeEngine`] behind five endpoints.
 //!
 //! | Endpoint           | Method | Behavior                                          |
 //! |--------------------|--------|---------------------------------------------------|
 //! | `/v1/infer`        | POST   | `{"sample": [f32; C·H·W]}` → classifier scores    |
 //! | `/v1/metrics`      | GET    | [`ServeReport`](crate::ServeReport) JSON snapshot |
+//! | `/metrics`         | GET    | Prometheus text exposition of the metrics registry|
 //! | `/v1/healthz`      | GET    | liveness + drain state                            |
 //! | `/v1/shutdown`     | POST   | graceful drain (the SIGTERM-equivalent)           |
+//!
+//! Every connection mints a process-unique request ID at ingress and
+//! carries it through engine admission, so access-log lines
+//! ([`HttpOptions::access_log`]) and trace echoes correlate. When the
+//! engine samples a request for tracing (`BNFF_TRACE` / `trace_every`),
+//! the infer response carries an `X-BNFF-Trace` header and a `trace`
+//! JSON field with the span timings; untraced responses are byte-for-byte
+//! what they were before tracing existed.
 //!
 //! Engine backpressure maps onto HTTP status codes, so standard clients and
 //! load balancers react correctly without knowing the engine's error types:
@@ -23,18 +32,23 @@
 //! (`Connection: close`), one thread per connection — matched to the
 //! engine's own thread-per-worker scale rather than a reactor's.
 
-use crate::engine::ServeEngine;
+use crate::engine::{RequestTrace, ServeEngine};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, HttpError, Request};
-use crate::metrics::LatencyRecorder;
+use crate::metrics::MetricsSnapshot;
 use crate::Result;
+use bnff_obs::{log::log_event, next_request_id};
 use bnff_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The `content-type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// `POST /v1/infer` request body.
 #[derive(Debug, Deserialize)]
@@ -51,6 +65,18 @@ struct InferResponse {
     latency_us: u64,
 }
 
+/// `POST /v1/infer` success body when the engine sampled the request for
+/// tracing. A separate struct (rather than an `Option<RequestTrace>` field
+/// on [`InferResponse`]) keeps untraced responses byte-identical to what
+/// they were before tracing existed.
+#[derive(Debug, Serialize)]
+struct TracedInferResponse {
+    scores: Vec<f32>,
+    batch_size: usize,
+    latency_us: u64,
+    trace: RequestTrace,
+}
+
 /// Error body for every non-200 response.
 #[derive(Debug, Serialize)]
 struct ErrorResponse {
@@ -64,12 +90,44 @@ struct HealthResponse {
     draining: bool,
 }
 
+/// Behavioral knobs for [`HttpServer::bind_with`].
+#[derive(Debug, Clone, Default)]
+pub struct HttpOptions {
+    /// Emit one logfmt line per handled request to stderr (method, path,
+    /// status, wall micros, request ID).
+    pub access_log: bool,
+}
+
 struct ServerShared {
     /// `None` once drained; handlers answer `503` from then on.
     engine: Mutex<Option<ServeEngine>>,
     draining: AtomicBool,
     sample_shape: Shape,
     addr: SocketAddr,
+    access_log: bool,
+    /// The drained engine's final metrics, kept so [`HttpServer::wait`]
+    /// can hand them to the serve binary's shutdown summary even when the
+    /// drain was triggered remotely via `POST /v1/shutdown`.
+    final_report: Mutex<Option<MetricsSnapshot>>,
+    /// In-flight connection count; incremented by the accept loop *before*
+    /// spawning the handler so a drain cannot observe zero while a handler
+    /// is still starting. [`HttpServer::wait`]/[`HttpServer::shutdown`]
+    /// block on this reaching zero — otherwise the process could exit
+    /// before the `POST /v1/shutdown` response bytes leave the socket.
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+}
+
+/// Decrements the in-flight connection count on drop (panic-safe).
+struct ConnGuard(Arc<ServerShared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut count = self.0.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.0.conns_cv.notify_all();
+    }
 }
 
 impl ServerShared {
@@ -78,15 +136,38 @@ impl ServerShared {
     }
 
     /// Stops admissions and drains the engine. Idempotent; the first caller
-    /// gets the final metrics.
-    fn drain(&self) -> Option<LatencyRecorder> {
+    /// gets the final metrics (a copy is also parked for [`HttpServer::wait`]).
+    fn drain(&self) -> Option<MetricsSnapshot> {
         self.draining.store(true, Ordering::SeqCst);
         let engine = self.lock_engine().take();
         let metrics = engine.map(ServeEngine::shutdown);
+        if let Some(snapshot) = &metrics {
+            let mut parked =
+                self.final_report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *parked = Some(snapshot.clone());
+        }
         // The accept loop only observes `draining` after `accept()`
         // returns; poke it with a throwaway connection so it exits.
         let _ = TcpStream::connect(self.addr);
         metrics
+    }
+
+    /// Blocks until every in-flight connection handler finishes (bounded
+    /// by `timeout` as a hung-peer backstop).
+    fn wait_connections(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut count = self.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *count > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, _) = self
+                .conns_cv
+                .wait_timeout(count, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            count = guard;
+        }
     }
 }
 
@@ -118,6 +199,15 @@ impl HttpServer {
     /// Returns an error when the address cannot be bound or the model's
     /// sample shape cannot be resolved.
     pub fn bind(engine: ServeEngine, addr: &str) -> Result<Self> {
+        Self::bind_with(engine, addr, HttpOptions::default())
+    }
+
+    /// [`HttpServer::bind`] with explicit [`HttpOptions`] (access logging).
+    ///
+    /// # Errors
+    /// Returns an error when the address cannot be bound or the model's
+    /// sample shape cannot be resolved.
+    pub fn bind_with(engine: ServeEngine, addr: &str, options: HttpOptions) -> Result<Self> {
         let sample_shape = engine.sample_shape()?;
         let listener = TcpListener::bind(addr)
             .map_err(|e| ServeError::InvalidArgument(format!("binding {addr}: {e}")))?;
@@ -129,6 +219,10 @@ impl HttpServer {
             draining: AtomicBool::new(false),
             sample_shape,
             addr: local,
+            access_log: options.access_log,
+            final_report: Mutex::new(None),
+            conns: Mutex::new(0),
+            conns_cv: Condvar::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -151,20 +245,26 @@ impl HttpServer {
     /// Drains the engine and stops the accept loop — the programmatic twin
     /// of `POST /v1/shutdown`. Returns the engine's final metrics, or
     /// `None` when a drain already ran.
-    pub fn shutdown(mut self) -> Option<LatencyRecorder> {
+    pub fn shutdown(mut self) -> Option<MetricsSnapshot> {
         let metrics = self.shared.drain();
         self.join_accept();
+        self.shared.wait_connections(Duration::from_secs(5));
         metrics
     }
 
     /// Blocks until the server drains — via `POST /v1/shutdown` or another
     /// thread calling [`HttpServer::shutdown`]. This is the serve binary's
-    /// main-thread park.
-    pub fn wait(mut self) {
+    /// main-thread park. Returns the engine's final metrics (from whichever
+    /// path triggered the drain) for a shutdown summary.
+    pub fn wait(mut self) -> Option<MetricsSnapshot> {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
         self.shared.drain();
+        self.shared.wait_connections(Duration::from_secs(5));
+        let mut parked =
+            self.shared.final_report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        parked.take()
     }
 
     fn join_accept(&mut self) {
@@ -187,10 +287,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
-            .name("bnff-http-conn".into())
-            .spawn(move || handle_connection(&shared, stream));
+        {
+            let mut count = shared.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *count += 1;
+        }
+        // On spawn failure the closure (and the guard in it) is dropped by
+        // the error path, which releases the count.
+        let guard = ConnGuard(Arc::clone(shared));
+        let _ = std::thread::Builder::new().name("bnff-http-conn".into()).spawn(move || {
+            let guard = guard;
+            handle_connection(&guard.0, stream);
+        });
     }
 }
 
@@ -198,14 +305,38 @@ fn handle_connection(shared: &ServerShared, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
-    let (status, extra, body) = match read_request(&mut reader) {
-        Ok(Some(request)) => route(shared, &request),
+    let request_id = next_request_id();
+    let began = Instant::now();
+    let (parsed, (status, extra, body)) = match read_request(&mut reader) {
+        Ok(Some(request)) => {
+            let routed = route(shared, &request, request_id);
+            (Some(request), routed)
+        }
         Ok(None) => return,
         Err(HttpError::Closed) => return,
-        Err(err @ HttpError::BodyTooLarge(_)) => (413, Vec::new(), error_body(&err.to_string())),
-        Err(err) => (400, Vec::new(), error_body(&err.to_string())),
+        Err(err @ HttpError::BodyTooLarge(_)) => {
+            (None, (413, Vec::new(), error_body(&err.to_string())))
+        }
+        Err(err) => (None, (400, Vec::new(), error_body(&err.to_string()))),
     };
     let _ = write_response(&mut stream, status, &extra, &body);
+    if shared.access_log {
+        let (method, path) = match &parsed {
+            Some(req) => (req.method.as_str(), req.path.as_str()),
+            None => ("-", "-"),
+        };
+        log_event(
+            "httpd",
+            "access",
+            &[
+                ("method", method.to_string()),
+                ("path", path.to_string()),
+                ("status", status.to_string()),
+                ("micros", began.elapsed().as_micros().to_string()),
+                ("request_id", request_id.to_string()),
+            ],
+        );
+    }
 }
 
 fn error_body(message: &str) -> String {
@@ -215,10 +346,11 @@ fn error_body(message: &str) -> String {
 
 type Routed = (u16, Vec<(&'static str, String)>, String);
 
-fn route(shared: &ServerShared, request: &Request) -> Routed {
+fn route(shared: &ServerShared, request: &Request, request_id: u64) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/infer") => infer(shared, request),
+        ("POST", "/v1/infer") => infer(shared, request, request_id),
         ("GET", "/v1/metrics") => metrics(shared),
+        ("GET", "/metrics") => prometheus(shared),
         ("GET", "/v1/healthz") => {
             let body =
                 HealthResponse { status: "ok", draining: shared.draining.load(Ordering::SeqCst) };
@@ -231,7 +363,7 @@ fn route(shared: &ServerShared, request: &Request) -> Routed {
             shared.drain();
             (200, Vec::new(), "{\"status\":\"drained\"}".to_string())
         }
-        (_, "/v1/infer" | "/v1/metrics" | "/v1/healthz" | "/v1/shutdown") => {
+        (_, "/v1/infer" | "/v1/metrics" | "/metrics" | "/v1/healthz" | "/v1/shutdown") => {
             (405, Vec::new(), error_body("method not allowed"))
         }
         (_, path) => (404, Vec::new(), error_body(&format!("no such endpoint: {path}"))),
@@ -257,7 +389,20 @@ fn metrics(shared: &ServerShared) -> Routed {
     }
 }
 
-fn infer(shared: &ServerShared, request: &Request) -> Routed {
+/// `GET /metrics`: the registry rendered in Prometheus text exposition.
+fn prometheus(shared: &ServerShared) -> Routed {
+    let guard = shared.lock_engine();
+    match guard.as_ref() {
+        Some(engine) => {
+            let body = engine.prometheus_metrics();
+            drop(guard);
+            (200, vec![("content-type", PROMETHEUS_CONTENT_TYPE.to_string())], body)
+        }
+        None => serve_error(&ServeError::ShuttingDown),
+    }
+}
+
+fn infer(shared: &ServerShared, request: &Request, request_id: u64) -> Routed {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => return (400, Vec::new(), error_body("request body is not UTF-8")),
@@ -288,7 +433,7 @@ fn infer(shared: &ServerShared, request: &Request) -> Routed {
     let receiver = {
         let guard = shared.lock_engine();
         match guard.as_ref() {
-            Some(engine) => engine.submit(sample),
+            Some(engine) => engine.submit_traced(sample, request_id, false),
             None => Err(ServeError::ShuttingDown),
         }
     };
@@ -300,13 +445,40 @@ fn infer(shared: &ServerShared, request: &Request) -> Routed {
         Err(e) => Err(e),
     };
     match completion {
-        Ok(completion) => ok(&InferResponse {
-            scores: completion.scores.as_slice().to_vec(),
-            batch_size: completion.batch_size,
-            latency_us: completion.latency.as_micros() as u64,
-        }),
+        Ok(completion) => {
+            let scores = completion.scores.as_slice().to_vec();
+            let latency_us = completion.latency.as_micros() as u64;
+            match completion.trace {
+                Some(trace) => {
+                    let mut routed = ok(&TracedInferResponse {
+                        scores,
+                        batch_size: completion.batch_size,
+                        latency_us,
+                        trace: trace.clone(),
+                    });
+                    routed.1.push(("x-bnff-trace", trace_header(&trace)));
+                    routed
+                }
+                None => {
+                    ok(&InferResponse { scores, batch_size: completion.batch_size, latency_us })
+                }
+            }
+        }
         Err(e) => serve_error(&e),
     }
+}
+
+/// Formats the `X-BNFF-Trace` response header value.
+fn trace_header(trace: &RequestTrace) -> String {
+    format!(
+        "id={} queue_us={} infer_us={} batch={} worker={} stolen={}",
+        trace.request_id,
+        trace.queue_us,
+        trace.infer_us,
+        trace.batch_size,
+        trace.worker,
+        trace.stolen
+    )
 }
 
 /// Maps an engine error onto its HTTP status + JSON body.

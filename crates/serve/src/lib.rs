@@ -83,12 +83,12 @@ pub mod model;
 pub mod params;
 
 pub use builder::ServeEngineBuilder;
-pub use engine::{BatchingConfig, Completion, ServeEngine};
+pub use engine::{BatchingConfig, Completion, RequestTrace, ServeEngine};
 pub use error::ServeError;
-pub use executor::FrozenExecutor;
-pub use httpd::HttpServer;
+pub use executor::{FrozenExecutor, OpProfile};
+pub use httpd::{HttpOptions, HttpServer};
 pub use loadgen::{LoadPoint, OpenLoopConfig};
-pub use metrics::{LatencyRecorder, ServeReport};
+pub use metrics::{MetricsSnapshot, ServeMetrics, ServeReport};
 pub use model::FrozenModel;
 pub use params::{FrozenParamSet, FrozenParams};
 

@@ -21,7 +21,6 @@
 
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
-use crate::metrics::LatencyRecorder;
 use crate::Result;
 use bnff_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -63,12 +62,20 @@ pub struct OpenLoopConfig {
     pub requests: usize,
 }
 
-fn percentiles(latencies: &[Duration]) -> LatencyRecorder {
-    let mut recorder = LatencyRecorder::new();
-    for latency in latencies {
-        recorder.record(*latency);
+/// Exact nearest-rank percentile over the run's observed latencies: the
+/// load generator sees every latency anyway, so it reports percentiles
+/// unbucketed (the engine's own histograms trade exactness for lock-free
+/// recording; a finished run has no such constraint).
+fn percentile_ms(latencies: &[Duration], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
     }
-    recorder
+    let mut sorted: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e3).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // The epsilon guards the rank against binary-representation slop:
+    // p = 99.9 over 1000 samples must rank 999, not ceil(999.0000…1).
+    let rank = ((p * sorted.len() as f64) / 100.0 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn drain(
@@ -100,7 +107,6 @@ fn point(
     latencies: &[Duration],
     batch_sizes: &[usize],
 ) -> LoadPoint {
-    let recorder = percentiles(latencies);
     let wall_seconds = wall.as_secs_f64().max(f64::MIN_POSITIVE);
     let mean_batch_size = if batch_sizes.is_empty() {
         0.0
@@ -114,9 +120,9 @@ fn point(
         completed: latencies.len(),
         shed,
         expired,
-        p50_ms: recorder.percentile_ms(50.0),
-        p99_ms: recorder.percentile_ms(99.0),
-        p999_ms: recorder.percentile_ms(99.9),
+        p50_ms: percentile_ms(latencies, 50.0),
+        p99_ms: percentile_ms(latencies, 99.0),
+        p999_ms: percentile_ms(latencies, 99.9),
         mean_batch_size,
     }
 }

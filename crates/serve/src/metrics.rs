@@ -1,110 +1,275 @@
-//! Serving metrics: latency percentiles, throughput, queue-pressure and
-//! cache-occupancy reporting.
+//! Serving metrics on the unified [`bnff_obs`] registry: lock-free
+//! counters, gauges and latency histograms with both the legacy JSON
+//! [`ServeReport`] and Prometheus text exposition.
+//!
+//! The engine records through [`ServeMetrics`] — typed handles into one
+//! [`Registry`] — so every observation is a relaxed atomic; no request
+//! ever takes a metrics lock (the registry mutex is touched only at
+//! registration and scrape time). Readers take a [`MetricsSnapshot`],
+//! which carries the same read API the old per-worker recorder exposed
+//! (`requests()`, `percentile_ms(..)`, `report(..)`) so existing
+//! consumers keep working, now backed by log-bucketed histograms with
+//! ≤ 6.25% relative quantile error instead of unbounded latency vectors.
 
+use bnff_obs::{Counter, Gauge, Histogram, HistogramOpts, HistogramSnapshot, Registry};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// A recorder for per-request latencies plus batching, queue-depth and
-/// executor-cache counters.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyRecorder {
-    latencies_ms: Vec<f64>,
-    batches: usize,
-    samples_in_batches: usize,
-    /// The engine's `max_batch`, for occupancy reporting.
-    batch_capacity: usize,
-    queue_depth_sum: usize,
-    queue_depth_samples: usize,
-    queue_depth_max: usize,
-    executor_cache_peak: usize,
-    shed: usize,
-    expired: usize,
-    stolen_batches: usize,
+/// Lock-free recording handles for the serving engine, all registered on
+/// one shared [`Registry`] (which also renders the Prometheus scrape).
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_samples: Arc<Counter>,
+    stolen: Arc<Counter>,
+    shed: Arc<Counter>,
+    expired: Arc<Counter>,
+    latency: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    infer: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
+    queued: Arc<Gauge>,
+    cache_peak: Arc<Gauge>,
+    batch_capacity: Arc<Gauge>,
 }
 
-impl LatencyRecorder {
-    /// An empty recorder.
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh metrics on a fresh registry.
     pub fn new() -> Self {
-        LatencyRecorder::default()
+        let registry = Arc::new(Registry::new());
+        ServeMetrics {
+            requests: registry.counter("bnff_requests_total", "Requests served to completion."),
+            batches: registry.counter("bnff_batches_total", "Coalesced batches executed."),
+            batch_samples: registry
+                .counter("bnff_batch_samples_total", "Samples across all executed batches."),
+            stolen: registry.counter(
+                "bnff_stolen_batches_total",
+                "Batches a worker assembled by stealing from a sibling shard.",
+            ),
+            shed: registry.counter(
+                "bnff_shed_total",
+                "Requests shed by admission control (every shard queue full).",
+            ),
+            expired: registry.counter(
+                "bnff_expired_total",
+                "Requests expired in the queue past the configured deadline.",
+            ),
+            latency: registry.histogram(
+                "bnff_request_latency_seconds",
+                "End-to-end request latency, enqueue to completion.",
+                HistogramOpts::latency_ns(),
+            ),
+            queue_wait: registry.histogram(
+                "bnff_queue_wait_seconds",
+                "Time requests waited in a shard queue before batch assembly.",
+                HistogramOpts::latency_ns(),
+            ),
+            infer: registry.histogram(
+                "bnff_infer_seconds",
+                "Forward-pass time of the batch each request rode in.",
+                HistogramOpts::latency_ns(),
+            ),
+            queue_depth: registry.histogram(
+                "bnff_queue_depth",
+                "Shard queue depth sampled when a worker takes a batch.",
+                HistogramOpts::small_counts(),
+            ),
+            queued: registry.gauge("bnff_queued", "Requests currently queued across all shards."),
+            cache_peak: registry.gauge(
+                "bnff_executor_cache_peak",
+                "Peak batch-size-specialized executors cached by any worker.",
+            ),
+            batch_capacity: registry
+                .gauge("bnff_batch_capacity", "Configured max_batch (occupancy denominator)."),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles (for Prometheus exposition and for
+    /// registering adjacent metrics on the same scrape).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Renders the Prometheus text exposition of everything registered.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// Records one served request's end-to-end latency.
-    pub fn record(&mut self, latency: Duration) {
-        self.latencies_ms.push(latency.as_secs_f64() * 1e3);
+    #[inline]
+    pub fn record_request(&self, latency: Duration) {
+        self.requests.inc();
+        self.latency.record(latency.as_nanos() as u64);
+    }
+
+    /// Records how long one request waited in its shard queue.
+    #[inline]
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait.as_nanos() as u64);
+    }
+
+    /// Records the forward-pass time of one executed batch.
+    #[inline]
+    pub fn record_infer(&self, infer: Duration) {
+        self.infer.record(infer.as_nanos() as u64);
     }
 
     /// Records one executed batch of `size` coalesced requests.
-    pub fn record_batch(&mut self, size: usize) {
-        self.batches += 1;
-        self.samples_in_batches += size;
+    #[inline]
+    pub fn record_batch(&self, size: usize) {
+        self.batches.inc();
+        self.batch_samples.add(size as u64);
     }
 
-    /// Sets the batch capacity (`max_batch`) occupancy is reported against.
-    pub fn set_batch_capacity(&mut self, capacity: usize) {
-        self.batch_capacity = self.batch_capacity.max(capacity);
+    /// Records one observation of a shard queue's depth.
+    #[inline]
+    pub fn record_queue_depth(&self, depth: usize) {
+        self.queue_depth.record(depth as u64);
     }
 
-    /// Records one observation of the request-queue depth (sampled at
-    /// submission and when a worker takes a batch).
-    pub fn record_queue_depth(&mut self, depth: usize) {
-        self.queue_depth_sum += depth;
-        self.queue_depth_samples += 1;
-        self.queue_depth_max = self.queue_depth_max.max(depth);
+    /// Records a worker's executor-cache size (the gauge keeps the peak).
+    #[inline]
+    pub fn record_executor_cache(&self, size: usize) {
+        self.cache_peak.set_max(size as i64);
     }
 
-    /// Records a worker's executor-cache size; the report exposes the peak
-    /// across all observations.
-    pub fn record_executor_cache(&mut self, size: usize) {
-        self.executor_cache_peak = self.executor_cache_peak.max(size);
-    }
-
-    /// Counts `n` requests shed by admission control (bounded queues full).
-    pub fn record_shed(&mut self, n: usize) {
-        self.shed += n;
+    /// Counts `n` requests shed by admission control.
+    #[inline]
+    pub fn record_shed(&self, n: usize) {
+        self.shed.add(n as u64);
     }
 
     /// Counts `n` requests expired past their queueing deadline.
-    pub fn record_expired(&mut self, n: usize) {
-        self.expired += n;
+    #[inline]
+    pub fn record_expired(&self, n: usize) {
+        self.expired.add(n as u64);
     }
 
-    /// Counts one batch a worker assembled from a sibling's shard.
-    pub fn record_stolen_batch(&mut self) {
-        self.stolen_batches += 1;
+    /// Counts one batch assembled by work-stealing.
+    #[inline]
+    pub fn record_stolen_batch(&self) {
+        self.stolen.inc();
+    }
+
+    /// Sets the batch capacity (`max_batch`) occupancy is reported against.
+    pub fn set_batch_capacity(&self, capacity: usize) {
+        self.batch_capacity.set_max(capacity as i64);
+    }
+
+    /// Adjusts the queued-requests gauge at admission (`+n`) / take (`-n`).
+    #[inline]
+    pub fn add_queued(&self, n: i64) {
+        self.queued.add(n);
+    }
+
+    /// Requests currently queued (the `Overloaded` error reports this).
+    pub fn queued(&self) -> usize {
+        self.queued.get().max(0) as usize
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.get(),
+            batches: self.batches.get(),
+            batch_samples: self.batch_samples.get(),
+            stolen: self.stolen.get(),
+            shed: self.shed.get(),
+            expired: self.expired.get(),
+            batch_capacity: self.batch_capacity.get().max(0) as usize,
+            executor_cache_peak: self.cache_peak.get().max(0) as usize,
+            latency: self.latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            infer: self.infer.snapshot(),
+            queue_depth: self.queue_depth.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of the serving metrics, with the derived-statistic
+/// read API (`percentile_ms`, occupancy means) and [`ServeReport`] folding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    requests: u64,
+    batches: u64,
+    batch_samples: u64,
+    stolen: u64,
+    shed: u64,
+    expired: u64,
+    batch_capacity: usize,
+    executor_cache_peak: usize,
+    latency: HistogramSnapshot,
+    queue_wait: HistogramSnapshot,
+    infer: HistogramSnapshot,
+    queue_depth: HistogramSnapshot,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot::empty()
+    }
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            requests: 0,
+            batches: 0,
+            batch_samples: 0,
+            stolen: 0,
+            shed: 0,
+            expired: 0,
+            batch_capacity: 0,
+            executor_cache_peak: 0,
+            latency: HistogramSnapshot::empty(),
+            queue_wait: HistogramSnapshot::empty(),
+            infer: HistogramSnapshot::empty(),
+            queue_depth: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Requests served to completion.
+    pub fn requests(&self) -> usize {
+        self.requests as usize
+    }
+
+    /// Batches executed.
+    pub fn batches(&self) -> usize {
+        self.batches as usize
     }
 
     /// Requests shed by admission control.
     pub fn shed(&self) -> usize {
-        self.shed
+        self.shed as usize
     }
 
     /// Requests expired past their queueing deadline.
     pub fn expired(&self) -> usize {
-        self.expired
+        self.expired as usize
     }
 
     /// Batches assembled by work-stealing from a sibling shard.
     pub fn stolen_batches(&self) -> usize {
-        self.stolen_batches
+        self.stolen as usize
     }
 
-    /// Number of recorded requests.
-    pub fn requests(&self) -> usize {
-        self.latencies_ms.len()
-    }
-
-    /// Number of executed batches.
-    pub fn batches(&self) -> usize {
-        self.batches
-    }
-
-    /// Mean samples per executed batch (the dynamic batcher's coalescing
-    /// factor).
+    /// Mean samples per executed batch.
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
             0.0
         } else {
-            self.samples_in_batches as f64 / self.batches as f64
+            self.batch_samples as f64 / self.batches as f64
         }
     }
 
@@ -117,18 +282,14 @@ impl LatencyRecorder {
         }
     }
 
-    /// Mean sampled request-queue depth.
+    /// Mean sampled shard-queue depth.
     pub fn mean_queue_depth(&self) -> f64 {
-        if self.queue_depth_samples == 0 {
-            0.0
-        } else {
-            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
-        }
+        self.queue_depth.mean()
     }
 
-    /// Largest sampled request-queue depth.
+    /// Largest sampled shard-queue depth.
     pub fn max_queue_depth(&self) -> usize {
-        self.queue_depth_max
+        self.queue_depth.max() as usize
     }
 
     /// Peak per-worker executor-cache size observed.
@@ -136,18 +297,20 @@ impl LatencyRecorder {
         self.executor_cache_peak
     }
 
-    /// The `p`-th latency percentile in milliseconds (`p` in `[0, 100]`),
-    /// by nearest-rank over the recorded requests.
+    /// The `p`-th latency percentile in milliseconds (`p` in `[0, 100]`).
+    /// Bucketed: never under the exact percentile, at most 6.25% over.
     pub fn percentile_ms(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        // The epsilon guards the rank against binary-representation slop:
-        // p = 99.9 over 1000 samples must rank 999, not ceil(999.0000…1).
-        let rank = ((p * sorted.len() as f64) / 100.0 - 1e-9).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        self.latency.value_at_quantile(p / 100.0) as f64 * 1e-6
+    }
+
+    /// Mean time requests spent waiting in shard queues, in milliseconds.
+    pub fn mean_queue_wait_ms(&self) -> f64 {
+        self.queue_wait.mean() * 1e-6
+    }
+
+    /// Mean forward-pass time per executed batch, in milliseconds.
+    pub fn mean_infer_ms(&self) -> f64 {
+        self.infer.mean() * 1e-6
     }
 
     /// Folds the counters into a summary over `wall` seconds of serving.
@@ -161,30 +324,15 @@ impl LatencyRecorder {
             p50_ms: self.percentile_ms(50.0),
             p99_ms: self.percentile_ms(99.0),
             p999_ms: self.percentile_ms(99.9),
-            shed: self.shed,
-            expired: self.expired,
-            stolen_batches: self.stolen_batches,
+            shed: self.shed(),
+            expired: self.expired(),
+            stolen_batches: self.stolen_batches(),
             mean_batch_size: self.mean_batch_size(),
             mean_batch_occupancy: self.mean_batch_occupancy(),
             mean_queue_depth: self.mean_queue_depth(),
             max_queue_depth: self.max_queue_depth(),
             executor_cache_peak: self.executor_cache_peak(),
         }
-    }
-
-    /// Merges another recorder's observations into this one.
-    pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.latencies_ms.extend_from_slice(&other.latencies_ms);
-        self.batches += other.batches;
-        self.samples_in_batches += other.samples_in_batches;
-        self.batch_capacity = self.batch_capacity.max(other.batch_capacity);
-        self.queue_depth_sum += other.queue_depth_sum;
-        self.queue_depth_samples += other.queue_depth_samples;
-        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
-        self.executor_cache_peak = self.executor_cache_peak.max(other.executor_cache_peak);
-        self.shed += other.shed;
-        self.expired += other.expired;
-        self.stolen_batches += other.stolen_batches;
     }
 }
 
@@ -229,28 +377,33 @@ pub struct ServeReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let mut rec = LatencyRecorder::new();
-        for ms in 1..=100u64 {
-            rec.record(Duration::from_millis(ms));
-        }
-        assert_eq!(rec.percentile_ms(50.0), 50.0);
-        assert_eq!(rec.percentile_ms(99.0), 99.0);
-        assert_eq!(rec.percentile_ms(100.0), 100.0);
-        assert_eq!(rec.requests(), 100);
+    /// Bucketed percentiles: never under the exact value, ≤ 6.25% over.
+    fn assert_close(got_ms: f64, exact_ms: f64, what: &str) {
+        assert!(got_ms >= exact_ms * (1.0 - 1e-9) - 1e-6, "{what}: {got_ms} << {exact_ms}");
+        assert!(got_ms <= exact_ms * 1.0626 + 1e-6, "{what}: {got_ms} >> {exact_ms}");
     }
 
     #[test]
-    fn report_and_merge() {
-        let mut a = LatencyRecorder::new();
-        a.record(Duration::from_millis(2));
-        a.record_batch(4);
-        let mut b = LatencyRecorder::new();
-        b.record(Duration::from_millis(4));
-        b.record_batch(2);
-        a.merge(&b);
-        let report = a.report(Duration::from_secs(2));
+    fn percentiles_use_nearest_rank_within_bucket_error() {
+        let m = ServeMetrics::new();
+        for ms in 1..=100u64 {
+            m.record_request(Duration::from_millis(ms));
+        }
+        let snap = m.snapshot();
+        assert_close(snap.percentile_ms(50.0), 50.0, "p50");
+        assert_close(snap.percentile_ms(99.0), 99.0, "p99");
+        assert_close(snap.percentile_ms(100.0), 100.0, "p100");
+        assert_eq!(snap.requests(), 100);
+    }
+
+    #[test]
+    fn report_folds_counters() {
+        let m = ServeMetrics::new();
+        m.record_request(Duration::from_millis(2));
+        m.record_batch(4);
+        m.record_request(Duration::from_millis(4));
+        m.record_batch(2);
+        let report = m.snapshot().report(Duration::from_secs(2));
         assert_eq!(report.requests, 2);
         assert_eq!(report.batches, 2);
         assert!((report.throughput_rps - 1.0).abs() < 1e-9);
@@ -260,18 +413,17 @@ mod tests {
 
     #[test]
     fn queue_and_cache_gauges() {
-        let mut a = LatencyRecorder::new();
-        a.set_batch_capacity(8);
-        a.record_batch(4);
-        a.record_batch(8);
-        a.record_queue_depth(1);
-        a.record_queue_depth(5);
-        a.record_executor_cache(2);
-        let mut b = LatencyRecorder::new();
-        b.record_queue_depth(3);
-        b.record_executor_cache(3);
-        a.merge(&b);
-        let report = a.report(Duration::from_secs(1));
+        let m = ServeMetrics::new();
+        m.set_batch_capacity(8);
+        m.record_batch(4);
+        m.record_batch(8);
+        m.record_queue_depth(1);
+        m.record_queue_depth(5);
+        m.record_queue_depth(3);
+        m.record_executor_cache(2);
+        m.record_executor_cache(3);
+        m.record_executor_cache(1);
+        let report = m.snapshot().report(Duration::from_secs(1));
         assert!((report.mean_batch_occupancy - 0.75).abs() < 1e-9);
         assert!((report.mean_queue_depth - 3.0).abs() < 1e-9);
         assert_eq!(report.max_queue_depth, 5);
@@ -280,100 +432,90 @@ mod tests {
 
     #[test]
     fn quantiles_on_known_distributions() {
-        // Uniform 1..=1000 ms: nearest-rank percentiles are exact.
-        let mut uniform = LatencyRecorder::new();
+        // Uniform 1..=1000 ms.
+        let uniform = ServeMetrics::new();
         for ms in 1..=1000u64 {
-            uniform.record(Duration::from_millis(ms));
+            uniform.record_request(Duration::from_millis(ms));
         }
-        assert_eq!(uniform.percentile_ms(50.0), 500.0);
-        assert_eq!(uniform.percentile_ms(99.0), 990.0);
-        assert_eq!(uniform.percentile_ms(99.9), 999.0);
-        assert_eq!(uniform.percentile_ms(0.0), 1.0);
-        assert_eq!(uniform.percentile_ms(100.0), 1000.0);
+        let usnap = uniform.snapshot();
+        assert_close(usnap.percentile_ms(50.0), 500.0, "uniform p50");
+        assert_close(usnap.percentile_ms(99.0), 990.0, "uniform p99");
+        assert_close(usnap.percentile_ms(99.9), 999.0, "uniform p999");
+        assert_close(usnap.percentile_ms(100.0), 1000.0, "uniform p100");
 
-        // Recording order must not matter: reversed and shuffled insertions
-        // give identical quantiles.
-        let mut reversed = LatencyRecorder::new();
+        // Recording order must not matter.
+        let reversed = ServeMetrics::new();
         for ms in (1..=1000u64).rev() {
-            reversed.record(Duration::from_millis(ms));
+            reversed.record_request(Duration::from_millis(ms));
         }
+        let rsnap = reversed.snapshot();
         for p in [50.0, 90.0, 99.0, 99.9] {
-            assert_eq!(uniform.percentile_ms(p), reversed.percentile_ms(p), "p{p}");
+            assert_eq!(usnap.percentile_ms(p), rsnap.percentile_ms(p), "p{p}");
         }
 
-        // A two-point bimodal distribution: 990 fast requests at 1 ms and
-        // 10 stragglers at 100 ms. p50 sits in the fast mode, p99/p999 in
-        // the slow tail — the shape the load curves are meant to expose.
-        let mut bimodal = LatencyRecorder::new();
+        // Two-point bimodal: 990 fast at 1 ms, 10 stragglers at 100 ms.
+        // p50/p99 sit in the fast mode, p99.1+ in the slow tail.
+        let bimodal = ServeMetrics::new();
         for _ in 0..990 {
-            bimodal.record(Duration::from_millis(1));
+            bimodal.record_request(Duration::from_millis(1));
         }
         for _ in 0..10 {
-            bimodal.record(Duration::from_millis(100));
+            bimodal.record_request(Duration::from_millis(100));
         }
-        assert_eq!(bimodal.percentile_ms(50.0), 1.0);
-        assert_eq!(bimodal.percentile_ms(99.0), 1.0);
-        assert_eq!(bimodal.percentile_ms(99.1), 100.0);
-        assert_eq!(bimodal.percentile_ms(99.9), 100.0);
+        let bsnap = bimodal.snapshot();
+        assert_close(bsnap.percentile_ms(50.0), 1.0, "bimodal p50");
+        assert_close(bsnap.percentile_ms(99.0), 1.0, "bimodal p99");
+        assert_close(bsnap.percentile_ms(99.1), 100.0, "bimodal p99.1");
+        assert_close(bsnap.percentile_ms(99.9), 100.0, "bimodal p999");
 
         // Quantiles are monotone in p.
         let mut prev = 0.0;
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
-            let q = bimodal.percentile_ms(p);
+            let q = bsnap.percentile_ms(p);
             assert!(q >= prev, "p{p}: {q} < {prev}");
             prev = q;
         }
     }
 
     #[test]
-    fn gauges_are_monotone_under_observation() {
-        let mut rec = LatencyRecorder::new();
-        rec.set_batch_capacity(8);
-        let mut max_depth = 0;
-        let mut cache_peak = 0;
-        let mut occupancy_partial_then_full = Vec::new();
-        for (i, depth) in [3usize, 1, 7, 2, 7, 0].into_iter().enumerate() {
-            rec.record_queue_depth(depth);
-            assert!(rec.max_queue_depth() >= max_depth, "max depth regressed");
-            max_depth = rec.max_queue_depth();
-            assert!(max_depth >= depth);
-            rec.record_executor_cache(i % 3);
-            assert!(rec.executor_cache_peak() >= cache_peak, "cache peak regressed");
-            cache_peak = rec.executor_cache_peak();
-            rec.record_batch(if i < 3 { 4 } else { 8 });
-            occupancy_partial_then_full.push(rec.mean_batch_occupancy());
-        }
-        // Occupancy climbs as full batches replace partial ones and is
-        // always within [0, 1].
-        for window in occupancy_partial_then_full.windows(2).skip(2) {
-            assert!(window[1] >= window[0], "occupancy fell while batches filled");
-        }
-        assert!(occupancy_partial_then_full.iter().all(|o| (0.0..=1.0).contains(o)));
-        // Counters accumulate monotonically too.
-        rec.record_shed(2);
-        rec.record_shed(3);
-        assert_eq!(rec.shed(), 5);
-        rec.record_expired(1);
-        assert_eq!(rec.expired(), 1);
-        rec.record_stolen_batch();
-        rec.record_stolen_batch();
-        assert_eq!(rec.stolen_batches(), 2);
+    fn counters_accumulate_and_gauges_track_peaks() {
+        let m = ServeMetrics::new();
+        m.record_shed(2);
+        m.record_shed(3);
+        m.record_expired(1);
+        m.record_stolen_batch();
+        m.record_stolen_batch();
+        m.add_queued(5);
+        m.add_queued(-2);
+        let snap = m.snapshot();
+        assert_eq!(snap.shed(), 5);
+        assert_eq!(snap.expired(), 1);
+        assert_eq!(snap.stolen_batches(), 2);
+        assert_eq!(m.queued(), 3);
+        // Peak gauges never regress.
+        m.record_executor_cache(4);
+        m.record_executor_cache(2);
+        assert_eq!(m.snapshot().executor_cache_peak(), 4);
+        m.set_batch_capacity(8);
+        m.set_batch_capacity(4);
+        m.record_batch(8);
+        assert!((m.snapshot().mean_batch_occupancy() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn serve_report_serde_round_trip() {
-        let mut rec = LatencyRecorder::new();
-        rec.set_batch_capacity(4);
+        let m = ServeMetrics::new();
+        m.set_batch_capacity(4);
         for ms in [1u64, 2, 3, 40] {
-            rec.record(Duration::from_millis(ms));
+            m.record_request(Duration::from_millis(ms));
         }
-        rec.record_batch(4);
-        rec.record_queue_depth(9);
-        rec.record_executor_cache(2);
-        rec.record_shed(6);
-        rec.record_expired(2);
-        rec.record_stolen_batch();
-        let report = rec.report(Duration::from_secs(2));
+        m.record_batch(4);
+        m.record_queue_depth(9);
+        m.record_executor_cache(2);
+        m.record_shed(6);
+        m.record_expired(2);
+        m.record_stolen_batch();
+        let report = m.snapshot().report(Duration::from_secs(2));
         let json = serde_json::to_string(&report).unwrap();
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report, "ServeReport changed across the serde shims");
@@ -384,30 +526,48 @@ mod tests {
     }
 
     #[test]
-    fn merge_accumulates_shed_and_expired() {
-        let mut a = LatencyRecorder::new();
-        a.record_shed(1);
-        a.record_expired(4);
-        a.record_stolen_batch();
-        let mut b = LatencyRecorder::new();
-        b.record_shed(2);
-        b.record_stolen_batch();
-        a.merge(&b);
-        assert_eq!(a.shed(), 3);
-        assert_eq!(a.expired(), 4);
-        assert_eq!(a.stolen_batches(), 2);
+    fn prometheus_exposition_covers_the_serving_metrics() {
+        let m = ServeMetrics::new();
+        m.record_request(Duration::from_millis(3));
+        m.record_batch(2);
+        m.record_shed(1);
+        m.record_expired(1);
+        m.record_queue_depth(4);
+        m.add_queued(2);
+        let text = m.render_prometheus();
+        for family in [
+            "bnff_requests_total",
+            "bnff_batches_total",
+            "bnff_shed_total",
+            "bnff_expired_total",
+            "bnff_stolen_batches_total",
+            "bnff_request_latency_seconds",
+            "bnff_queue_wait_seconds",
+            "bnff_infer_seconds",
+            "bnff_queue_depth",
+            "bnff_queued",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family} ")), "missing TYPE for {family}");
+        }
+        assert!(text.contains("bnff_requests_total 1\n"));
+        assert!(text.contains("bnff_shed_total 1\n"));
+        assert!(text.contains("bnff_queued 2\n"));
+        assert!(text.contains("bnff_request_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("bnff_request_latency_seconds_count 1\n"));
     }
 
     #[test]
-    fn empty_recorder_is_safe() {
-        let rec = LatencyRecorder::new();
-        assert_eq!(rec.percentile_ms(99.0), 0.0);
-        assert_eq!(rec.mean_batch_size(), 0.0);
-        assert_eq!(rec.mean_batch_occupancy(), 0.0);
-        assert_eq!(rec.mean_queue_depth(), 0.0);
-        assert_eq!(rec.max_queue_depth(), 0);
-        assert_eq!(rec.executor_cache_peak(), 0);
-        let report = rec.report(Duration::from_millis(1));
+    fn empty_snapshot_is_safe() {
+        let snap = MetricsSnapshot::empty();
+        assert_eq!(snap.percentile_ms(99.0), 0.0);
+        assert_eq!(snap.mean_batch_size(), 0.0);
+        assert_eq!(snap.mean_batch_occupancy(), 0.0);
+        assert_eq!(snap.mean_queue_depth(), 0.0);
+        assert_eq!(snap.max_queue_depth(), 0);
+        assert_eq!(snap.executor_cache_peak(), 0);
+        let report = snap.report(Duration::from_millis(1));
         assert_eq!(report.requests, 0);
+        let fresh = ServeMetrics::new();
+        assert_eq!(fresh.snapshot(), MetricsSnapshot::empty());
     }
 }

@@ -75,6 +75,24 @@ struct InferResponse {
     latency_us: u64,
 }
 
+#[derive(Debug, Deserialize)]
+struct TraceBody {
+    request_id: u64,
+    queue_us: u64,
+    infer_us: u64,
+    batch_size: usize,
+    worker: usize,
+    stolen: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct TracedInferResponse {
+    scores: Vec<f32>,
+    batch_size: usize,
+    latency_us: u64,
+    trace: TraceBody,
+}
+
 #[test]
 fn infer_matches_direct_frozen_execution_exactly() {
     let exec = trained(7);
@@ -132,6 +150,97 @@ fn healthz_metrics_and_routing() {
     assert_eq!(status, 404);
     let (status, _, _) = get(addr, "/v1/infer");
     assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn prometheus_endpoint_exposes_the_registry() {
+    let exec = trained(37);
+    let engine = ServeEngine::builder().executor(&exec).start().unwrap();
+    let server = HttpServer::bind(engine, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut init = Initializer::seeded(6);
+    let sample = init.uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0);
+    let (status, _, _) = post(addr, "/v1/infer", &infer_body(sample.as_slice()));
+    assert_eq!(status, 200);
+
+    let (status, headers, body) = get(addr, "/metrics");
+    assert_eq!(status, 200, "body: {body}");
+    let content_type = headers
+        .iter()
+        .find(|(k, _)| k == "content-type")
+        .map(|(_, v)| v.as_str())
+        .expect("content-type header");
+    assert!(content_type.starts_with("text/plain"), "got {content_type}");
+
+    // Well-formed exposition: HELP/TYPE pairs, the core serving series,
+    // a cumulative histogram ending at +Inf, and no JSON anywhere.
+    assert!(body.contains("# TYPE bnff_requests_total counter"));
+    assert!(body.contains("bnff_requests_total 1"));
+    assert!(body.contains("# TYPE bnff_request_latency_seconds histogram"));
+    assert!(body.contains("le=\"+Inf\""));
+    assert!(body.contains("bnff_request_latency_seconds_count 1"));
+    assert!(body.contains("# TYPE bnff_queued gauge"));
+    assert!(body.contains("# TYPE bnff_shed_total counter"));
+    for line in body.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2 || line.is_empty(),
+            "malformed exposition line: {line:?}"
+        );
+    }
+
+    let (status, _, _) = post(addr, "/metrics", "");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn traced_requests_echo_span_timings() {
+    let exec = trained(41);
+    let engine = ServeEngine::builder().executor(&exec).workers(1).trace_every(1).start().unwrap();
+    let server = HttpServer::bind(engine, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut init = Initializer::seeded(8);
+    let sample = init.uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0);
+    let (status, headers, body) = post(addr, "/v1/infer", &infer_body(sample.as_slice()));
+    assert_eq!(status, 200, "body: {body}");
+
+    let parsed: TracedInferResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(parsed.scores.len(), 3);
+    assert!(parsed.batch_size >= 1);
+    assert!(parsed.latency_us >= parsed.trace.infer_us);
+    assert!(parsed.trace.request_id > 0);
+    assert_eq!(parsed.trace.batch_size, parsed.batch_size);
+    assert_eq!(parsed.trace.worker, 0);
+    assert!(!parsed.trace.stolen);
+    let _ = parsed.trace.queue_us;
+
+    let header = headers
+        .iter()
+        .find(|(k, _)| k == "x-bnff-trace")
+        .map(|(_, v)| v.as_str())
+        .expect("x-bnff-trace header on a traced response");
+    assert!(header.contains(&format!("id={}", parsed.trace.request_id)));
+    assert!(header.contains("infer_us="));
+    server.shutdown();
+}
+
+#[test]
+fn untraced_responses_have_no_trace_artifacts() {
+    let exec = trained(43);
+    // trace_every(0) disables sampling outright, regardless of BNFF_TRACE.
+    let engine = ServeEngine::builder().executor(&exec).trace_every(0).start().unwrap();
+    let server = HttpServer::bind(engine, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut init = Initializer::seeded(9);
+    let sample = init.uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0);
+    let (status, headers, body) = post(addr, "/v1/infer", &infer_body(sample.as_slice()));
+    assert_eq!(status, 200, "body: {body}");
+    assert!(!body.contains("\"trace\""));
+    assert!(headers.iter().all(|(k, _)| k != "x-bnff-trace"));
     server.shutdown();
 }
 
